@@ -1,0 +1,359 @@
+// Bench harness: one benchmark per experiment of EXPERIMENTS.md.
+// Benchmarks report wall-clock per operation plus domain metrics
+// (rounds, violations) via b.ReportMetric, so `go test -bench=.`
+// regenerates the numbers behind every table. cmd/experiments prints
+// the full tables.
+package tsu_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/experiments"
+	"tsu/internal/netem"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+	"tsu/internal/trace"
+	"tsu/internal/verify"
+)
+
+// BenchmarkE1Fig1WayUp runs the paper's demo scenario per iteration:
+// full WayUp update on the live Figure 1 testbed with probes; reports
+// violations (always 0) and rounds.
+func BenchmarkE1Fig1WayUp(b *testing.B) {
+	violations, rounds := 0, 0
+	for i := 0; i < b.N; i++ {
+		bed, err := experiments.NewBed(topo.Fig1(), experiments.BedConfig{
+			Jitter:  netem.Uniform{Min: 0, Max: 2 * time.Millisecond},
+			Install: netem.Uniform{Min: 500 * time.Microsecond, Max: 2 * time.Millisecond},
+			Seed:    int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bed.InstallOldPolicy(topo.Fig1OldPath); err != nil {
+			bed.Close()
+			b.Fatal(err)
+		}
+		in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+		sched, err := core.WayUp(in)
+		if err != nil {
+			bed.Close()
+			b.Fatal(err)
+		}
+		prober := trace.NewProber(bed.Fabric, trace.Config{
+			Ingress: 1, NWDst: experiments.FlowNWDst, Waypoint: topo.Fig1Waypoint,
+			Interval: 100 * time.Microsecond,
+		})
+		stop := prober.Start(context.Background())
+		if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+			stop()
+			bed.Close()
+			b.Fatal(err)
+		}
+		st := stop()
+		violations += st.Violations()
+		rounds = sched.NumRounds()
+		bed.Close()
+	}
+	b.ReportMetric(float64(violations)/float64(b.N), "violations/op")
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE2UpdateTime measures the paper's stated metric — flow-table
+// update time — per algorithm on the live Figure 1 testbed.
+func BenchmarkE2UpdateTime(b *testing.B) {
+	for _, algo := range []string{"oneshot", "peacock", "wayup", "greedy-slf"} {
+		b.Run(algo, func(b *testing.B) {
+			var totalRounds int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bed, err := experiments.NewBed(topo.Fig1(), experiments.BedConfig{
+					Jitter:  netem.Uniform{Min: 0, Max: time.Millisecond},
+					Install: netem.Fixed(time.Millisecond),
+					Seed:    int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bed.InstallOldPolicy(topo.Fig1OldPath); err != nil {
+					bed.Close()
+					b.Fatal(err)
+				}
+				in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+				sched, err := scheduleByName(in, algo)
+				if err != nil {
+					bed.Close()
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				totalRounds = sched.NumRounds()
+				bed.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(totalRounds), "rounds")
+		})
+	}
+}
+
+func scheduleByName(in *core.Instance, algo string) (*core.Schedule, error) {
+	switch algo {
+	case "wayup":
+		return core.WayUp(in)
+	case "peacock":
+		return core.Peacock(in)
+	case "greedy-slf":
+		return core.GreedySLF(in)
+	default:
+		return core.OneShot(in), nil
+	}
+}
+
+// BenchmarkE3WaypointViolations verifies one-shot vs wayup on a random
+// waypoint instance per iteration; reports the one-shot unsafe rate.
+func BenchmarkE3WaypointViolations(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	props := core.NoBlackhole | core.WaypointEnforcement
+	unsafe := 0
+	for i := 0; i < b.N; i++ {
+		ti := topo.RandomTwoPath(rng, 16, true)
+		in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
+		if !verify.Schedule(in, core.OneShot(in), props, verify.Options{Budget: 1 << 16, Samples: 256}).OK() {
+			unsafe++
+		}
+		w, err := core.WayUp(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !verify.Schedule(in, w, props, verify.Options{Budget: 1 << 16, Samples: 256}).OK() {
+			b.Fatal("wayup produced an unsafe schedule")
+		}
+	}
+	b.ReportMetric(float64(unsafe)/float64(b.N), "oneshot-unsafe/op")
+}
+
+// BenchmarkE4Rounds schedules the adversarial families; reports round
+// counts (the log-vs-linear separation).
+func BenchmarkE4Rounds(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		ti := topo.Nested(n)
+		in := core.MustInstance(ti.Old, ti.New, 0)
+		b.Run("nested/peacock/n="+itoa(n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				s, err := core.Peacock(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = s.NumRounds()
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+		b.Run("nested/greedy-slf/n="+itoa(n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				s, err := core.GreedySLF(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = s.NumRounds()
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkE5SchedulerCompute measures pure scheduling cost.
+func BenchmarkE5SchedulerCompute(b *testing.B) {
+	for _, n := range []int{32, 256, 2048} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		ti := topo.RandomTwoPath(rng, n, true)
+		in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
+		b.Run("peacock/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Peacock(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("wayup/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.WayUp(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6UpdateTimeVsN measures the live update time as the
+// topology grows.
+func BenchmarkE6UpdateTimeVsN(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ti := topo.Reversal(n)
+				bed, err := experiments.NewBed(ti.Graph, experiments.BedConfig{
+					Jitter:  netem.Uniform{Min: 0, Max: time.Millisecond},
+					Install: netem.Fixed(time.Millisecond),
+					Seed:    int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bed.InstallOldPolicy(ti.Old); err != nil {
+					bed.Close()
+					b.Fatal(err)
+				}
+				in := core.MustInstance(ti.Old, ti.New, 0)
+				sched, err := core.Peacock(in)
+				if err != nil {
+					bed.Close()
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				bed.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkE7JitterDose runs one-shot updates under growing jitter and
+// reports observed violations per run.
+func BenchmarkE7JitterDose(b *testing.B) {
+	for _, jitter := range []time.Duration{time.Millisecond, 4 * time.Millisecond} {
+		b.Run("jitter="+jitter.String(), func(b *testing.B) {
+			violations := 0
+			for i := 0; i < b.N; i++ {
+				bed, err := experiments.NewBed(topo.Fig1(), experiments.BedConfig{
+					Jitter:  netem.Uniform{Min: 0, Max: jitter},
+					Install: netem.Uniform{Min: 500 * time.Microsecond, Max: 2 * time.Millisecond},
+					Seed:    int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bed.InstallOldPolicy(topo.Fig1OldPath); err != nil {
+					bed.Close()
+					b.Fatal(err)
+				}
+				in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+				prober := trace.NewProber(bed.Fabric, trace.Config{
+					Ingress: 1, NWDst: experiments.FlowNWDst, Waypoint: topo.Fig1Waypoint,
+					Interval: 50 * time.Microsecond,
+				})
+				stop := prober.Start(context.Background())
+				if _, err := bed.RunUpdate(in, core.OneShot(in), 0); err != nil {
+					stop()
+					bed.Close()
+					b.Fatal(err)
+				}
+				violations += stop().Violations()
+				bed.Close()
+			}
+			b.ReportMetric(float64(violations)/float64(b.N), "violations/op")
+		})
+	}
+}
+
+// BenchmarkE8Codec measures the OpenFlow substrate: FlowMod
+// encode/decode round trips (the per-update wire cost).
+func BenchmarkE8Codec(b *testing.B) {
+	fm := &openflow.FlowMod{
+		Match:    openflow.ExactNWDst([]byte{10, 0, 0, 2}),
+		Command:  openflow.FlowModify,
+		Priority: 100,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: 3}},
+	}
+	fm.SetXid(1)
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := openflow.Encode(fm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wire, err := openflow.Encode(fm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := openflow.Decode(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	br := &openflow.BarrierRequest{}
+	br.SetXid(2)
+	b.Run("barrier-roundtrip", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := openflow.Encode(br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := openflow.Decode(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9MultiPolicy schedules k concurrent policies jointly.
+func BenchmarkE9MultiPolicy(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run("k="+itoa(k), func(b *testing.B) {
+			joint := 0
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				instances := make([]*core.Instance, 0, k)
+				for len(instances) < k {
+					ti := topo.RandomTwoPath(rng, 24, false)
+					in := core.MustInstance(ti.Old, ti.New, 0)
+					if in.NumPending() == 0 {
+						continue
+					}
+					instances = append(instances, in)
+				}
+				ju, err := core.NewJointUpdate(instances, core.Peacock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				joint = ju.NumRounds()
+			}
+			b.ReportMetric(float64(joint), "rounds")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,76 @@
+// Command controller runs the SDN controller: an OpenFlow listener for
+// the switches and the REST API accepting the paper's update messages.
+//
+// Usage:
+//
+//	controller -topo fig1 -listen 127.0.0.1:6633 -http 127.0.0.1:8080
+//
+// Then connect a switch fleet (cmd/switchd) and drive updates
+// (cmd/updatectl).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tsu/internal/controller"
+	"tsu/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "controller:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topoSpec = flag.String("topo", "fig1", "topology spec (fig1, linear:N, ring:N, grid:RxC, reversal:N, staircase:N, nested:N)")
+		listen   = flag.String("listen", "127.0.0.1:6633", "OpenFlow listen address")
+		httpAddr = flag.String("http", "127.0.0.1:8080", "REST API listen address")
+		verbose  = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	g, err := topo.FromSpec(*topoSpec)
+	if err != nil {
+		return err
+	}
+	ctrl, err := controller.New(controller.Config{Topology: g, Logger: logger})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ofAddr, err := ctrl.Start(ctx, *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("controller: OpenFlow on %s, topology %s (%d switches)\n", ofAddr, *topoSpec, g.NumNodes())
+
+	srv := &http.Server{Addr: *httpAddr, Handler: ctrl.RESTHandler()}
+	go func() {
+		<-ctx.Done()
+		srv.Close() //nolint:errcheck // shutdown path
+	}()
+	fmt.Printf("controller: REST on http://%s (POST /update, GET /switches, ...)\n", *httpAddr)
+	if err := srv.ListenAndServe(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the reproduction's experiment tables
+// (see EXPERIMENTS.md). Each experiment spins up the full stack —
+// controller, switch fleet over loopback TCP, probes — or the pure
+// algorithm harness, and prints its table.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E4    # one experiment
+//	experiments -seed 7    # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tsu/internal/experiments"
+	"tsu/internal/metrics"
+)
+
+var descriptions = map[string]string{
+	"E1": "Figure 1 demo: WayUp vs one-shot under asynchrony, live probes",
+	"E2": "update time of flow tables (paper's stated evaluation)",
+	"E3": "transient-security violations on random waypoint instances",
+	"E4": "rounds vs n: relaxed (Peacock) vs strong (greedy) loop freedom",
+	"E5": "scheduler computation time vs instance size",
+	"E6": "live update time vs number of switches",
+	"E7": "violation dose-response vs control-channel jitter",
+	"E9": "multi-policy updates: joint vs sequential rounds",
+}
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		seed = flag.Int64("seed", 1, "deterministic seed")
+		reps = flag.Int("reps", 3, "repetitions for timing experiments")
+	)
+	flag.Parse()
+
+	runners := map[string]func() (*metrics.Table, error){
+		"E1": func() (*metrics.Table, error) { return experiments.E1Fig1(*seed) },
+		"E2": func() (*metrics.Table, error) { return experiments.E2UpdateTime(*reps, *seed) },
+		"E3": func() (*metrics.Table, error) { return experiments.E3Violations(50, *seed) },
+		"E4": func() (*metrics.Table, error) { return experiments.E4Rounds(*seed) },
+		"E5": func() (*metrics.Table, error) { return experiments.E5Compute(*seed) },
+		"E6": func() (*metrics.Table, error) { return experiments.E6UpdateTimeVsN(*seed) },
+		"E7": func() (*metrics.Table, error) { return experiments.E7JitterDose(*seed) },
+		"E9": func() (*metrics.Table, error) { return experiments.E9MultiPolicy(*seed) },
+	}
+
+	var ids []string
+	if *run == "" {
+		for id := range runners {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9; E8 is the codec benchmark: go test -bench=E8)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		fmt.Printf("=== %s — %s (seed %d)\n", id, descriptions[id], *seed)
+		start := time.Now()
+		tbl, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(tbl.String())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

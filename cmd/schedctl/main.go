@@ -1,0 +1,167 @@
+// Command schedctl computes and verifies update schedules offline — no
+// controller or switches involved. It is the operator's dry-run tool:
+// given the old route, the new route and an optional waypoint, it
+// prints each algorithm's rounds, the verified guarantees, and any
+// counterexample for the one-shot baseline.
+//
+// Usage:
+//
+//	schedctl -old 1,2,3,4,5,6,12 -new 1,7,8,3,9,10,11,12 -wp 3
+//	schedctl -family reversal:32 -algorithm peacock
+//	schedctl -old 1,2,3 -new 1,3 -algorithm optimal -props relaxed-lf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tsu/internal/core"
+	"tsu/internal/topo"
+	"tsu/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		oldPath   = flag.String("old", "", "old route, comma-separated datapath ids")
+		newPath   = flag.String("new", "", "new route, comma-separated datapath ids")
+		waypoint  = flag.Uint64("wp", 0, "waypoint datapath id (0 = none)")
+		family    = flag.String("family", "", "generate the instance from a family spec (reversal:N, staircase:N, nested:N) instead of -old/-new")
+		algorithm = flag.String("algorithm", "", "one of wayup, peacock, greedy-slf, sequential, oneshot, optimal (default: all applicable)")
+		propsFlag = flag.String("props", "", "verify against these properties instead of the schedule's own guarantees (comma-separated: no-blackhole, waypoint, relaxed-lf, strong-lf)")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*family, *oldPath, *newPath, topo.NodeID(*waypoint))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %s\n", in)
+	fmt.Printf("pending switches (%d): %v\n\n", in.NumPending(), in.Pending())
+
+	props, err := parseProps(*propsFlag)
+	if err != nil {
+		return err
+	}
+
+	algos := []string{"oneshot", "peacock", "greedy-slf", "sequential"}
+	if in.Waypoint != 0 {
+		algos = append(algos, "wayup")
+	}
+	if in.NumPending() <= core.MaxOptimalPending {
+		algos = append(algos, "optimal")
+	}
+	if *algorithm != "" {
+		algos = []string{*algorithm}
+	}
+
+	for _, algo := range algos {
+		sched, err := scheduleBy(in, algo, props)
+		if err != nil {
+			fmt.Printf("%-11s %v\n", algo+":", err)
+			continue
+		}
+		fmt.Printf("%-11s %s\n", algo+":", sched)
+		checkProps := props
+		if checkProps == 0 {
+			checkProps = sched.Guarantees
+		}
+		if checkProps == 0 {
+			// One-shot guarantees nothing; verify it against what the
+			// consistent schedulers provide, so the dry run shows what
+			// would break.
+			checkProps = core.NoBlackhole | core.RelaxedLoopFreedom
+			if in.Waypoint != 0 {
+				checkProps |= core.WaypointEnforcement
+			}
+		}
+		report := verify.Schedule(in, sched, checkProps, verify.Options{})
+		fmt.Printf("            %s\n", report)
+		if cex := report.FirstViolation(); cex != nil {
+			fmt.Printf("            counterexample walk: %v\n", cex.Walk)
+		}
+	}
+	return nil
+}
+
+func buildInstance(family, oldStr, newStr string, wp topo.NodeID) (*core.Instance, error) {
+	if family != "" {
+		inst, ok, err := topo.UpdateFromSpec(family)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%q is not a two-path family spec", family)
+		}
+		return core.NewInstance(inst.Old, inst.New, wp)
+	}
+	old, err := topo.ParsePath(oldStr)
+	if err != nil {
+		return nil, fmt.Errorf("-old: %w", err)
+	}
+	next, err := topo.ParsePath(newStr)
+	if err != nil {
+		return nil, fmt.Errorf("-new: %w", err)
+	}
+	return core.NewInstance(old, next, wp)
+}
+
+func parseProps(s string) (core.Property, error) {
+	if s == "" {
+		return 0, nil
+	}
+	var p core.Property
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "no-blackhole":
+			p |= core.NoBlackhole
+		case "waypoint":
+			p |= core.WaypointEnforcement
+		case "relaxed-lf":
+			p |= core.RelaxedLoopFreedom
+		case "strong-lf":
+			p |= core.StrongLoopFreedom
+		default:
+			return 0, fmt.Errorf("unknown property %q", name)
+		}
+	}
+	return p, nil
+}
+
+func scheduleBy(in *core.Instance, algo string, props core.Property) (*core.Schedule, error) {
+	switch algo {
+	case "wayup":
+		return core.WayUp(in)
+	case "peacock":
+		return core.Peacock(in)
+	case "greedy-slf":
+		return core.GreedySLF(in)
+	case "sequential":
+		p := props
+		if p == 0 {
+			p = core.NoBlackhole | core.RelaxedLoopFreedom
+		}
+		return core.Sequential(in, p)
+	case "oneshot":
+		return core.OneShot(in), nil
+	case "optimal":
+		p := props
+		if p == 0 {
+			p = core.NoBlackhole | core.RelaxedLoopFreedom
+			if in.Waypoint != 0 {
+				p |= core.WaypointEnforcement
+			}
+		}
+		return core.Optimal(in, p)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}

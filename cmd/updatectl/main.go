@@ -1,0 +1,153 @@
+// Command updatectl submits policy updates to the controller's REST API
+// — the client side of the paper's update message — and follows the
+// job's round/barrier progress until completion.
+//
+// Usage:
+//
+//	updatectl -server http://127.0.0.1:8080 \
+//	          -old 1,2,3,4,5,6,12 -new 1,7,8,3,9,10,11,12 -wp 3 \
+//	          -algorithm wayup -nwdst 10.0.0.2 -interval 10ms
+//
+// The old policy must already be installed (see updatectl -install).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"tsu/internal/controller"
+	"tsu/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "updatectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server    = flag.String("server", "http://127.0.0.1:8080", "controller REST base URL")
+		oldPath   = flag.String("old", "", "old route, comma-separated datapath ids")
+		newPath   = flag.String("new", "", "new route, comma-separated datapath ids")
+		waypoint  = flag.Uint64("wp", 0, "waypoint datapath id (0 = none)")
+		algorithm = flag.String("algorithm", "", "wayup | peacock | greedy-slf | oneshot (default: wayup with waypoint, else peacock)")
+		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address")
+		interval  = flag.Duration("interval", 0, "pause between rounds")
+		install   = flag.Bool("install", false, "install -old as the active policy first (POST /policy)")
+		host      = flag.String("host", "", "destination host name for -install (e.g. h2)")
+		cleanup   = flag.Bool("cleanup", false, "append a garbage-collection round deleting stale rules")
+		timeout   = flag.Duration("timeout", 60*time.Second, "completion timeout")
+	)
+	flag.Parse()
+
+	old, err := topo.ParsePath(*oldPath)
+	if err != nil {
+		return fmt.Errorf("-old: %w", err)
+	}
+	next, err := topo.ParsePath(*newPath)
+	if err != nil {
+		return fmt.Errorf("-new: %w", err)
+	}
+
+	if *install {
+		req := controller.PolicyRequest{Path: toUint64(old), NWDst: *nwDst, Host: *host}
+		if err := postJSON(*server+"/policy", req, nil); err != nil {
+			return fmt.Errorf("installing old policy: %w", err)
+		}
+		fmt.Printf("installed old policy %v for %s\n", old, *nwDst)
+	}
+
+	req := controller.UpdateRequest{
+		OldPath:   toUint64(old),
+		NewPath:   toUint64(next),
+		Waypoint:  *waypoint,
+		Interval:  int(interval.Milliseconds()),
+		Algorithm: *algorithm,
+		NWDst:     *nwDst,
+		Cleanup:   *cleanup,
+	}
+	var resp controller.UpdateResponse
+	if err := postJSON(*server+"/update", req, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("job %d accepted: algorithm=%s guarantees=%s rounds=%d\n",
+		resp.ID, resp.Algorithm, resp.Guarantees, len(resp.Rounds))
+	for i, r := range resp.Rounds {
+		fmt.Printf("  round %d: %v\n", i, r)
+	}
+	if resp.Compromise {
+		fmt.Println("  note: loop freedom compromised (waypoint enforcement kept)")
+	}
+
+	deadline := time.Now().Add(*timeout)
+	for {
+		var st controller.JobStatus
+		if err := getJSON(fmt.Sprintf("%s/update/%d", *server, resp.ID), &st); err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			fmt.Printf("job %d done in %dµs\n", st.ID, st.TotalMicros)
+			for _, r := range st.Rounds {
+				fmt.Printf("  round %d: %dµs (%d switches)\n", r.Round, r.Micros, len(r.Switches))
+			}
+			return nil
+		case "failed":
+			return fmt.Errorf("job %d failed: %s", st.ID, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %d still %s after %v", st.ID, st.State, *timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func toUint64(p topo.Path) []uint64 {
+	out := make([]uint64, len(p))
+	for i, n := range p {
+		out[i] = uint64(n)
+	}
+	return out
+}
+
+func postJSON(url string, body, into any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+	}
+	if into != nil {
+		return json.NewDecoder(resp.Body).Decode(into)
+	}
+	return nil
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -1,0 +1,25 @@
+// Package tsu reproduces "Towards Transiently Secure Updates in
+// Asynchronous SDNs" (Shukla, Schütze, Ludwig, Dudycz, Schmid,
+// Feldmann — SIGCOMM 2016): a controller that installs routing-policy
+// updates in barrier-delimited rounds computed by consistency-
+// preserving schedulers (WayUp for waypoint enforcement, Peacock for
+// relaxed loop freedom), so that an asynchronous control channel can
+// never expose a transiently insecure forwarding state.
+//
+// The library lives under internal/:
+//
+//   - internal/core      — update model and schedulers (the paper's contribution)
+//   - internal/verify    — exact transient-state verification
+//   - internal/topo      — topologies, update families, the Figure 1 scenario
+//   - internal/openflow  — OpenFlow 1.0-subset wire protocol
+//   - internal/ofconn    — framing, handshake, xid management
+//   - internal/switchsim — simulated switches and data-plane fabric
+//   - internal/netem     — control-channel asynchrony models
+//   - internal/controller— the controller: rounds, barriers, REST API
+//   - internal/trace     — live probe/violation measurement
+//   - internal/experiments — the experiment harness (E1..E9)
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate every experiment table.
+package tsu

@@ -1,0 +1,52 @@
+// Quickstart: compute and verify a transiently consistent update
+// schedule with the core library — no network involved.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsu/internal/core"
+	"tsu/internal/topo"
+	"tsu/internal/verify"
+)
+
+func main() {
+	// A policy change: traffic moves from the old route to the new
+	// route; both pass the waypoint (switch 3, say a firewall).
+	old := topo.Path{1, 2, 3, 4, 5}
+	new_ := topo.Path{1, 6, 3, 7, 5}
+	instance, err := core.NewInstance(old, new_, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One-shot (what a naive controller does): provably unsafe.
+	oneShot := core.OneShot(instance)
+	report := verify.Schedule(instance, oneShot,
+		core.NoBlackhole|core.WaypointEnforcement|core.RelaxedLoopFreedom, verify.Options{})
+	fmt.Println(report)
+	if cex := report.FirstViolation(); cex != nil {
+		fmt.Printf("  e.g. with %d rules already flipped the walk is %v\n",
+			len(cex.Updated), cex.Walk)
+	}
+
+	// WayUp: rounds separated by barriers, transiently secure.
+	schedule, err := core.WayUp(instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(schedule)
+	report = verify.Guarantees(instance, schedule, verify.Options{})
+	fmt.Println(report)
+
+	// Peacock: relaxed loop freedom when there is no waypoint to guard.
+	peacock, err := core.Peacock(instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(peacock)
+	fmt.Println(verify.Guarantees(instance, peacock, verify.Options{}))
+}

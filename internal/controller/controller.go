@@ -1,0 +1,439 @@
+// Package controller implements the SDN controller of the prototype:
+// the Go counterpart of the paper's Ryu app "ofctl_rest_own.py". It
+// accepts OpenFlow connections from switches, tracks datapaths, and
+// executes policy updates as rounds of FlowMods delimited by barrier
+// request/reply exchanges, exactly as §2 of the paper describes:
+//
+//	"In the current round, there are a set of switches which have to
+//	be updated. The SDN controller retrieves the corresponding
+//	OpenFlow message for every switch in the set and sends them out to
+//	the switches. Later, the SDN controller sends a barrier request to
+//	every switch of the set and waits for barrier replies. For every
+//	barrier reply received by the SDN controller, it determines the
+//	source switch. This switch is removed from the set of switches of
+//	the current round [...]. If the set is empty, the current round
+//	finishes and the SDN controller goes on to process the next round
+//	[...]. If the message object does not have a next round, the SDN
+//	controller deletes the message from the queue and starts
+//	processing the next message."
+//
+// The REST API (rest.go) accepts the paper's update message schema.
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsu/internal/ofconn"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Topology is the shared network map; port numbers for FlowMod
+	// actions are derived from its canonical port map.
+	Topology *topo.Graph
+
+	// FlowPriority is the priority used for policy rules (default 100).
+	FlowPriority uint16
+
+	// RoundTimeout bounds one round's barrier collection (default 30s).
+	RoundTimeout time.Duration
+
+	// Logger receives lifecycle events; nil discards them.
+	Logger *slog.Logger
+}
+
+// Controller accepts switch connections and executes update jobs.
+type Controller struct {
+	cfg    Config
+	ports  *topo.PortMap
+	logger *slog.Logger
+
+	mu        sync.Mutex
+	listener  net.Listener
+	datapaths map[uint64]*datapath
+	dpWaiters []chan struct{}
+
+	flowRemoved atomic.Uint64
+
+	engine *Engine
+}
+
+// datapath is one connected switch.
+type datapath struct {
+	dpid uint64
+	conn *ofconn.Conn
+
+	mu        sync.Mutex
+	barriers  map[uint32]chan struct{}
+	statsWait map[uint32]chan []openflow.FlowStats
+}
+
+// New creates a controller for a topology.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("controller: topology required")
+	}
+	if cfg.FlowPriority == 0 {
+		cfg.FlowPriority = 100
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 30 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	c := &Controller{
+		cfg:       cfg,
+		ports:     topo.NewPortMap(cfg.Topology),
+		logger:    cfg.Logger,
+		datapaths: make(map[uint64]*datapath),
+	}
+	c.engine = newEngine(c)
+	return c, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port), runs the
+// accept loop and the update engine until ctx is cancelled, and returns
+// the bound address.
+func (c *Controller) Start(ctx context.Context, addr string) (string, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("controller: listen: %w", err)
+	}
+	c.mu.Lock()
+	c.listener = ln
+	c.mu.Unlock()
+
+	go func() {
+		<-ctx.Done()
+		ln.Close() //nolint:errcheck // unblocking accept
+	}()
+	go c.acceptLoop(ctx, ln)
+	go c.engine.run(ctx)
+	return ln.Addr().String(), nil
+}
+
+func (c *Controller) acceptLoop(ctx context.Context, ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil {
+				c.logger.Warn("accept failed", "err", err)
+			}
+			return
+		}
+		go c.serveSwitch(ctx, nc)
+	}
+}
+
+func (c *Controller) serveSwitch(ctx context.Context, nc net.Conn) {
+	conn := ofconn.New(nc)
+	features, err := ofconn.HandshakeController(conn)
+	if err != nil {
+		c.logger.Warn("handshake failed", "peer", nc.RemoteAddr().String(), "err", err)
+		conn.Close() //nolint:errcheck // already failing
+		return
+	}
+	dp := &datapath{
+		dpid:      features.DatapathID,
+		conn:      conn,
+		barriers:  make(map[uint32]chan struct{}),
+		statsWait: make(map[uint32]chan []openflow.FlowStats),
+	}
+	c.mu.Lock()
+	if old, dup := c.datapaths[dp.dpid]; dup {
+		old.conn.Close() //nolint:errcheck // superseded connection
+	}
+	c.datapaths[dp.dpid] = dp
+	waiters := c.dpWaiters
+	c.dpWaiters = nil
+	c.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	c.logger.Info("switch connected", "dpid", ofconn.FormatDpid(dp.dpid))
+
+	go func() {
+		<-ctx.Done()
+		conn.Close() //nolint:errcheck // unblocking the reader
+	}()
+	c.readLoop(ctx, dp)
+
+	c.mu.Lock()
+	if c.datapaths[dp.dpid] == dp {
+		delete(c.datapaths, dp.dpid)
+	}
+	c.mu.Unlock()
+	conn.Close() //nolint:errcheck // loop exit
+	c.logger.Info("switch disconnected", "dpid", ofconn.FormatDpid(dp.dpid))
+}
+
+func (c *Controller) readLoop(ctx context.Context, dp *datapath) {
+	for {
+		m, err := dp.conn.ReadMessage()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.logger.Warn("read failed", "dpid", dp.dpid, "err", err)
+			}
+			return
+		}
+		switch msg := m.(type) {
+		case *openflow.BarrierReply:
+			dp.mu.Lock()
+			ch := dp.barriers[msg.Xid()]
+			delete(dp.barriers, msg.Xid())
+			dp.mu.Unlock()
+			if ch != nil {
+				close(ch)
+			}
+		case *openflow.StatsReply:
+			dp.mu.Lock()
+			ch := dp.statsWait[msg.Xid()]
+			delete(dp.statsWait, msg.Xid())
+			dp.mu.Unlock()
+			if ch != nil {
+				ch <- msg.Flows
+			}
+		case *openflow.EchoRequest:
+			reply := &openflow.EchoReply{Data: msg.Data}
+			reply.SetXid(msg.Xid())
+			if err := dp.conn.WriteMessage(reply); err != nil {
+				return
+			}
+		case *openflow.FlowRemoved:
+			c.flowRemoved.Add(1)
+			c.logger.Info("flow removed", "dpid", dp.dpid,
+				"nw_dst", msg.Match.NWDstIP().String(), "reason", msg.Reason)
+		case *openflow.PortStatus:
+			c.logger.Info("port status", "dpid", dp.dpid,
+				"port", msg.Port.PortNo, "reason", msg.Reason)
+		case *openflow.Error:
+			c.logger.Warn("switch reported error", "dpid", dp.dpid, "err", msg.Error())
+		default:
+			c.logger.Warn("unexpected message", "dpid", dp.dpid, "type", m.MsgType().String())
+		}
+	}
+}
+
+// Datapaths returns the connected datapath IDs in ascending order.
+func (c *Controller) Datapaths() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, len(c.datapaths))
+	for dpid := range c.datapaths {
+		out = append(out, dpid)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// WaitForSwitches blocks until at least n switches are connected.
+func (c *Controller) WaitForSwitches(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		have := len(c.datapaths)
+		var waiter chan struct{}
+		if have < n {
+			waiter = make(chan struct{})
+			c.dpWaiters = append(c.dpWaiters, waiter)
+		}
+		c.mu.Unlock()
+		if waiter == nil {
+			return nil
+		}
+		select {
+		case <-waiter:
+		case <-ctx.Done():
+			return fmt.Errorf("controller: waiting for %d switches (%d connected): %w", n, have, ctx.Err())
+		}
+	}
+}
+
+func (c *Controller) datapath(dpid uint64) (*datapath, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dp, ok := c.datapaths[dpid]
+	if !ok {
+		return nil, fmt.Errorf("controller: datapath %d not connected", dpid)
+	}
+	return dp, nil
+}
+
+// SendFlowMod sends a FlowMod to a switch (fire and forget; ordering
+// and completion are enforced with Barrier).
+func (c *Controller) SendFlowMod(dpid uint64, fm *openflow.FlowMod) error {
+	dp, err := c.datapath(dpid)
+	if err != nil {
+		return err
+	}
+	_, err = dp.conn.Send(fm)
+	return err
+}
+
+// Barrier sends a BARRIER_REQUEST to the switch and blocks until its
+// reply arrives (or ctx expires) — the synchronization primitive that
+// ends an update round.
+func (c *Controller) Barrier(ctx context.Context, dpid uint64) error {
+	done, err := c.BarrierAsync(dpid)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("controller: barrier to %d: %w", dpid, ctx.Err())
+	}
+}
+
+// BarrierAsync sends a BARRIER_REQUEST and returns a channel closed
+// when the reply arrives. The engine fans these out to all switches of
+// a round and then waits.
+func (c *Controller) BarrierAsync(dpid uint64) (<-chan struct{}, error) {
+	dp, err := c.datapath(dpid)
+	if err != nil {
+		return nil, err
+	}
+	req := &openflow.BarrierRequest{}
+	req.SetXid(dp.conn.NextXid())
+	done := make(chan struct{})
+	dp.mu.Lock()
+	dp.barriers[req.Xid()] = done
+	dp.mu.Unlock()
+	if err := dp.conn.WriteMessage(req); err != nil {
+		dp.mu.Lock()
+		delete(dp.barriers, req.Xid())
+		dp.mu.Unlock()
+		return nil, err
+	}
+	return done, nil
+}
+
+// FlowStats fetches the switch's flow table contents.
+func (c *Controller) FlowStats(ctx context.Context, dpid uint64) ([]openflow.FlowStats, error) {
+	dp, err := c.datapath(dpid)
+	if err != nil {
+		return nil, err
+	}
+	req := &openflow.StatsRequest{
+		Kind: openflow.StatsFlow,
+		Flow: &openflow.FlowStatsRequest{
+			Match:   openflow.Match{Wildcards: openflow.WildcardAll},
+			TableID: 0xff,
+			OutPort: openflow.PortNone,
+		},
+	}
+	req.SetXid(dp.conn.NextXid())
+	ch := make(chan []openflow.FlowStats, 1)
+	dp.mu.Lock()
+	dp.statsWait[req.Xid()] = ch
+	dp.mu.Unlock()
+	if err := dp.conn.WriteMessage(req); err != nil {
+		dp.mu.Lock()
+		delete(dp.statsWait, req.Xid())
+		dp.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case flows := <-ch:
+		return flows, nil
+	case <-ctx.Done():
+		dp.mu.Lock()
+		delete(dp.statsWait, req.Xid())
+		dp.mu.Unlock()
+		return nil, fmt.Errorf("controller: flow stats from %d: %w", dpid, ctx.Err())
+	}
+}
+
+// PathFlowMod builds the FlowMod that makes switch `node` forward the
+// flow toward `succ` (a neighboring switch on the path).
+func (c *Controller) PathFlowMod(node, succ topo.NodeID, match openflow.Match, cmd openflow.FlowModCommand) (*openflow.FlowMod, error) {
+	port := c.ports.Port(node, succ)
+	if port == 0 {
+		return nil, fmt.Errorf("controller: no port from %d to %d in topology", node, succ)
+	}
+	return &openflow.FlowMod{
+		Match:    match,
+		Command:  cmd,
+		Priority: c.cfg.FlowPriority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: port}},
+	}, nil
+}
+
+// HostFlowMod builds the FlowMod that makes the destination switch
+// deliver the flow to its attached host.
+func (c *Controller) HostFlowMod(node topo.NodeID, host string, match openflow.Match, cmd openflow.FlowModCommand) (*openflow.FlowMod, error) {
+	port, ok := c.ports.HostPort[node][host]
+	if !ok {
+		return nil, fmt.Errorf("controller: host %q not attached to switch %d", host, node)
+	}
+	return &openflow.FlowMod{
+		Match:    match,
+		Command:  cmd,
+		Priority: c.cfg.FlowPriority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: port}},
+	}, nil
+}
+
+// InstallPath installs the flow's rules along a path: every switch
+// forwards to its successor and the final switch delivers to host. It
+// barriers every touched switch before returning, so the policy is
+// fully active afterwards.
+func (c *Controller) InstallPath(ctx context.Context, path topo.Path, match openflow.Match, host string) error {
+	if err := path.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(path); i++ {
+		fm, err := c.PathFlowMod(path[i], path[i+1], match, openflow.FlowAdd)
+		if err != nil {
+			return err
+		}
+		if err := c.SendFlowMod(uint64(path[i]), fm); err != nil {
+			return err
+		}
+	}
+	if host != "" {
+		fm, err := c.HostFlowMod(path.Dst(), host, match, openflow.FlowAdd)
+		if err != nil {
+			return err
+		}
+		if err := c.SendFlowMod(uint64(path.Dst()), fm); err != nil {
+			return err
+		}
+	}
+	for _, n := range path {
+		if err := c.Barrier(ctx, uint64(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Engine returns the update engine (job queue).
+func (c *Controller) Engine() *Engine { return c.engine }
+
+// Ports exposes the canonical port map.
+func (c *Controller) Ports() *topo.PortMap { return c.ports }
+
+// FlowRemovedCount returns how many FLOW_REMOVED notifications have
+// arrived across all switches (entries expiring by idle/hard timeout).
+func (c *Controller) FlowRemovedCount() uint64 { return c.flowRemoved.Load() }

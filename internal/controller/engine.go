@@ -1,0 +1,436 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+)
+
+// JobState is the lifecycle of an update job.
+type JobState int
+
+const (
+	// JobQueued: waiting in the engine's message queue.
+	JobQueued JobState = iota
+	// JobRunning: rounds in flight.
+	JobRunning
+	// JobDone: all rounds confirmed by barriers.
+	JobDone
+	// JobFailed: a round failed (send error or barrier timeout).
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// RoundTiming records one executed round: which switches were touched
+// and how long the round took from first FlowMod sent to last barrier
+// reply received — the paper's "update time of flow tables" metric,
+// measured per round.
+type RoundTiming struct {
+	Round    int
+	Switches []topo.NodeID
+	FlowMods int
+	Cleanup  bool // true for the stale-rule garbage-collection round
+	Started  time.Time
+	Finished time.Time
+}
+
+// Duration returns the round's wall-clock time.
+func (rt RoundTiming) Duration() time.Duration { return rt.Finished.Sub(rt.Started) }
+
+// targetedMod is one FlowMod addressed to one switch.
+type targetedMod struct {
+	node topo.NodeID
+	fm   *openflow.FlowMod
+}
+
+// execRound is a fully materialized round: the FlowMods to send and
+// the switches to barrier afterwards.
+type execRound struct {
+	mods    []targetedMod
+	cleanup bool
+}
+
+func (r *execRound) switches() []topo.NodeID {
+	seen := make(map[topo.NodeID]bool, len(r.mods))
+	var out []topo.NodeID
+	for _, m := range r.mods {
+		if !seen[m.node] {
+			seen[m.node] = true
+			out = append(out, m.node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Job is one queued update: the REST message object of the paper,
+// carrying the per-switch OpenFlow messages for every round.
+type Job struct {
+	ID        int
+	Algorithm string
+	Interval  time.Duration // pause between rounds (REST "interval")
+
+	rounds []execRound
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	timings  []RoundTiming
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// NumRounds returns the number of rounds the job will execute
+// (including a cleanup round, when requested).
+func (j *Job) NumRounds() int { return len(j.rounds) }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the failure cause for JobFailed jobs.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Timings returns the per-round timings recorded so far.
+func (j *Job) Timings() []RoundTiming {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]RoundTiming, len(j.timings))
+	copy(out, j.timings)
+	return out
+}
+
+// TotalDuration returns the job's wall-clock time from first round
+// start to last barrier (zero while unfinished).
+func (j *Job) TotalDuration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// Wait blocks until the job reaches JobDone or JobFailed (or ctx ends).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SubmitOptions tunes job construction.
+type SubmitOptions struct {
+	// Interval pauses between rounds (the REST message's "interval").
+	Interval time.Duration
+
+	// Cleanup appends a garbage-collection round after the update:
+	// switches on the old path that are off the new path delete the
+	// flow's stale rule. Those switches are unreachable for the flow
+	// once the update completes, so the extra round cannot violate any
+	// transient property.
+	Cleanup bool
+}
+
+// Engine is the controller's update message queue: jobs execute
+// strictly one at a time, each as a sequence of barrier-delimited
+// rounds (§2 of the paper).
+type Engine struct {
+	c *Controller
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[int]*Job
+	queue  chan *Job
+}
+
+func newEngine(c *Controller) *Engine {
+	return &Engine{c: c, jobs: make(map[int]*Job), queue: make(chan *Job, 128)}
+}
+
+// Submit enqueues a single-policy update job for the instance using
+// the given schedule; the flow is identified by match.
+func (e *Engine) Submit(in *core.Instance, s *core.Schedule, match openflow.Match, interval time.Duration) (*Job, error) {
+	return e.SubmitOpts(in, s, match, SubmitOptions{Interval: interval})
+}
+
+// SubmitOpts is Submit with full options.
+func (e *Engine) SubmitOpts(in *core.Instance, s *core.Schedule, match openflow.Match, opts SubmitOptions) (*Job, error) {
+	if err := s.Validate(in); err != nil {
+		return nil, fmt.Errorf("controller: schedule does not fit instance: %w", err)
+	}
+	rounds := make([]execRound, 0, s.NumRounds()+1)
+	for _, round := range s.Rounds {
+		var r execRound
+		for _, node := range round {
+			fm, err := e.updateFlowMod(in, node, match)
+			if err != nil {
+				return nil, err
+			}
+			r.mods = append(r.mods, targetedMod{node: node, fm: fm})
+		}
+		rounds = append(rounds, r)
+	}
+	if opts.Cleanup {
+		if r, ok := cleanupRound(in, match); ok {
+			rounds = append(rounds, r)
+		}
+	}
+	return e.enqueue(s.Algorithm, rounds, opts.Interval)
+}
+
+// SubmitJoint enqueues several policies as one job: per joint round,
+// every flow's FlowMods for that round are sent together (switches
+// shared by multiple flows receive their batch in one burst), then the
+// union of touched switches is barriered once.
+func (e *Engine) SubmitJoint(ju *core.JointUpdate, matches []openflow.Match, opts SubmitOptions) (*Job, error) {
+	if len(matches) != len(ju.Instances) {
+		return nil, fmt.Errorf("controller: %d matches for %d policies", len(matches), len(ju.Instances))
+	}
+	for f, in := range ju.Instances {
+		if err := ju.Schedules[f].Validate(in); err != nil {
+			return nil, fmt.Errorf("controller: policy %d: %w", f, err)
+		}
+	}
+	numRounds := ju.NumRounds()
+	rounds := make([]execRound, 0, numRounds+1)
+	for i := 0; i < numRounds; i++ {
+		var r execRound
+		// Deterministic order: by switch, then by flow.
+		byNode := ju.Round(i)
+		nodes := make([]topo.NodeID, 0, len(byNode))
+		for n := range byNode {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		for _, n := range nodes {
+			for _, fu := range byNode[n] {
+				fm, err := e.updateFlowMod(ju.Instances[fu.Flow], n, matches[fu.Flow])
+				if err != nil {
+					return nil, err
+				}
+				r.mods = append(r.mods, targetedMod{node: n, fm: fm})
+			}
+		}
+		rounds = append(rounds, r)
+	}
+	if opts.Cleanup {
+		var cr execRound
+		for f, in := range ju.Instances {
+			if r, ok := cleanupRound(in, matches[f]); ok {
+				cr.mods = append(cr.mods, r.mods...)
+			}
+		}
+		if len(cr.mods) > 0 {
+			cr.cleanup = true
+			rounds = append(rounds, cr)
+		}
+	}
+	return e.enqueue("joint-"+ju.Schedules[0].Algorithm, rounds, opts.Interval)
+}
+
+// updateFlowMod builds the round FlowMod for one switch of one flow:
+// point the flow at the switch's new-path successor. MODIFY is used
+// (the rule exists under the old policy); for new-path-only switches
+// the OF 1.0 MODIFY semantics insert the missing rule.
+func (e *Engine) updateFlowMod(in *core.Instance, node topo.NodeID, match openflow.Match) (*openflow.FlowMod, error) {
+	succ, ok := in.NewSucc(node)
+	if !ok {
+		return nil, fmt.Errorf("switch %d has no new-path successor", node)
+	}
+	return e.c.PathFlowMod(node, succ, match, openflow.FlowModify)
+}
+
+// cleanupRound builds the garbage-collection round: delete the flow's
+// rule from old-path switches that are off the new path.
+func cleanupRound(in *core.Instance, match openflow.Match) (execRound, bool) {
+	var r execRound
+	for _, node := range in.Old {
+		if in.OnNew(node) {
+			continue
+		}
+		fm := &openflow.FlowMod{
+			Match:    match,
+			Command:  openflow.FlowDelete,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortNone,
+		}
+		r.mods = append(r.mods, targetedMod{node: node, fm: fm})
+	}
+	if len(r.mods) == 0 {
+		return execRound{}, false
+	}
+	r.cleanup = true
+	return r, true
+}
+
+func (e *Engine) enqueue(algorithm string, rounds []execRound, interval time.Duration) (*Job, error) {
+	e.mu.Lock()
+	e.nextID++
+	job := &Job{
+		ID:        e.nextID,
+		Algorithm: algorithm,
+		Interval:  interval,
+		rounds:    rounds,
+		done:      make(chan struct{}),
+	}
+	e.jobs[job.ID] = job
+	e.mu.Unlock()
+	select {
+	case e.queue <- job:
+		return job, nil
+	default:
+		e.mu.Lock()
+		delete(e.jobs, job.ID)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("controller: update queue full")
+	}
+}
+
+// Job looks a job up by ID.
+func (e *Engine) Job(id int) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all known jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, 0, len(e.jobs))
+	for id := 1; id <= e.nextID; id++ {
+		if j, ok := e.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// run processes the queue until ctx is cancelled.
+func (e *Engine) run(ctx context.Context) {
+	for {
+		select {
+		case job := <-e.queue:
+			e.execute(ctx, job)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// execute runs one job's rounds. For every round it sends each
+// switch's FlowMod(s), then a barrier request to every switch of the
+// round, and only proceeds when every barrier reply has arrived —
+// synchronizing the asynchronous channel at round granularity. This is
+// precisely the loop §2 of the paper narrates, including removing each
+// switch from the waiting set as its barrier reply arrives.
+func (e *Engine) execute(ctx context.Context, job *Job) {
+	job.mu.Lock()
+	job.state = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	fail := func(err error) {
+		job.mu.Lock()
+		job.state = JobFailed
+		job.err = err
+		job.finished = time.Now()
+		job.mu.Unlock()
+		close(job.done)
+		e.c.logger.Warn("update job failed", "job", job.ID, "err", err)
+	}
+
+	for roundIdx, round := range job.rounds {
+		switches := round.switches()
+		timing := RoundTiming{
+			Round:    roundIdx,
+			Switches: switches,
+			Cleanup:  round.cleanup,
+			Started:  time.Now(),
+		}
+
+		// 1. Send every FlowMod of the round.
+		for _, tm := range round.mods {
+			if err := e.c.SendFlowMod(uint64(tm.node), tm.fm); err != nil {
+				fail(fmt.Errorf("round %d: sending flowmod to %d: %w", roundIdx, tm.node, err))
+				return
+			}
+			timing.FlowMods++
+		}
+
+		// 2. Barrier every touched switch; remove a switch from the
+		// waiting set as its reply arrives.
+		waits := make(map[topo.NodeID]<-chan struct{}, len(switches))
+		for _, node := range switches {
+			done, err := e.c.BarrierAsync(uint64(node))
+			if err != nil {
+				fail(fmt.Errorf("round %d: barrier to %d: %w", roundIdx, node, err))
+				return
+			}
+			waits[node] = done
+		}
+		roundCtx, cancel := context.WithTimeout(ctx, e.c.cfg.RoundTimeout)
+		for node, done := range waits {
+			select {
+			case <-done:
+			case <-roundCtx.Done():
+				cancel()
+				fail(fmt.Errorf("round %d: barrier reply from %d: %w", roundIdx, node, roundCtx.Err()))
+				return
+			}
+		}
+		cancel()
+		timing.Finished = time.Now()
+
+		job.mu.Lock()
+		job.timings = append(job.timings, timing)
+		job.mu.Unlock()
+
+		if job.Interval > 0 && roundIdx+1 < len(job.rounds) {
+			select {
+			case <-time.After(job.Interval):
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+		}
+	}
+
+	job.mu.Lock()
+	job.state = JobDone
+	job.finished = time.Now()
+	job.mu.Unlock()
+	close(job.done)
+	e.c.logger.Info("update job done", "job", job.ID, "rounds", len(job.rounds))
+}

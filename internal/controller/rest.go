@@ -1,0 +1,364 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+)
+
+// UpdateRequest is the REST message of the paper (§2): header fields
+// naming the old route, the new route, the waypoint and the inter-round
+// interval, plus the algorithm selector and the flow identity
+// (destination address) this reproduction adds explicitly. Paths list
+// datapath numbers "in the way they are passed by the network packets
+// along the route".
+type UpdateRequest struct {
+	OldPath  []uint64 `json:"oldpath"`
+	NewPath  []uint64 `json:"newpath"`
+	Waypoint uint64   `json:"wp,omitempty"`
+	Interval int      `json:"interval,omitempty"` // milliseconds between rounds
+	// Algorithm selects the scheduler: "wayup" (default when wp is
+	// set), "peacock" (default otherwise), "greedy-slf", "oneshot", or
+	// "two-phase" (tagged per-packet consistency).
+	Algorithm string `json:"algorithm,omitempty"`
+	// NWDst identifies the flow (IPv4 destination), e.g. "10.0.0.2".
+	NWDst string `json:"nw_dst"`
+	// Cleanup appends a garbage-collection round deleting the old
+	// policy's stale rules.
+	Cleanup bool `json:"cleanup,omitempty"`
+}
+
+// UpdateResponse reports the accepted job.
+type UpdateResponse struct {
+	ID         int        `json:"id"`
+	Algorithm  string     `json:"algorithm"`
+	Rounds     [][]uint64 `json:"rounds"`
+	Guarantees string     `json:"guarantees"`
+	Compromise bool       `json:"loop_freedom_compromised,omitempty"`
+}
+
+// JobStatus reports a job's progress.
+type JobStatus struct {
+	ID          int           `json:"id"`
+	State       string        `json:"state"`
+	Algorithm   string        `json:"algorithm"`
+	Error       string        `json:"error,omitempty"`
+	TotalMicros int64         `json:"total_us"`
+	Rounds      []RoundStatus `json:"rounds"`
+}
+
+// RoundStatus reports one executed round.
+type RoundStatus struct {
+	Round    int      `json:"round"`
+	Switches []uint64 `json:"switches"`
+	Micros   int64    `json:"us"`
+}
+
+// FlowEntryRequest is the ofctl_rest-style single-rule request
+// (POST /stats/flowentry/add|modify|delete), the base app the paper's
+// own app extends.
+type FlowEntryRequest struct {
+	Dpid     uint64 `json:"dpid"`
+	Priority uint16 `json:"priority,omitempty"`
+	Match    struct {
+		NWDst string `json:"nw_dst"`
+	} `json:"match"`
+	Actions []struct {
+		Type string `json:"type"`
+		Port uint16 `json:"port"`
+	} `json:"actions"`
+}
+
+// PolicyRequest installs a complete routing policy along a path: every
+// switch forwards the flow to its successor, and the final switch
+// delivers to the named host (optional). This is how the old policy is
+// brought up before an update (the controller owns the topology's port
+// map, so clients need not).
+type PolicyRequest struct {
+	Path  []uint64 `json:"path"`
+	NWDst string   `json:"nw_dst"`
+	Host  string   `json:"host,omitempty"`
+}
+
+// RESTHandler serves the controller's HTTP API.
+func (c *Controller) RESTHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /update", c.handleUpdate)
+	mux.HandleFunc("GET /update/{id}", c.handleJobStatus)
+	mux.HandleFunc("GET /updates", c.handleJobs)
+	mux.HandleFunc("GET /switches", c.handleSwitches)
+	mux.HandleFunc("POST /policy", c.handlePolicy)
+	mux.HandleFunc("POST /stats/flowentry/{op}", c.handleFlowEntry)
+	mux.HandleFunc("GET /stats/flow/{dpid}", c.handleFlowStats)
+	return mux
+}
+
+func (c *Controller) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var req PolicyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ip := net.ParseIP(req.NWDst)
+	if ip == nil || ip.To4() == nil {
+		httpError(w, http.StatusBadRequest, "nw_dst %q is not an IPv4 address", req.NWDst)
+		return
+	}
+	path := toNodePath(req.Path)
+	if err := path.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid path: %v", err)
+		return
+	}
+	if err := c.InstallPath(r.Context(), path, openflow.ExactNWDst(ip), req.Host); err != nil {
+		httpError(w, http.StatusBadGateway, "installing policy: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"result": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // response writer errors are the client's problem
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func toNodePath(ids []uint64) topo.Path {
+	p := make(topo.Path, len(ids))
+	for i, v := range ids {
+		p[i] = topo.NodeID(v)
+	}
+	return p
+}
+
+func fromNodeRounds(rounds [][]topo.NodeID) [][]uint64 {
+	out := make([][]uint64, len(rounds))
+	for i, r := range rounds {
+		out[i] = make([]uint64, len(r))
+		for j, n := range r {
+			out[i][j] = uint64(n)
+		}
+	}
+	return out
+}
+
+// ScheduleFor builds the schedule for an instance using the named
+// algorithm ("" picks wayup when a waypoint is present, else peacock).
+func ScheduleFor(in *core.Instance, algorithm string) (*core.Schedule, error) {
+	if algorithm == "" {
+		if in.Waypoint != 0 {
+			algorithm = "wayup"
+		} else {
+			algorithm = "peacock"
+		}
+	}
+	switch algorithm {
+	case "wayup":
+		return core.WayUp(in)
+	case "peacock":
+		return core.Peacock(in)
+	case "greedy-slf":
+		return core.GreedySLF(in)
+	case "oneshot":
+		return core.OneShot(in), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+}
+
+func (c *Controller) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ip := net.ParseIP(req.NWDst)
+	if ip == nil || ip.To4() == nil {
+		httpError(w, http.StatusBadRequest, "nw_dst %q is not an IPv4 address", req.NWDst)
+		return
+	}
+	in, err := core.NewInstance(toNodePath(req.OldPath), toNodePath(req.NewPath), topo.NodeID(req.Waypoint))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid update: %v", err)
+		return
+	}
+	opts := SubmitOptions{Interval: time.Duration(req.Interval) * time.Millisecond, Cleanup: req.Cleanup}
+
+	if req.Algorithm == "two-phase" {
+		job, err := c.engine.SubmitTwoPhase(in, openflow.ExactNWDst(ip), TwoPhaseTag, opts)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, UpdateResponse{
+			ID:         job.ID,
+			Algorithm:  "two-phase",
+			Guarantees: "PerPacketConsistency",
+		})
+		return
+	}
+
+	sched, err := ScheduleFor(in, req.Algorithm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "scheduling failed: %v", err)
+		return
+	}
+	job, err := c.engine.SubmitOpts(in, sched, openflow.ExactNWDst(ip), opts)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, UpdateResponse{
+		ID:         job.ID,
+		Algorithm:  sched.Algorithm,
+		Rounds:     fromNodeRounds(sched.Rounds),
+		Guarantees: sched.Guarantees.String(),
+		Compromise: sched.LoopFreedomCompromised,
+	})
+}
+
+// TwoPhaseTag is the VLAN id the REST layer uses to mark the new
+// policy version in two-phase updates.
+const TwoPhaseTag uint16 = 2016
+
+func jobStatus(job *Job) JobStatus {
+	st := JobStatus{
+		ID:          job.ID,
+		State:       job.State().String(),
+		Algorithm:   job.Algorithm,
+		TotalMicros: job.TotalDuration().Microseconds(),
+	}
+	if err := job.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	for _, t := range job.Timings() {
+		sw := make([]uint64, len(t.Switches))
+		for i, n := range t.Switches {
+			sw[i] = uint64(n)
+		}
+		st.Rounds = append(st.Rounds, RoundStatus{Round: t.Round, Switches: sw, Micros: t.Duration().Microseconds()})
+	}
+	return st
+}
+
+func (c *Controller) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	job, ok := c.engine.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %d unknown", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(job))
+}
+
+func (c *Controller) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := c.engine.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, jobStatus(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Controller) handleSwitches(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Datapaths())
+}
+
+func (c *Controller) handleFlowEntry(w http.ResponseWriter, r *http.Request) {
+	op := r.PathValue("op")
+	var cmd openflow.FlowModCommand
+	switch op {
+	case "add":
+		cmd = openflow.FlowAdd
+	case "modify":
+		cmd = openflow.FlowModify
+	case "delete":
+		cmd = openflow.FlowDelete
+	default:
+		httpError(w, http.StatusNotFound, "unknown flowentry op %q", op)
+		return
+	}
+	var req FlowEntryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ip := net.ParseIP(req.Match.NWDst)
+	if ip == nil || ip.To4() == nil {
+		httpError(w, http.StatusBadRequest, "match.nw_dst %q is not an IPv4 address", req.Match.NWDst)
+		return
+	}
+	fm := &openflow.FlowMod{
+		Match:    openflow.ExactNWDst(ip),
+		Command:  cmd,
+		Priority: req.Priority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}
+	if fm.Priority == 0 {
+		fm.Priority = c.cfg.FlowPriority
+	}
+	for _, a := range req.Actions {
+		if a.Type != "OUTPUT" {
+			httpError(w, http.StatusBadRequest, "unsupported action type %q", a.Type)
+			return
+		}
+		fm.Actions = append(fm.Actions, openflow.ActionOutput{Port: a.Port})
+	}
+	if err := c.SendFlowMod(req.Dpid, fm); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err := c.Barrier(r.Context(), req.Dpid); err != nil {
+		httpError(w, http.StatusGatewayTimeout, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"result": "ok"})
+}
+
+func (c *Controller) handleFlowStats(w http.ResponseWriter, r *http.Request) {
+	dpid, err := strconv.ParseUint(r.PathValue("dpid"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad dpid %q", r.PathValue("dpid"))
+		return
+	}
+	flows, err := c.FlowStats(r.Context(), dpid)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	type entry struct {
+		Priority uint16 `json:"priority"`
+		NWDst    string `json:"nw_dst"`
+		OutPort  uint16 `json:"out_port"`
+		Packets  uint64 `json:"packet_count"`
+	}
+	out := make([]entry, 0, len(flows))
+	for _, f := range flows {
+		e := entry{Priority: f.Priority, NWDst: f.Match.NWDstIP().String(), Packets: f.PacketCount}
+		for _, a := range f.Actions {
+			if o, ok := a.(openflow.ActionOutput); ok {
+				e.OutPort = o.Port
+				break
+			}
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,321 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/switchsim"
+	"tsu/internal/topo"
+)
+
+func restTestbed(t *testing.T) (*testbed, *httptest.Server) {
+	t.Helper()
+	tb := newTestbed(t, topo.Fig1(), nil)
+	srv := httptest.NewServer(tb.ctrl.RESTHandler())
+	t.Cleanup(srv.Close)
+	return tb, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRESTFullUpdateFlow(t *testing.T) {
+	tb, srv := restTestbed(t)
+
+	// Install the old policy via the ofctl_rest-style endpoints, hop by
+	// hop — the way the original app would be driven.
+	pm := tb.ctrl.Ports()
+	for i := 0; i+1 < len(topo.Fig1OldPath); i++ {
+		node, succ := topo.Fig1OldPath[i], topo.Fig1OldPath[i+1]
+		req := map[string]any{
+			"dpid":     uint64(node),
+			"priority": 100,
+			"match":    map[string]string{"nw_dst": "10.0.0.2"},
+			"actions":  []map[string]any{{"type": "OUTPUT", "port": pm.Port(node, succ)}},
+		}
+		resp, body := postJSON(t, srv.URL+"/stats/flowentry/add", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flowentry/add %d: %d %s", node, resp.StatusCode, body)
+		}
+	}
+	hostReq := map[string]any{
+		"dpid":    uint64(12),
+		"match":   map[string]string{"nw_dst": "10.0.0.2"},
+		"actions": []map[string]any{{"type": "OUTPUT", "port": pm.HostPort[12]["h2"]}},
+	}
+	if resp, body := postJSON(t, srv.URL+"/stats/flowentry/add", hostReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("host flowentry: %d %s", resp.StatusCode, body)
+	}
+
+	// Submit the paper's update message.
+	update := UpdateRequest{
+		OldPath:  []uint64{1, 2, 3, 4, 5, 6, 12},
+		NewPath:  []uint64{1, 7, 8, 3, 9, 10, 11, 12},
+		Waypoint: 3,
+		Interval: 0,
+		NWDst:    "10.0.0.2",
+	}
+	resp, body := postJSON(t, srv.URL+"/update", update)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("update: %d %s", resp.StatusCode, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Algorithm != "wayup" {
+		t.Fatalf("default algorithm = %q, want wayup (waypoint present)", ur.Algorithm)
+	}
+	if len(ur.Rounds) == 0 {
+		t.Fatal("no rounds returned")
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(15 * time.Second)
+	var st JobStatus
+	for {
+		if code := getJSON(t, fmt.Sprintf("%s/update/%d", srv.URL, ur.ID), &st); code != http.StatusOK {
+			t.Fatalf("status code %d", code)
+		}
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job failed: %+v", st)
+	}
+	if len(st.Rounds) != len(ur.Rounds) {
+		t.Fatalf("status rounds %d, schedule rounds %d", len(st.Rounds), len(ur.Rounds))
+	}
+	if st.TotalMicros <= 0 {
+		t.Fatal("total time missing")
+	}
+
+	// Data plane follows the new path now.
+	res := tb.fabric.Inject(1, nwDstOf("10.0.0.2"), 64)
+	if res.Outcome != switchsim.ProbeDelivered || !res.Visited.Equal(topo.Fig1NewPath) {
+		t.Fatalf("post-REST-update probe = %+v", res)
+	}
+
+	// Flow table dump via REST.
+	var entries []map[string]any
+	if code := getJSON(t, srv.URL+"/stats/flow/1", &entries); code != http.StatusOK {
+		t.Fatalf("stats/flow code %d", code)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("switch 1 entries = %v", entries)
+	}
+
+	// Job list.
+	var jobs []JobStatus
+	if code := getJSON(t, srv.URL+"/updates", &jobs); code != http.StatusOK || len(jobs) != 1 {
+		t.Fatalf("updates list: code %d, %v", code, jobs)
+	}
+
+	// Switch list.
+	var dpids []uint64
+	if code := getJSON(t, srv.URL+"/switches", &dpids); code != http.StatusOK || len(dpids) != 12 {
+		t.Fatalf("switches: code %d, %v", code, dpids)
+	}
+}
+
+func TestRESTValidation(t *testing.T) {
+	_, srv := restTestbed(t)
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"bad-json", "/update", "{", http.StatusBadRequest},
+		{"bad-ip", "/update", UpdateRequest{OldPath: []uint64{1, 2}, NewPath: []uint64{1, 2}, NWDst: "nope"}, http.StatusBadRequest},
+		{"bad-paths", "/update", UpdateRequest{OldPath: []uint64{1}, NewPath: []uint64{1, 2}, NWDst: "10.0.0.2"}, http.StatusBadRequest},
+		{"bad-algo", "/update", UpdateRequest{OldPath: []uint64{1, 2, 3, 4, 5, 6, 12}, NewPath: []uint64{1, 7, 8, 3, 9, 10, 11, 12}, NWDst: "10.0.0.2", Algorithm: "magic"}, http.StatusBadRequest},
+		{"wayup-needs-wp", "/update", UpdateRequest{OldPath: []uint64{1, 2, 3, 4, 5, 6, 12}, NewPath: []uint64{1, 7, 8, 3, 9, 10, 11, 12}, NWDst: "10.0.0.2", Algorithm: "wayup"}, http.StatusBadRequest},
+		{"flowentry-bad-op", "/stats/flowentry/fry", FlowEntryRequest{}, http.StatusNotFound},
+		{"flowentry-bad-ip", "/stats/flowentry/add", map[string]any{"dpid": 1, "match": map[string]string{"nw_dst": "x"}}, http.StatusBadRequest},
+		{"flowentry-bad-action", "/stats/flowentry/add", map[string]any{"dpid": 1, "match": map[string]string{"nw_dst": "10.0.0.2"}, "actions": []map[string]any{{"type": "DROP"}}}, http.StatusBadRequest},
+		{"flowentry-unknown-dpid", "/stats/flowentry/add", map[string]any{"dpid": 99, "match": map[string]string{"nw_dst": "10.0.0.2"}, "actions": []map[string]any{{"type": "OUTPUT", "port": 1}}}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if s, isRaw := c.body.(string); isRaw {
+				r, err := http.Post(srv.URL+c.url, "application/json", bytes.NewReader([]byte(s)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Body.Close()
+				resp = r
+			} else {
+				resp, body = postJSON(t, srv.URL+c.url, c.body)
+			}
+			if resp.StatusCode != c.want {
+				t.Fatalf("%s: code = %d (%s), want %d", c.url, resp.StatusCode, body, c.want)
+			}
+		})
+	}
+}
+
+func TestRESTJobLookupErrors(t *testing.T) {
+	_, srv := restTestbed(t)
+	if code := getJSON(t, srv.URL+"/update/999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job code = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/update/abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad job id code = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/stats/flow/xyz", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad dpid code = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/stats/flow/77", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown dpid code = %d", code)
+	}
+}
+
+func TestScheduleForSelection(t *testing.T) {
+	inWP := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	s, err := ScheduleFor(inWP, "")
+	if err != nil || s.Algorithm != "wayup" {
+		t.Fatalf("default with wp = %v, %v", s, err)
+	}
+	inNoWP := core.MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 3}, 0)
+	s, err = ScheduleFor(inNoWP, "")
+	if err != nil || s.Algorithm != "peacock" {
+		t.Fatalf("default without wp = %v, %v", s, err)
+	}
+	for _, algo := range []string{"wayup", "peacock", "greedy-slf", "oneshot"} {
+		in := inWP
+		s, err := ScheduleFor(in, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if s.Algorithm != algo {
+			t.Fatalf("algorithm = %q, want %q", s.Algorithm, algo)
+		}
+	}
+	if _, err := ScheduleFor(inWP, "nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRESTPolicyInstall(t *testing.T) {
+	tb, srv := restTestbed(t)
+	req := PolicyRequest{Path: []uint64{1, 2, 3, 4, 5, 6, 12}, NWDst: FlowIPForTest, Host: "h2"}
+	resp, body := postJSON(t, srv.URL+"/policy", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy: %d %s", resp.StatusCode, body)
+	}
+	res := tb.fabric.Inject(1, nwDstOf(FlowIPForTest), 64)
+	if res.Outcome != switchsim.ProbeDelivered || res.Host != "h2" {
+		t.Fatalf("probe after policy install = %+v", res)
+	}
+	// Validation errors.
+	for name, bad := range map[string]PolicyRequest{
+		"bad-ip":    {Path: []uint64{1, 2}, NWDst: "x"},
+		"bad-path":  {Path: []uint64{1}, NWDst: FlowIPForTest},
+		"bad-host":  {Path: []uint64{1, 2}, NWDst: FlowIPForTest, Host: "nope"},
+		"bad-links": {Path: []uint64{1, 12}, NWDst: FlowIPForTest},
+	} {
+		resp, _ := postJSON(t, srv.URL+"/policy", bad)
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestRESTTwoPhaseAndCleanup(t *testing.T) {
+	tb, srv := restTestbed(t)
+	// Old policy via /policy.
+	req := PolicyRequest{Path: []uint64{1, 2, 3, 4, 5, 6, 12}, NWDst: FlowIPForTest, Host: "h2"}
+	if resp, body := postJSON(t, srv.URL+"/policy", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy: %d %s", resp.StatusCode, body)
+	}
+	update := UpdateRequest{
+		OldPath:   []uint64{1, 2, 3, 4, 5, 6, 12},
+		NewPath:   []uint64{1, 7, 8, 3, 9, 10, 11, 12},
+		Waypoint:  3,
+		Algorithm: "two-phase",
+		NWDst:     FlowIPForTest,
+		Cleanup:   true,
+	}
+	resp, body := postJSON(t, srv.URL+"/update", update)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("two-phase update: %d %s", resp.StatusCode, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Algorithm != "two-phase" || ur.Guarantees != "PerPacketConsistency" {
+		t.Fatalf("response = %+v", ur)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var st JobStatus
+		if code := getJSON(t, fmt.Sprintf("%s/update/%d", srv.URL, ur.ID), &st); code != http.StatusOK {
+			t.Fatalf("status code %d", code)
+		}
+		if st.State == "done" {
+			if len(st.Rounds) != 3 { // prepare, commit, cleanup
+				t.Fatalf("rounds = %d, want 3", len(st.Rounds))
+			}
+			break
+		}
+		if st.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res := tb.fabric.Inject(1, nwDstOf(FlowIPForTest), 64)
+	if !res.Visited.Equal(topo.Fig1NewPath) {
+		t.Fatalf("final path = %v", res.Visited)
+	}
+	// Cleanup removed old-only rules.
+	for _, n := range []topo.NodeID{2, 4, 5, 6} {
+		if tb.fabric.Switch(n).Table().Len() != 0 {
+			t.Fatalf("stale rule on switch %d after REST cleanup", n)
+		}
+	}
+}

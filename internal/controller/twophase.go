@@ -1,0 +1,85 @@
+package controller
+
+import (
+	"fmt"
+
+	"tsu/internal/core"
+	"tsu/internal/openflow"
+)
+
+// SubmitTwoPhase enqueues the update as a tagged two-phase commit —
+// the fallback HotNets'14 proposes for instances where waypoint
+// enforcement and loop freedom cannot be reconciled by scheduling
+// alone, and the strongest consistency available (per-packet
+// consistency: every packet traverses exactly one policy, old or new):
+//
+//	Phase 1 (prepare): install the new policy's rules at every
+//	  new-path switch, matching the flow *plus* a VLAN tag at higher
+//	  priority. Untagged traffic is untouched. Barrier.
+//
+//	Phase 2 (commit): atomically rewrite the ingress switch's rule to
+//	  tag packets and send them down the new path. From that moment
+//	  every packet entering the network rides the tagged rules end to
+//	  end; packets already in flight finish on the old rules. Barrier.
+//
+//	Phase 3 (optional, SubmitOptions.Cleanup): delete the stale
+//	  untagged rules from old-path switches that are off the new path.
+//
+// The price relative to WayUp/Peacock is rule-table state (two rule
+// versions coexist during the transition) and the tag header bits —
+// the trade the update literature attributes to Reitblatt et al.'s
+// two-phase mechanism.
+func (e *Engine) SubmitTwoPhase(in *core.Instance, match openflow.Match, tag uint16, opts SubmitOptions) (*Job, error) {
+	if tag == openflow.VLANNone {
+		return nil, fmt.Errorf("controller: tag 0x%04x is reserved for untagged traffic", openflow.VLANNone)
+	}
+	if match.Wildcards&openflow.WildcardDLVLAN == 0 {
+		return nil, fmt.Errorf("controller: the flow match must not already pin a VLAN")
+	}
+	src := in.Src()
+
+	tagged := match
+	tagged.Wildcards &^= openflow.WildcardDLVLAN
+	tagged.DLVLAN = tag
+
+	// Phase 1: tagged copies of the new policy at every new-path
+	// switch except the ingress (the ingress tags-and-forwards in
+	// phase 2; a tagged rule there would never match, since packets
+	// arrive untagged).
+	var prepare execRound
+	for i := 1; i+1 < len(in.New); i++ {
+		node := in.New[i]
+		succ, _ := in.NewSucc(node)
+		fm, err := e.c.PathFlowMod(node, succ, tagged, openflow.FlowAdd)
+		if err != nil {
+			return nil, err
+		}
+		fm.Priority = e.c.cfg.FlowPriority + 10
+		prepare.mods = append(prepare.mods, targetedMod{node: node, fm: fm})
+	}
+
+	// Phase 2: flip the ingress — tag, then forward toward the new
+	// path's first hop.
+	succ, ok := in.NewSucc(src)
+	if !ok {
+		return nil, fmt.Errorf("controller: source %d has no new-path successor", src)
+	}
+	commit, err := e.c.PathFlowMod(src, succ, match, openflow.FlowModify)
+	if err != nil {
+		return nil, err
+	}
+	commit.Actions = append([]openflow.Action{openflow.ActionSetVLAN{VLAN: tag}}, commit.Actions...)
+	commitRound := execRound{mods: []targetedMod{{node: src, fm: commit}}}
+
+	rounds := []execRound{}
+	if len(prepare.mods) > 0 {
+		rounds = append(rounds, prepare)
+	}
+	rounds = append(rounds, commitRound)
+	if opts.Cleanup {
+		if r, ok := cleanupRound(in, match); ok {
+			rounds = append(rounds, r)
+		}
+	}
+	return e.enqueue("two-phase", rounds, opts.Interval)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"tsu/internal/topo"
+)
+
+// GreedySLF schedules the update under strong loop freedom: in every
+// reachable transient state the full rule graph — including rules at
+// switches no longer reachable from the source — stays acyclic, and no
+// packet is dropped. This is the conservative comparator for Peacock
+// (PODC'15 shows strong loop freedom can require Θ(n) rounds where the
+// relaxed variant needs O(log n)).
+//
+// Construction: per round, greedily grow a switch set while (a) the
+// polynomial double-edge test proves every subset keeps the rule graph
+// acyclic, and (b) every added switch's new successor is guaranteed a
+// rule in all states of the round (no transient blackholes — only
+// untouched new-path-only switches lack rules). New-path-only switches
+// are unreachable until an on-path switch routes to them, so they are
+// always eligible themselves.
+//
+// GreedySLF returns an error when it stalls: no pending switch is
+// individually safe. For two-path updates a safe sequential order
+// always exists for strong loop freedom (update the earliest pending
+// switch of the current walk: its new edge cannot close a cycle with
+// the final prefix — see Peacock's progress argument, which applies a
+// fortiori here only when the landing is forward), but adversarial
+// instances can stall the *global-graph* variant; callers fall back to
+// Peacock or Optimal.
+func GreedySLF(in *Instance) (*Schedule, error) {
+	s := &Schedule{Algorithm: "greedy-slf", Guarantees: NoBlackhole | StrongLoopFreedom | RelaxedLoopFreedom}
+	done := make(State)
+	pending := in.Pending()
+	remaining := make(map[topo.NodeID]bool, len(pending))
+	for _, v := range pending {
+		remaining[v] = true
+	}
+	for len(remaining) > 0 {
+		var round []topo.NodeID
+		for _, v := range pending { // deterministic new-path order
+			if !remaining[v] {
+				continue
+			}
+			if !in.hasGuaranteedRule(in.newSucc[v], done) {
+				continue // successor could still be rule-less mid-round
+			}
+			trial := append(round, v)
+			if in.RoundSafeStrongLF(done, trial) {
+				round = trial
+			}
+		}
+		if len(round) == 0 {
+			return nil, fmt.Errorf("core: greedy-slf stalled with %d pending switches on %v", len(remaining), in)
+		}
+		s.Rounds = append(s.Rounds, round)
+		for _, v := range round {
+			done[v] = true
+			delete(remaining, v)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tsu/internal/topo"
+)
+
+// Instance is a single-policy update problem: replace the old path with
+// the new path, both simple paths from the same source to the same
+// destination. A non-zero Waypoint must lie strictly inside both paths;
+// it marks a middlebox (firewall, IDS) that packets must never bypass.
+//
+// Every switch on the old path initially carries a rule forwarding to
+// its old-path successor. The update installs, at every switch on the
+// new path except the destination, a rule forwarding to its new-path
+// successor. Switches whose old and new successors coincide need no
+// FlowMod and are treated as already final.
+type Instance struct {
+	Old      topo.Path
+	New      topo.Path
+	Waypoint topo.NodeID // 0 when the policy has no waypoint
+
+	oldSucc map[topo.NodeID]topo.NodeID
+	newSucc map[topo.NodeID]topo.NodeID
+	oldPos  map[topo.NodeID]int
+	newPos  map[topo.NodeID]int
+	pending map[topo.NodeID]bool // switches that need a FlowMod
+}
+
+// NewInstance validates and indexes an update problem. It returns an
+// error when either path is malformed, the endpoints disagree, or a
+// requested waypoint is not strictly interior to both paths.
+func NewInstance(old, newPath topo.Path, waypoint topo.NodeID) (*Instance, error) {
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("core: old path: %w", err)
+	}
+	if err := newPath.Validate(); err != nil {
+		return nil, fmt.Errorf("core: new path: %w", err)
+	}
+	if old.Src() != newPath.Src() || old.Dst() != newPath.Dst() {
+		return nil, fmt.Errorf("core: endpoint mismatch: old %v vs new %v", old, newPath)
+	}
+	if waypoint != 0 {
+		for _, p := range []topo.Path{old, newPath} {
+			i := p.Index(waypoint)
+			if i <= 0 || i >= len(p)-1 {
+				return nil, fmt.Errorf("core: waypoint %d not strictly interior to path %v", waypoint, p)
+			}
+		}
+	}
+	in := &Instance{
+		Old:      old.Clone(),
+		New:      newPath.Clone(),
+		Waypoint: waypoint,
+		oldSucc:  make(map[topo.NodeID]topo.NodeID, len(old)),
+		newSucc:  make(map[topo.NodeID]topo.NodeID, len(newPath)),
+		oldPos:   make(map[topo.NodeID]int, len(old)),
+		newPos:   make(map[topo.NodeID]int, len(newPath)),
+		pending:  make(map[topo.NodeID]bool),
+	}
+	for i, v := range in.Old {
+		in.oldPos[v] = i
+		if i+1 < len(in.Old) {
+			in.oldSucc[v] = in.Old[i+1]
+		}
+	}
+	for i, v := range in.New {
+		in.newPos[v] = i
+		if i+1 < len(in.New) {
+			in.newSucc[v] = in.New[i+1]
+		}
+	}
+	for _, v := range in.New[:len(in.New)-1] {
+		oldNext, onOld := in.oldSucc[v]
+		if !onOld || oldNext != in.newSucc[v] {
+			in.pending[v] = true
+		}
+	}
+	return in, nil
+}
+
+// MustInstance is NewInstance for statically known-good inputs; it
+// panics on error. Intended for tests and examples.
+func MustInstance(old, newPath topo.Path, waypoint topo.NodeID) *Instance {
+	in, err := NewInstance(old, newPath, waypoint)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Src returns the common source of both paths.
+func (in *Instance) Src() topo.NodeID { return in.Old.Src() }
+
+// Dst returns the common destination of both paths.
+func (in *Instance) Dst() topo.NodeID { return in.Old.Dst() }
+
+// NeedsUpdate reports whether v requires a FlowMod (it is on the new
+// path, is not the destination, and its forwarding rule changes).
+func (in *Instance) NeedsUpdate(v topo.NodeID) bool { return in.pending[v] }
+
+// Pending returns all switches needing updates, ordered by new-path
+// position (deterministic).
+func (in *Instance) Pending() []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(in.pending))
+	for v := range in.pending {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return in.newPos[out[i]] < in.newPos[out[j]] })
+	return out
+}
+
+// NumPending returns the number of switches needing updates.
+func (in *Instance) NumPending() int { return len(in.pending) }
+
+// OldSucc returns v's old-path successor, if v is a non-final old-path
+// switch.
+func (in *Instance) OldSucc(v topo.NodeID) (topo.NodeID, bool) {
+	n, ok := in.oldSucc[v]
+	return n, ok
+}
+
+// NewSucc returns v's new-path successor, if v is a non-final new-path
+// switch.
+func (in *Instance) NewSucc(v topo.NodeID) (topo.NodeID, bool) {
+	n, ok := in.newSucc[v]
+	return n, ok
+}
+
+// OnOld reports whether v lies on the old path.
+func (in *Instance) OnOld(v topo.NodeID) bool {
+	_, ok := in.oldPos[v]
+	return ok
+}
+
+// OnNew reports whether v lies on the new path.
+func (in *Instance) OnNew(v topo.NodeID) bool {
+	_, ok := in.newPos[v]
+	return ok
+}
+
+// OldIndex returns v's position on the old path, or -1.
+func (in *Instance) OldIndex(v topo.NodeID) int {
+	if i, ok := in.oldPos[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// NewIndex returns v's position on the new path, or -1.
+func (in *Instance) NewIndex(v topo.NodeID) int {
+	if i, ok := in.newPos[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// NewOnly reports whether v lies on the new path but not the old path
+// (such switches carry no rule at all until updated).
+func (in *Instance) NewOnly(v topo.NodeID) bool {
+	return in.OnNew(v) && !in.OnOld(v)
+}
+
+// Nodes returns the union of both paths' switches in ascending ID order.
+func (in *Instance) Nodes() []topo.NodeID {
+	seen := make(map[topo.NodeID]bool, len(in.Old)+len(in.New))
+	var out []topo.NodeID
+	for _, p := range []topo.Path{in.Old, in.New} {
+		for _, v := range p {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (in *Instance) String() string {
+	if in.Waypoint != 0 {
+		return fmt.Sprintf("update{old %v, new %v, wp %d}", in.Old, in.New, in.Waypoint)
+	}
+	return fmt.Sprintf("update{old %v, new %v}", in.Old, in.New)
+}

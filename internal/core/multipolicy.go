@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tsu/internal/topo"
+)
+
+// JointUpdate schedules several policies together, the extension the
+// paper points to ("more work on multiple policies", Dudycz et al.
+// DSN'16 / Ludwig et al. SIGMETRICS'16). Flows are distinguished on the
+// wire by their match keys, so rules of different policies never
+// interact and each policy keeps its own scheduler's transient
+// guarantee; the joint problem is about *round economy*: executing the
+// per-flow rounds in a common barrier cadence and batching FlowMods so
+// a switch is touched as few times as possible.
+type JointUpdate struct {
+	Instances []*Instance
+	Schedules []*Schedule
+}
+
+// FlowUpdate identifies one switch update of one flow within a joint
+// round.
+type FlowUpdate struct {
+	Flow   int // index into Instances/Schedules
+	Switch topo.NodeID
+}
+
+// NewJointUpdate schedules every instance with the provided scheduler.
+func NewJointUpdate(instances []*Instance, scheduler func(*Instance) (*Schedule, error)) (*JointUpdate, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: joint update needs at least one policy")
+	}
+	j := &JointUpdate{Instances: instances}
+	for i, in := range instances {
+		s, err := scheduler(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: joint update: policy %d: %w", i, err)
+		}
+		j.Schedules = append(j.Schedules, s)
+	}
+	return j, nil
+}
+
+// NumRounds returns the joint (left-aligned) round count: the maximum
+// per-flow round count, since independent flows share barrier rounds.
+func (j *JointUpdate) NumRounds() int {
+	max := 0
+	for _, s := range j.Schedules {
+		if s.NumRounds() > max {
+			max = s.NumRounds()
+		}
+	}
+	return max
+}
+
+// SequentialRounds returns the round count of the naive alternative
+// that updates one policy after another: the sum of per-flow rounds.
+func (j *JointUpdate) SequentialRounds() int {
+	total := 0
+	for _, s := range j.Schedules {
+		total += s.NumRounds()
+	}
+	return total
+}
+
+// Round returns the flow updates of joint round i (0-based,
+// left-aligned: flow f contributes its round i when it has one),
+// grouped by switch so the controller can batch FlowMods per switch.
+// Switch keys iterate deterministically via sorted order of the
+// returned slice.
+func (j *JointUpdate) Round(i int) map[topo.NodeID][]FlowUpdate {
+	out := make(map[topo.NodeID][]FlowUpdate)
+	for f, s := range j.Schedules {
+		if i >= s.NumRounds() {
+			continue
+		}
+		for _, v := range s.Round(i) {
+			out[v] = append(out[v], FlowUpdate{Flow: f, Switch: v})
+		}
+	}
+	return out
+}
+
+// SwitchTouches returns, per switch, the number of joint rounds in
+// which the switch receives at least one FlowMod — the "can't touch
+// this" economy metric: fewer touches mean fewer barrier exchanges and
+// fewer rule-table churn windows per switch.
+func (j *JointUpdate) SwitchTouches() map[topo.NodeID]int {
+	touches := make(map[topo.NodeID]int)
+	for i := 0; i < j.NumRounds(); i++ {
+		for sw := range j.Round(i) {
+			touches[sw]++
+		}
+	}
+	return touches
+}
+
+// TotalFlowMods returns the total number of switch updates across all
+// flows.
+func (j *JointUpdate) TotalFlowMods() int {
+	total := 0
+	for _, s := range j.Schedules {
+		total += s.NumUpdates()
+	}
+	return total
+}
+
+// TouchSummary returns the switches sorted by descending touch count,
+// ties by ascending switch ID — the table the multi-policy experiment
+// prints.
+func (j *JointUpdate) TouchSummary() []struct {
+	Switch  topo.NodeID
+	Touches int
+} {
+	touches := j.SwitchTouches()
+	out := make([]struct {
+		Switch  topo.NodeID
+		Touches int
+	}, 0, len(touches))
+	for sw, t := range touches {
+		out = append(out, struct {
+			Switch  topo.NodeID
+			Touches int
+		}{sw, t})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Touches != out[b].Touches {
+			return out[a].Touches > out[b].Touches
+		}
+		return out[a].Switch < out[b].Switch
+	})
+	return out
+}

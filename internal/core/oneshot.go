@@ -1,0 +1,17 @@
+package core
+
+import "tsu/internal/topo"
+
+// OneShot returns the baseline schedule a consistency-oblivious
+// controller produces: every FlowMod in a single round, no barriers in
+// between. Under an asynchronous control channel the transient states
+// are arbitrary rule mixtures, so no property is guaranteed — this is
+// the comparator that exhibits transient loops and waypoint bypasses in
+// the experiments.
+func OneShot(in *Instance) *Schedule {
+	s := &Schedule{Algorithm: "oneshot", Guarantees: 0}
+	if pending := in.Pending(); len(pending) > 0 {
+		s.Rounds = [][]topo.NodeID{pending}
+	}
+	return s
+}

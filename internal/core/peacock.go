@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"tsu/internal/topo"
+)
+
+// Peacock schedules the update under relaxed (weak) loop freedom — the
+// property the paper demonstrates for the Peacock algorithm (Ludwig,
+// Marcinkowski, Schmid, PODC'15): in every reachable transient state
+// the forwarding walk from the source is loop-free and reaches the
+// destination; stale rules at switches no longer reachable from the
+// source may disagree. The relaxation is what allows aggressive
+// batching: far fewer rounds than strong loop freedom on adversarial
+// instances.
+//
+// The reconstruction (see DESIGN.md) batches with two constructive
+// lemmas evaluated against the current inter-round walk W:
+//
+//   - L1 (off-walk): pending switches not on W can all be flipped in
+//     one round — flipping switches off the walk never changes the
+//     walk, so under every subset they remain unreachable.
+//   - L2 (forward landing): pending switches on W whose new-rule chain
+//     (through switches already final at round start) lands strictly
+//     later on W can be flipped in the same round — every subset turns
+//     the walk into W with forward shortcuts, strictly monotone in
+//     W-position, hence loop-free, and it still reaches the
+//     destination.
+//
+// Round one flips all new-path-only switches (a special case of L1:
+// the initial walk is the old path). Progress is guaranteed: the
+// earliest pending switch on W always gains a forward landing once its
+// chain is final, and any chain blocker is itself off-walk and flips in
+// the current round.
+func Peacock(in *Instance) (*Schedule, error) {
+	s := &Schedule{Algorithm: "peacock", Guarantees: NoBlackhole | RelaxedLoopFreedom}
+	done := make(State)
+	pending := in.Pending()
+	remaining := make(map[topo.NodeID]bool, len(pending))
+	for _, v := range pending {
+		remaining[v] = true
+	}
+
+	// Round 1: all new-path-only switches. They are off the old-path
+	// walk and nothing routes to them until an on-path switch flips in
+	// a later round; afterwards every switch has a rule, so no
+	// transient blackhole can occur in any later round.
+	var newOnly []topo.NodeID
+	for _, v := range pending {
+		if in.NewOnly(v) {
+			newOnly = append(newOnly, v)
+		}
+	}
+	if len(newOnly) > 0 {
+		s.Rounds = append(s.Rounds, newOnly)
+		for _, v := range newOnly {
+			done[v] = true
+			delete(remaining, v)
+		}
+	}
+
+	for len(remaining) > 0 {
+		walk, outcome := in.Walk(done)
+		if outcome != Reached {
+			return nil, fmt.Errorf("core: peacock invariant broken: inter-round walk %s (%v)", outcome, walk)
+		}
+		walkPos := make(map[topo.NodeID]int, len(walk))
+		for i, v := range walk {
+			walkPos[v] = i
+		}
+
+		var round []topo.NodeID
+		for _, v := range pending { // deterministic new-path order
+			if !remaining[v] {
+				continue
+			}
+			if _, onWalk := walkPos[v]; !onWalk {
+				round = append(round, v) // L1
+				continue
+			}
+			if land, ok := in.forwardLanding(v, done, walkPos); ok && land > walkPos[v] {
+				round = append(round, v) // L2
+			}
+		}
+		if len(round) == 0 {
+			return nil, fmt.Errorf("core: peacock stalled with %d pending switches on %v", len(remaining), in)
+		}
+		s.Rounds = append(s.Rounds, round)
+		for _, v := range round {
+			done[v] = true
+			delete(remaining, v)
+		}
+	}
+	return s, nil
+}
+
+// forwardLanding follows v's new rule through switches that are already
+// final (done or never pending) until it hits a walk switch, and
+// returns that switch's walk position. It fails when the chain crosses
+// a still-pending off-walk switch — such a switch has no stable rule
+// within the round, so L2 does not apply (the blocker itself is flipped
+// via L1 this round, unblocking v for the next round).
+func (in *Instance) forwardLanding(v topo.NodeID, done State, walkPos map[topo.NodeID]int) (int, bool) {
+	cur := in.newSucc[v]
+	for steps := 0; steps <= len(in.New); steps++ {
+		if pos, ok := walkPos[cur]; ok {
+			return pos, true
+		}
+		// Off-walk: the chain may only continue over final switches,
+		// whose sole rule is their new-path successor.
+		if in.pending[cur] && !done[cur] {
+			return 0, false
+		}
+		next, ok := in.newSucc[cur]
+		if !ok {
+			// Final switch off the walk without a new-path successor:
+			// cur is the destination — but the destination is always on
+			// the walk. Defensive: treat as no landing.
+			return 0, false
+		}
+		cur = next
+	}
+	return 0, false // defensive: new-path chains cannot cycle (path is simple)
+}

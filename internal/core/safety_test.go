@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsu/internal/topo"
+)
+
+// bruteForceRound checks all 2^|round| subsets of a round against
+// CheckState — the independent oracle the fast checkers are validated
+// against.
+func bruteForceRound(in *Instance, done State, round []topo.NodeID, props Property) Property {
+	var violated Property
+	for mask := 0; mask < 1<<len(round); mask++ {
+		st := done.Clone()
+		for i, v := range round {
+			if mask&(1<<i) != 0 {
+				st[v] = true
+			}
+		}
+		violated |= in.CheckState(st, props)
+	}
+	return violated
+}
+
+func TestRoundSafeStrongLFMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		inst := topo.RandomTwoPath(rng, 4+rng.Intn(8), false)
+		in := MustInstance(inst.Old, inst.New, 0)
+		pending := in.Pending()
+		if len(pending) == 0 {
+			continue
+		}
+		// Random done set and round over the remainder.
+		done := make(State)
+		var rest []topo.NodeID
+		for _, v := range pending {
+			if rng.Intn(3) == 0 {
+				done[v] = true
+			} else {
+				rest = append(rest, v)
+			}
+		}
+		var round []topo.NodeID
+		for _, v := range rest {
+			if rng.Intn(2) == 0 {
+				round = append(round, v)
+			}
+		}
+		if len(round) == 0 {
+			continue
+		}
+		fast := in.RoundSafeStrongLF(done, round)
+		brute := bruteForceRound(in, done, round, StrongLoopFreedom) == 0
+		if fast != brute {
+			t.Fatalf("instance %v done %v round %v: double-edge says safe=%v, brute force says %v",
+				in, done, round, fast, brute)
+		}
+	}
+}
+
+func TestCheckRoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	props := NoBlackhole | RelaxedLoopFreedom | WaypointEnforcement
+	for trial := 0; trial < 300; trial++ {
+		inst := topo.RandomTwoPath(rng, 4+rng.Intn(8), true)
+		in := MustInstance(inst.Old, inst.New, inst.Waypoint)
+		pending := in.Pending()
+		if len(pending) == 0 {
+			continue
+		}
+		done := make(State)
+		var rest []topo.NodeID
+		for _, v := range pending {
+			if rng.Intn(3) == 0 {
+				done[v] = true
+			} else {
+				rest = append(rest, v)
+			}
+		}
+		var round []topo.NodeID
+		for _, v := range rest {
+			if rng.Intn(2) == 0 {
+				round = append(round, v)
+			}
+		}
+		if len(round) == 0 {
+			continue
+		}
+		cex, exact := in.CheckRound(done, round, props, 0)
+		if !exact {
+			t.Fatalf("budget exhausted on tiny instance %v", in)
+		}
+		brute := bruteForceRound(in, done, round, props)
+		if (cex == nil) != (brute == 0) {
+			t.Fatalf("instance %v done %v round %v: checker cex=%v, brute violations=%v",
+				in, done, round, cex, brute)
+		}
+		if cex != nil {
+			// The counterexample must be a real reachable state
+			// exhibiting the claimed violation.
+			if got := in.CheckState(cex.Updated, props); !got.Has(cex.Violated) {
+				t.Fatalf("counterexample state %v does not violate %v (violates %v)",
+					cex.Updated, cex.Violated, got)
+			}
+			// And its updated set must be done ∪ subset(round).
+			inRound := map[topo.NodeID]bool{}
+			for _, v := range round {
+				inRound[v] = true
+			}
+			for v := range cex.Updated {
+				if !done[v] && !inRound[v] {
+					t.Fatalf("counterexample updates switch %d outside done∪round", v)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckRoundDetectsDrop(t *testing.T) {
+	// Round = {1} while new-only 5 still pending: subset {1} drops at 5.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	cex, exact := in.CheckRound(nil, []topo.NodeID{1}, NoBlackhole, 0)
+	if !exact || cex == nil || cex.Violated != NoBlackhole {
+		t.Fatalf("cex = %v exact=%v, want blackhole", cex, exact)
+	}
+	if cex.Walk[len(cex.Walk)-1] != 5 {
+		t.Fatalf("drop walk = %v, want it to end at 5", cex.Walk)
+	}
+}
+
+func TestCheckRoundDetectsBypass(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 2)
+	cex, exact := in.CheckRound(nil, in.Pending(), WaypointEnforcement, 0)
+	if !exact || cex == nil || cex.Violated != WaypointEnforcement {
+		t.Fatalf("cex = %v, want bypass", cex)
+	}
+	if cex.Walk[len(cex.Walk)-1] != in.Dst() {
+		t.Fatalf("bypass walk = %v, must end at destination", cex.Walk)
+	}
+}
+
+func TestCheckRoundDetectsLoop(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	cex, exact := in.CheckRound(nil, in.Pending(), RelaxedLoopFreedom, 0)
+	if !exact || cex == nil || cex.Violated != RelaxedLoopFreedom {
+		t.Fatalf("cex = %v, want loop", cex)
+	}
+	repeated := cex.Walk[len(cex.Walk)-1]
+	if cex.Walk.Index(repeated) == len(cex.Walk)-1 {
+		t.Fatalf("loop walk %v should end at a repeated switch", cex.Walk)
+	}
+}
+
+func TestCheckRoundSafeSingleton(t *testing.T) {
+	// Updating the last pending switch of the new path alone is always
+	// safe.
+	in := MustInstance(topo.Path{1, 2, 3, 4, 5, 6}, topo.Path{1, 5, 4, 3, 2, 6}, 0)
+	cex, exact := in.CheckRound(nil, []topo.NodeID{2}, NoBlackhole|RelaxedLoopFreedom, 0)
+	if !exact || cex != nil {
+		t.Fatalf("singleton {2} flagged: %v", cex)
+	}
+}
+
+func TestCheckRoundEmptyRound(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 3}, 0)
+	cex, exact := in.CheckRound(nil, nil, NoBlackhole|RelaxedLoopFreedom|WaypointEnforcement, 0)
+	if !exact || cex != nil {
+		t.Fatalf("empty round flagged: %v", cex)
+	}
+}
+
+func TestCheckRoundBudgetExhaustion(t *testing.T) {
+	inst := topo.Reversal(24)
+	in := MustInstance(inst.Old, inst.New, 0)
+	_, exact := in.CheckRound(nil, in.Pending(), RelaxedLoopFreedom|NoBlackhole, 8)
+	if exact {
+		t.Fatal("budget of 8 steps cannot be enough for 22 pending switches")
+	}
+}
+
+func TestStrongLFCounterExampleIsReal(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4, 5, 6, 7, 8}, topo.Path{1, 7, 5, 2, 8}, 0)
+	round := in.Pending()
+	if in.RoundSafeStrongLF(nil, round) {
+		t.Fatal("one-shot round over a backward instance must be strong-LF unsafe")
+	}
+	cex, exact := in.CheckRound(nil, round, StrongLoopFreedom, 0)
+	if !exact || cex == nil {
+		t.Fatal("expected strong-LF counterexample")
+	}
+	if got := in.CheckState(cex.Updated, StrongLoopFreedom); !got.Has(StrongLoopFreedom) {
+		t.Fatalf("counterexample state %v has no rule cycle", cex.Updated)
+	}
+}

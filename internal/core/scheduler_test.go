@@ -1,0 +1,403 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsu/internal/topo"
+)
+
+// verifyScheduleBrute validates a schedule's structure and exhaustively
+// checks props over every reachable transient state (all subsets of
+// every round on top of the completed prefix). Rounds above 2^18
+// subsets would be too slow; the instances used here keep rounds small.
+func verifyScheduleBrute(t *testing.T, in *Instance, s *Schedule, props Property) {
+	t.Helper()
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("%s: invalid schedule: %v", s.Algorithm, err)
+	}
+	done := make(State)
+	for i, round := range s.Rounds {
+		if len(round) > 18 {
+			t.Fatalf("%s: round %d too large for brute force (%d)", s.Algorithm, i, len(round))
+		}
+		if violated := bruteForceRound(in, done, round, props); violated != 0 {
+			t.Fatalf("%s: round %d (%v) violates %v on %v\nschedule: %v",
+				s.Algorithm, i, round, violated, in, s)
+		}
+		for _, v := range round {
+			done[v] = true
+		}
+	}
+	// Final state must realize the new path.
+	walk, outcome := in.Walk(done)
+	if outcome != Reached || !walk.Equal(in.New) {
+		t.Fatalf("%s: final walk %v (%v), want new path %v", s.Algorithm, walk, outcome, in.New)
+	}
+}
+
+func randomInstance(rng *rand.Rand, n int, waypoint bool) *Instance {
+	inst := topo.RandomTwoPath(rng, n, waypoint)
+	return MustInstance(inst.Old, inst.New, inst.Waypoint)
+}
+
+func TestOneShotStructure(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	s := OneShot(in)
+	if s.NumRounds() != 1 || s.NumUpdates() != in.NumPending() {
+		t.Fatalf("oneshot = %v", s)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.Guarantees != 0 {
+		t.Fatal("oneshot must not claim guarantees")
+	}
+}
+
+func TestOneShotNoPending(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 2, 3}, 0)
+	s := OneShot(in)
+	if s.NumRounds() != 0 {
+		t.Fatalf("no-op update got %d rounds", s.NumRounds())
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneShotViolatesOnAdversarialInstance(t *testing.T) {
+	// The whole point of the paper: one-shot updates are transiently
+	// inconsistent. On the reversal family a subset state loops.
+	inst := topo.Reversal(8)
+	in := MustInstance(inst.Old, inst.New, 0)
+	s := OneShot(in)
+	violated := bruteForceRound(in, nil, s.Rounds[0], RelaxedLoopFreedom|NoBlackhole)
+	if violated == 0 {
+		t.Fatal("one-shot on reversal(8) should violate transient consistency")
+	}
+}
+
+func TestGreedySLFOnFamilies(t *testing.T) {
+	cases := map[string]*Instance{
+		"fig1":         MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint),
+		"reversal8":    func() *Instance { i := topo.Reversal(8); return MustInstance(i.Old, i.New, 0) }(),
+		"staircase9":   func() *Instance { i := topo.Staircase(9); return MustInstance(i.Old, i.New, 0) }(),
+		"disjoint":     MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 6, 4}, 0),
+		"identical":    MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 2, 3}, 0),
+		"two-switch":   MustInstance(topo.Path{1, 2}, topo.Path{1, 2}, 0),
+		"direct-hop":   MustInstance(topo.Path{1, 2, 3, 4, 5}, topo.Path{1, 5}, 0),
+		"full-reorder": MustInstance(topo.Path{1, 2, 3, 4, 5, 6}, topo.Path{1, 4, 2, 5, 3, 6}, 0),
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := GreedySLF(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyScheduleBrute(t, in, s, NoBlackhole|StrongLoopFreedom|RelaxedLoopFreedom)
+		})
+	}
+}
+
+func TestGreedySLFRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(10), false)
+		s, err := GreedySLF(in)
+		if err != nil {
+			t.Fatalf("greedy-slf failed on %v: %v", in, err)
+		}
+		verifyScheduleBrute(t, in, s, NoBlackhole|StrongLoopFreedom|RelaxedLoopFreedom)
+	}
+}
+
+func TestPeacockOnFamilies(t *testing.T) {
+	cases := map[string]*Instance{
+		"fig1":         MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint),
+		"reversal8":    func() *Instance { i := topo.Reversal(8); return MustInstance(i.Old, i.New, 0) }(),
+		"reversal12":   func() *Instance { i := topo.Reversal(12); return MustInstance(i.Old, i.New, 0) }(),
+		"staircase9":   func() *Instance { i := topo.Staircase(9); return MustInstance(i.Old, i.New, 0) }(),
+		"staircase14":  func() *Instance { i := topo.Staircase(14); return MustInstance(i.Old, i.New, 0) }(),
+		"disjoint":     MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 6, 4}, 0),
+		"identical":    MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 2, 3}, 0),
+		"direct-hop":   MustInstance(topo.Path{1, 2, 3, 4, 5}, topo.Path{1, 5}, 0),
+		"full-reorder": MustInstance(topo.Path{1, 2, 3, 4, 5, 6}, topo.Path{1, 4, 2, 5, 3, 6}, 0),
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := Peacock(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyScheduleBrute(t, in, s, NoBlackhole|RelaxedLoopFreedom)
+		})
+	}
+}
+
+func TestPeacockRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(10), false)
+		s, err := Peacock(in)
+		if err != nil {
+			t.Fatalf("peacock failed on %v: %v", in, err)
+		}
+		verifyScheduleBrute(t, in, s, NoBlackhole|RelaxedLoopFreedom)
+	}
+}
+
+func TestPeacockReversalRoundsConstant(t *testing.T) {
+	// On the reversal family relaxed loop freedom needs a constant
+	// number of rounds (flip the two forward switches, then everything
+	// else off the new walk) — the PODC'15 shape.
+	for _, n := range []int{8, 16, 32, 64} {
+		inst := topo.Reversal(n)
+		in := MustInstance(inst.Old, inst.New, 0)
+		s, err := Peacock(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumRounds() > 3 {
+			t.Fatalf("peacock reversal(%d) used %d rounds, want <= 3", n, s.NumRounds())
+		}
+	}
+}
+
+func TestPeacockFewerOrEqualRoundsThanGreedySLF(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 6+rng.Intn(10), false)
+		p, err := Peacock(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := GreedySLF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Not a theorem per instance, but grossly inverted results
+		// would indicate a regression; allow slack of one round.
+		if p.NumRounds() > g.NumRounds()+1 {
+			t.Fatalf("peacock %d rounds vs greedy-slf %d on %v", p.NumRounds(), g.NumRounds(), in)
+		}
+	}
+}
+
+func TestWayUpFig1(t *testing.T) {
+	in := MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	s, err := WayUp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyScheduleBrute(t, in, s, NoBlackhole|WaypointEnforcement)
+	if s.LoopFreedomCompromised {
+		t.Fatal("fig1 should admit a loop-free waypoint schedule")
+	}
+	verifyScheduleBrute(t, in, s, NoBlackhole|WaypointEnforcement|RelaxedLoopFreedom)
+}
+
+func TestWayUpRequiresWaypoint(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 3}, 0)
+	if _, err := WayUp(in); err == nil {
+		t.Fatal("wayup without waypoint must fail")
+	}
+}
+
+func TestWayUpRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(10), true)
+		s, err := WayUp(in)
+		if err != nil {
+			t.Fatalf("wayup failed on %v: %v", in, err)
+		}
+		verifyScheduleBrute(t, in, s, NoBlackhole|WaypointEnforcement)
+		if !s.LoopFreedomCompromised {
+			verifyScheduleBrute(t, in, s, NoBlackhole|WaypointEnforcement|RelaxedLoopFreedom)
+		}
+	}
+}
+
+func TestWayUpDangerousSwitchLast(t *testing.T) {
+	// Old 1→2→3(w)→4→5, new 1→3(w)→2→4... no: build an instance with
+	// a dangerous switch: pre-waypoint on old, post-waypoint on new.
+	// Old ⟨1,2,3,4,5⟩ with w=3; new ⟨1,3,2,5⟩: switch 2 is pre-w on
+	// old (index 1 < 2) and post-w on new (index 2 > 1) — dangerous.
+	in := MustInstance(topo.Path{1, 2, 3, 4, 5}, topo.Path{1, 3, 2, 5}, 3)
+	s, err := WayUp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyScheduleBrute(t, in, s, NoBlackhole|WaypointEnforcement)
+	// Switch 2 must come strictly after switch 1's round (1 routes
+	// through w first).
+	roundOf := map[topo.NodeID]int{}
+	for i, r := range s.Rounds {
+		for _, v := range r {
+			roundOf[v] = i
+		}
+	}
+	if roundOf[2] <= roundOf[1] {
+		t.Fatalf("dangerous switch 2 scheduled in round %d, not after source round %d\n%v",
+			roundOf[2], roundOf[1], s)
+	}
+}
+
+func TestOptimalMinimalAndSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	props := NoBlackhole | RelaxedLoopFreedom
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(5), false)
+		if in.NumPending() > 8 {
+			continue
+		}
+		opt, err := Optimal(in, props)
+		if err != nil {
+			t.Fatalf("optimal failed on %v: %v", in, err)
+		}
+		verifyScheduleBrute(t, in, opt, props)
+		// Optimality: no scheduler may beat it.
+		p, err := Peacock(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumRounds() < opt.NumRounds() {
+			t.Fatalf("peacock (%d rounds) beat optimal (%d) on %v", p.NumRounds(), opt.NumRounds(), in)
+		}
+	}
+}
+
+func TestOptimalRejectsOversizedInstance(t *testing.T) {
+	inst := topo.Reversal(MaxOptimalPending + 4)
+	in := MustInstance(inst.Old, inst.New, 0)
+	if _, err := Optimal(in, RelaxedLoopFreedom); err == nil {
+		t.Fatal("optimal must reject oversized instances")
+	}
+}
+
+func TestOptimalNoPending(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 2, 3}, 0)
+	s, err := Optimal(in, NoBlackhole|RelaxedLoopFreedom)
+	if err != nil || s.NumRounds() != 0 {
+		t.Fatalf("no-op optimal = %v, %v", s, err)
+	}
+}
+
+func TestFeasibleAlwaysForRelaxedLF(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(8), false)
+		if in.NumPending() > MaxFeasiblePending {
+			continue
+		}
+		ok, err := Feasible(in, NoBlackhole|RelaxedLoopFreedom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("relaxed loop freedom must always be feasible, failed on %v", in)
+		}
+	}
+}
+
+func TestFeasibleMatchesOptimalExistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	props := NoBlackhole | WaypointEnforcement | RelaxedLoopFreedom
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(5), true)
+		if in.NumPending() > 8 {
+			continue
+		}
+		feasible, err := Feasible(in, props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optErr := Optimal(in, props)
+		if feasible != (optErr == nil) {
+			t.Fatalf("feasible=%v but optimal err=%v on %v", feasible, optErr, in)
+		}
+	}
+}
+
+func TestScheduleValidateCatchesBadSchedules(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	cases := map[string]*Schedule{
+		"empty-round":   {Rounds: [][]topo.NodeID{{1}, {}, {3, 2}}},
+		"dup-switch":    {Rounds: [][]topo.NodeID{{1, 3}, {3, 2}}},
+		"not-pending":   {Rounds: [][]topo.NodeID{{1, 3}, {2, 4}}},
+		"missing-nodes": {Rounds: [][]topo.NodeID{{1}}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(in); err == nil {
+			t.Fatalf("%s: bad schedule validated", name)
+		}
+	}
+}
+
+func TestScheduleStateAfterAndString(t *testing.T) {
+	s := &Schedule{Algorithm: "x", Rounds: [][]topo.NodeID{{1, 2}, {3}}}
+	st := s.StateAfter(1)
+	if !st[1] || !st[2] || st[3] {
+		t.Fatalf("StateAfter(1) = %v", st)
+	}
+	if s.StateAfter(0)[1] {
+		t.Fatal("StateAfter(0) must be empty")
+	}
+	if len(s.StateAfter(5)) != 3 {
+		t.Fatal("StateAfter beyond rounds must include everything")
+	}
+	if s.String() != "x[2 rounds: {1 2} {3}]" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if s.NumUpdates() != 3 {
+		t.Fatal("NumUpdates wrong")
+	}
+	if len(s.Round(1)) != 1 {
+		t.Fatal("Round accessor wrong")
+	}
+}
+
+func TestJointUpdate(t *testing.T) {
+	mk := func(old, new topo.Path) *Instance { return MustInstance(old, new, 0) }
+	instances := []*Instance{
+		mk(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}),
+		mk(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 6, 4}),
+	}
+	j, err := NewJointUpdate(instances, Peacock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRounds() < 1 || j.NumRounds() > j.SequentialRounds() {
+		t.Fatalf("joint rounds %d vs sequential %d", j.NumRounds(), j.SequentialRounds())
+	}
+	total := 0
+	for i := 0; i < j.NumRounds(); i++ {
+		for _, ups := range j.Round(i) {
+			total += len(ups)
+		}
+	}
+	if total != j.TotalFlowMods() {
+		t.Fatalf("rounds cover %d updates, want %d", total, j.TotalFlowMods())
+	}
+	touches := j.SwitchTouches()
+	summary := j.TouchSummary()
+	if len(summary) != len(touches) {
+		t.Fatal("summary size mismatch")
+	}
+	for i := 1; i < len(summary); i++ {
+		if summary[i-1].Touches < summary[i].Touches {
+			t.Fatal("summary not sorted by touches")
+		}
+	}
+}
+
+func TestJointUpdateErrors(t *testing.T) {
+	if _, err := NewJointUpdate(nil, Peacock); err == nil {
+		t.Fatal("empty joint update accepted")
+	}
+	in := MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 3}, 0)
+	if _, err := NewJointUpdate([]*Instance{in}, WayUp); err == nil {
+		t.Fatal("scheduler error not propagated")
+	}
+}

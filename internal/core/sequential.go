@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"tsu/internal/topo"
+)
+
+// Sequential schedules the update one switch per round under the given
+// walk-based properties, picking at each step the first individually
+// safe pending switch in new-path order (verified by the exact subset
+// checker). This is the cautious-operator baseline — trivially correct,
+// maximally slow — and the ablation for round batching: its round count
+// equals the number of pending switches whenever it completes, versus
+// Peacock's small constants.
+//
+// It fails when no individually safe switch exists (for waypoint-plus-
+// loop-freedom combinations that are jointly infeasible).
+func Sequential(in *Instance, props Property) (*Schedule, error) {
+	s := &Schedule{Algorithm: "sequential", Guarantees: props}
+	pending := in.Pending()
+	remaining := make(map[topo.NodeID]bool, len(pending))
+	for _, v := range pending {
+		remaining[v] = true
+	}
+	done := make(State)
+	for len(remaining) > 0 {
+		var pick topo.NodeID
+		found := false
+		for _, v := range pending {
+			if !remaining[v] {
+				continue
+			}
+			cex, exact := in.CheckRound(done, []topo.NodeID{v}, props, 0)
+			if exact && cex == nil {
+				pick = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: sequential stalled with %d pending switches on %v (props %s)", len(remaining), in, props)
+		}
+		s.Rounds = append(s.Rounds, []topo.NodeID{pick})
+		done[pick] = true
+		delete(remaining, pick)
+	}
+	return s, nil
+}

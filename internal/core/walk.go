@@ -1,0 +1,165 @@
+package core
+
+import (
+	"tsu/internal/topo"
+)
+
+// Outcome classifies the forwarding walk from the source under a fixed
+// rule state.
+type Outcome int
+
+const (
+	// Reached: the walk arrived at the destination.
+	Reached Outcome = iota
+	// Dropped: the walk hit a switch without a matching rule.
+	Dropped
+	// Looped: the walk revisited a switch (packets cycle forever).
+	Looped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Reached:
+		return "reached"
+	case Dropped:
+		return "dropped"
+	case Looped:
+		return "looped"
+	}
+	return "unknown"
+}
+
+// State is the set of switches whose update has taken effect.
+type State map[topo.NodeID]bool
+
+// Clone returns a copy of the state.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+// StateOf builds a State containing the given switches.
+func StateOf(nodes ...topo.NodeID) State {
+	s := make(State, len(nodes))
+	for _, n := range nodes {
+		s[n] = true
+	}
+	return s
+}
+
+// NextHop returns the switch v forwards to under the given updated-set,
+// and false when v has no matching rule (packets are dropped) or v is
+// the destination.
+//
+// Rule resolution: a pending switch uses its new rule once updated and
+// its old rule (if any) before; a non-pending switch uses its only
+// rule — the new successor when on the new path, otherwise the old one.
+func (in *Instance) NextHop(v topo.NodeID, updated func(topo.NodeID) bool) (topo.NodeID, bool) {
+	if v == in.Dst() {
+		return 0, false
+	}
+	if in.pending[v] {
+		if updated != nil && updated(v) {
+			return in.newSucc[v], true
+		}
+		n, ok := in.oldSucc[v]
+		return n, ok
+	}
+	if n, ok := in.newSucc[v]; ok {
+		return n, true
+	}
+	n, ok := in.oldSucc[v]
+	return n, ok
+}
+
+// Walk follows the forwarding rules from the source under the given
+// updated-set and returns the visited path together with its outcome.
+// On a Looped outcome the returned path ends with the first repeated
+// switch (included twice).
+func (in *Instance) Walk(updated State) (topo.Path, Outcome) {
+	return in.WalkFunc(func(v topo.NodeID) bool { return updated[v] })
+}
+
+// WalkFunc is Walk with a predicate instead of a State set.
+func (in *Instance) WalkFunc(updated func(topo.NodeID) bool) (topo.Path, Outcome) {
+	var path topo.Path
+	seen := make(map[topo.NodeID]bool)
+	v := in.Src()
+	for {
+		path = append(path, v)
+		if v == in.Dst() {
+			return path, Reached
+		}
+		if seen[v] {
+			return path, Looped
+		}
+		seen[v] = true
+		next, ok := in.NextHop(v, updated)
+		if !ok {
+			return path, Dropped
+		}
+		v = next
+	}
+}
+
+// CheckState evaluates the requested properties in a single rule state
+// and returns the subset of props violated there. StrongLoopFreedom is
+// checked over the full rule graph; the walk-based properties over the
+// forwarding walk from the source.
+func (in *Instance) CheckState(updated State, props Property) Property {
+	var violated Property
+	path, outcome := in.Walk(updated)
+	if props.Has(NoBlackhole) && outcome == Dropped {
+		violated |= NoBlackhole
+	}
+	if props.Has(RelaxedLoopFreedom) && outcome == Looped {
+		violated |= RelaxedLoopFreedom
+	}
+	if props.Has(WaypointEnforcement) && in.Waypoint != 0 && outcome == Reached {
+		if !path[:len(path)-1].Contains(in.Waypoint) {
+			violated |= WaypointEnforcement
+		}
+	}
+	if props.Has(StrongLoopFreedom) && in.hasRuleCycle(updated) {
+		violated |= StrongLoopFreedom
+	}
+	return violated
+}
+
+// hasRuleCycle reports whether the full rule graph (every switch with
+// its single current rule) contains a directed cycle.
+func (in *Instance) hasRuleCycle(updated State) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[topo.NodeID]int)
+	var visit func(v topo.NodeID) bool
+	visit = func(v topo.NodeID) bool {
+		color[v] = grey
+		if next, ok := in.NextHop(v, func(n topo.NodeID) bool { return updated[n] }); ok {
+			switch color[next] {
+			case grey:
+				return true
+			case white:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range in.Nodes() {
+		if color[v] == white && visit(v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"tsu/internal/topo"
+)
+
+func TestWalkInitialFollowsOldPath(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	path, outcome := in.Walk(nil)
+	if outcome != Reached {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if !path.Equal(topo.Path{1, 2, 3, 4}) {
+		t.Fatalf("walk = %v", path)
+	}
+}
+
+func TestWalkFinalFollowsNewPath(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	st := StateOf(in.Pending()...)
+	path, outcome := in.Walk(st)
+	if outcome != Reached {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if !path.Equal(topo.Path{1, 5, 3, 4}) {
+		t.Fatalf("walk = %v", path)
+	}
+}
+
+func TestWalkDropAtRulelessNewOnlySwitch(t *testing.T) {
+	// Update 1 but not the new-only switch 5: packets reach 5 and drop.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	path, outcome := in.Walk(StateOf(1))
+	if outcome != Dropped {
+		t.Fatalf("outcome = %v, want dropped", outcome)
+	}
+	if !path.Equal(topo.Path{1, 5}) {
+		t.Fatalf("walk = %v", path)
+	}
+}
+
+func TestWalkLoop(t *testing.T) {
+	// Old 1→2→3→4, new 1→3→2→4. Updating only 3 (rule 3→2) loops:
+	// 1→2→3→2.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	path, outcome := in.Walk(StateOf(3))
+	if outcome != Looped {
+		t.Fatalf("outcome = %v, want looped", outcome)
+	}
+	last := path[len(path)-1]
+	if path.Index(last) == len(path)-1 {
+		t.Fatalf("looped walk %v should end at a repeated switch", path)
+	}
+}
+
+func TestNextHopResolution(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	upd := func(updated ...topo.NodeID) func(topo.NodeID) bool {
+		st := StateOf(updated...)
+		return func(v topo.NodeID) bool { return st[v] }
+	}
+	// Pending switch before update: old rule.
+	if n, ok := in.NextHop(1, upd()); !ok || n != 2 {
+		t.Fatalf("NextHop(1, pre) = %d,%v", n, ok)
+	}
+	// Pending switch after update: new rule.
+	if n, ok := in.NextHop(1, upd(1)); !ok || n != 5 {
+		t.Fatalf("NextHop(1, post) = %d,%v", n, ok)
+	}
+	// New-only switch before update: no rule.
+	if _, ok := in.NextHop(5, upd()); ok {
+		t.Fatal("NextHop(5, pre) should drop")
+	}
+	if n, ok := in.NextHop(5, upd(5)); !ok || n != 3 {
+		t.Fatalf("NextHop(5, post) = %d,%v", n, ok)
+	}
+	// Non-pending shared switch: single rule regardless.
+	if n, ok := in.NextHop(3, upd()); !ok || n != 4 {
+		t.Fatalf("NextHop(3) = %d,%v", n, ok)
+	}
+	// Old-only switch: old rule always.
+	if n, ok := in.NextHop(2, upd(1, 5)); !ok || n != 3 {
+		t.Fatalf("NextHop(2) = %d,%v", n, ok)
+	}
+	// Destination: terminal.
+	if _, ok := in.NextHop(4, upd()); ok {
+		t.Fatal("NextHop(dst) should be terminal")
+	}
+}
+
+func TestCheckStateWaypointBypass(t *testing.T) {
+	// Old 1→2(w)→3→4, new 1→3→2(w)→4. Updating only 1: walk 1→3→2→4?
+	// No — 3 keeps its old rule 3→4, so the walk is 1→3→4, bypassing
+	// waypoint 2.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 2)
+	violated := in.CheckState(StateOf(1), NoBlackhole|WaypointEnforcement|RelaxedLoopFreedom)
+	if !violated.Has(WaypointEnforcement) {
+		t.Fatalf("violated = %v, want waypoint bypass", violated)
+	}
+	if violated.Has(NoBlackhole) || violated.Has(RelaxedLoopFreedom) {
+		t.Fatalf("violated = %v, unexpected extra violations", violated)
+	}
+}
+
+func TestCheckStateWaypointOKOnLoop(t *testing.T) {
+	// A looping state never delivers packets, so waypoint enforcement
+	// is not violated even though the loop is.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 2)
+	violated := in.CheckState(StateOf(3), WaypointEnforcement|RelaxedLoopFreedom)
+	if violated.Has(WaypointEnforcement) {
+		t.Fatal("waypoint flagged on a looping walk")
+	}
+	if !violated.Has(RelaxedLoopFreedom) {
+		t.Fatal("loop not flagged")
+	}
+}
+
+func TestCheckStateReachableLoopViolatesBoth(t *testing.T) {
+	// Old 1→2→3→4, new 1→3→2→4: state {1,3}: walk 1→3→2→3 — a loop
+	// reachable from the source violates relaxed and strong loop
+	// freedom alike.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	vio := in.CheckState(StateOf(1, 3), StrongLoopFreedom|RelaxedLoopFreedom)
+	if !vio.Has(StrongLoopFreedom) || !vio.Has(RelaxedLoopFreedom) {
+		t.Fatalf("violated = %v, want both loop properties", vio)
+	}
+}
+
+func TestCheckStateStaleCycleViolatesOnlyStrong(t *testing.T) {
+	// Old 1→..→8, new ⟨1,7,5,2,8⟩, state {1,5}: the walk is 1→7→8
+	// (reached via 7's still-old rule, loop-free), but the stale
+	// region holds the cycle 5→2→3→4→5 (5's new rule plus old rules).
+	// This is exactly the state relaxed loop freedom permits and
+	// strong loop freedom forbids.
+	in := MustInstance(topo.Path{1, 2, 3, 4, 5, 6, 7, 8}, topo.Path{1, 7, 5, 2, 8}, 0)
+	st := StateOf(1, 5)
+	walk, outcome := in.Walk(st)
+	if outcome != Reached || !walk.Equal(topo.Path{1, 7, 8}) {
+		t.Fatalf("walk = %v (%v), want 1->7->8 reached", walk, outcome)
+	}
+	vio := in.CheckState(st, StrongLoopFreedom|RelaxedLoopFreedom|NoBlackhole)
+	if !vio.Has(StrongLoopFreedom) {
+		t.Fatalf("violated = %v, want strong-LF (stale cycle 5→2→3→4→5)", vio)
+	}
+	if vio.Has(RelaxedLoopFreedom) || vio.Has(NoBlackhole) {
+		t.Fatalf("violated = %v, relaxed/blackhole must pass", vio)
+	}
+}
+
+// TestCheckStateLoopConsistency cross-checks the two loop notions over
+// every state of a fixed instance: a looping walk implies a strong
+// violation too, and a relaxed violation requires a looping walk.
+func TestCheckStateLoopConsistency(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4, 5, 6}, topo.Path{1, 4, 3, 6}, 0)
+	pend := in.Pending()
+	for mask := 0; mask < 1<<len(pend); mask++ {
+		st := make(State)
+		for i, v := range pend {
+			if mask&(1<<i) != 0 {
+				st[v] = true
+			}
+		}
+		vio := in.CheckState(st, StrongLoopFreedom|RelaxedLoopFreedom)
+		_, outcome := in.Walk(st)
+		if outcome == Looped && !vio.Has(StrongLoopFreedom) {
+			t.Fatalf("state %v: reachable loop must be a strong-LF violation", st)
+		}
+		if vio.Has(RelaxedLoopFreedom) && outcome != Looped {
+			t.Fatalf("state %v: relaxed violation without a looping walk", st)
+		}
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	s := StateOf(1, 2)
+	if !s[1] || !s[2] || s[3] {
+		t.Fatal("StateOf wrong")
+	}
+	c := s.Clone()
+	c[3] = true
+	if s[3] {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{Reached: "reached", Dropped: "dropped", Looped: "looped", Outcome(9): "unknown"} {
+		if o.String() != want {
+			t.Fatalf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}

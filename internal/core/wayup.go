@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"tsu/internal/topo"
+)
+
+// WayUp schedules the update under waypoint enforcement — the paper's
+// "transiently secure" property (after Ludwig, Rost, Foucard, Schmid,
+// HotNets'14): in every reachable transient state, any packet that
+// reaches the destination has traversed the waypoint, and no packet is
+// dropped. WayUp additionally preserves relaxed loop freedom whenever
+// that is jointly feasible; HotNets'14 proves joint feasibility cannot
+// always be achieved, in which case the schedule keeps waypoint
+// enforcement and sets LoopFreedomCompromised.
+//
+// The reconstruction (see DESIGN.md) orders updates in three phases by
+// position relative to the waypoint w. Write O1/O2 for strictly
+// before/after w on the old path and N1/N2 for the same on the new
+// path. The invariant is that packets which have not yet crossed w can
+// only ever sit on rules that keep them in the pre-waypoint region:
+//
+//	Phase A — every pending switch at or after w on the old path
+//	  (w itself, N1∩O2, N2∩O2) plus all new-path-only switches.
+//	  Throughout this phase the walk from the source still follows the
+//	  old prefix (no O1 switch changes), so packets reach these
+//	  switches only after crossing w, or not at all; any rule they find
+//	  there leads onward to the destination or back across the new
+//	  prefix through w again. Safe for every subset.
+//
+//	Phase B — O1∩N1: switches before w on both paths. Their new rules
+//	  steer pre-waypoint packets onto the new prefix, whose switches
+//	  are all final after phase A; every rule reachable before w (old
+//	  rules along O1, final rules along N1) leads to w before anything
+//	  post-waypoint. Safe for every subset.
+//
+//	Phase C — the dangerous set O1∩N2: before w on the old path,
+//	  after w on the new path. Updating such a switch earlier would let
+//	  a packet still travelling the old prefix jump to the post-
+//	  waypoint suffix, bypassing w. After phase B the source's walk is
+//	  the final new prefix up to w, so these switches are no longer
+//	  reachable by pre-waypoint packets and any batching is safe for
+//	  waypoint enforcement.
+//
+// Within each phase, rounds are batched with the same constructive
+// loop-freedom lemmas Peacock uses (waypoint safety is closed under
+// sub-partitioning); when even single-switch rounds would loop, the
+// phase is flushed (new-path-only switches first, so no transient
+// blackhole appears) and the schedule is flagged. Worst-case round
+// count is O(n), matching the HotNets'14 lower bound for waypoint
+// enforcement.
+func WayUp(in *Instance) (*Schedule, error) {
+	if in.Waypoint == 0 {
+		return nil, fmt.Errorf("core: wayup requires a waypoint in %v", in)
+	}
+	s := &Schedule{
+		Algorithm:  "wayup",
+		Guarantees: NoBlackhole | WaypointEnforcement,
+	}
+	wOld := in.OldIndex(in.Waypoint)
+	wNew := in.NewIndex(in.Waypoint)
+	done := make(State)
+
+	var phaseA, phaseB, phaseC []topo.NodeID
+	for _, v := range in.Pending() { // new-path order, deterministic
+		switch {
+		case in.NewOnly(v) || in.OldIndex(v) >= wOld:
+			phaseA = append(phaseA, v)
+		case in.NewIndex(v) < wNew:
+			phaseB = append(phaseB, v)
+		default:
+			phaseC = append(phaseC, v)
+		}
+	}
+
+	compromised := false
+	for _, phase := range [][]topo.NodeID{phaseA, phaseB, phaseC} {
+		compromised = in.appendLoopFreeBatches(s, done, phase) || compromised
+	}
+
+	s.LoopFreedomCompromised = compromised
+	if !compromised {
+		s.Guarantees |= RelaxedLoopFreedom
+	}
+	return s, nil
+}
+
+func markDone(done State, nodes []topo.NodeID) {
+	for _, v := range nodes {
+		done[v] = true
+	}
+}
+
+// appendLoopFreeBatches partitions nodes into rounds that keep the
+// forwarding walk loop-free and blackhole-free in every reachable
+// state, appending them to the schedule and updating done. When even
+// single-switch rounds would loop (waypoint enforcement and loop
+// freedom jointly infeasible), the remaining switches are flushed —
+// new-path-only switches first so no transient blackhole appears — and
+// the function reports the compromise.
+//
+// Batch construction mirrors Peacock's constructive lemmas (off-walk
+// and forward-landing sets, see peacock.go); when the lemmas yield
+// nothing it falls back to individually verified switches via the
+// exact subset checker.
+func (in *Instance) appendLoopFreeBatches(s *Schedule, done State, nodes []topo.NodeID) (compromised bool) {
+	remaining := make(map[topo.NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		remaining[v] = true
+	}
+	for len(remaining) > 0 {
+		var round []topo.NodeID
+		walk, outcome := in.Walk(done)
+		if outcome == Reached {
+			walkPos := make(map[topo.NodeID]int, len(walk))
+			for i, v := range walk {
+				walkPos[v] = i
+			}
+			for _, v := range nodes {
+				if !remaining[v] {
+					continue
+				}
+				if _, onWalk := walkPos[v]; !onWalk {
+					round = append(round, v)
+					continue
+				}
+				if land, ok := in.forwardLanding(v, done, walkPos); ok && land > walkPos[v] {
+					round = append(round, v)
+				}
+			}
+		}
+		if len(round) == 0 {
+			// Lemma-based batching found nothing (or the walk already
+			// loops because an earlier phase was compromised). Try
+			// individually verified single-switch rounds.
+			for _, v := range nodes {
+				if !remaining[v] {
+					continue
+				}
+				cex, exact := in.CheckRound(done, []topo.NodeID{v}, NoBlackhole|RelaxedLoopFreedom, 0)
+				if exact && cex == nil {
+					round = []topo.NodeID{v}
+					break
+				}
+			}
+		}
+		if len(round) == 0 {
+			// Loop freedom is infeasible from here; preserve waypoint
+			// enforcement and blackhole freedom and flush the
+			// remainder.
+			var newOnly, rest []topo.NodeID
+			for _, v := range nodes {
+				if !remaining[v] {
+					continue
+				}
+				if in.NewOnly(v) {
+					newOnly = append(newOnly, v)
+				} else {
+					rest = append(rest, v)
+				}
+			}
+			for _, flush := range [][]topo.NodeID{newOnly, rest} {
+				if len(flush) > 0 {
+					s.Rounds = append(s.Rounds, flush)
+					markDone(done, flush)
+				}
+			}
+			return true
+		}
+		s.Rounds = append(s.Rounds, round)
+		markDone(done, round)
+		for _, v := range round {
+			delete(remaining, v)
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/netem"
+	"tsu/internal/topo"
+)
+
+// tableRows splits a rendered table into its data rows.
+func tableRows(t *testing.T, s string) [][]string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("table too short:\n%s", s)
+	}
+	var rows [][]string
+	for _, ln := range lines[2:] {
+		rows = append(rows, strings.Fields(ln))
+	}
+	return rows
+}
+
+func TestBedLifecycle(t *testing.T) {
+	bed, err := NewBed(topo.Fig1(), BedConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bed.Close()
+	if got := len(bed.Ctrl.Datapaths()); got != 12 {
+		t.Fatalf("datapaths = %d", got)
+	}
+	if err := bed.InstallOldPolicy(topo.Fig1OldPath); err != nil {
+		t.Fatal(err)
+	}
+	in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	sched, err := core.WayUp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := bed.RunUpdate(in, sched, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.TotalDuration() <= 0 {
+		t.Fatal("no duration recorded")
+	}
+}
+
+func TestE1Fig1(t *testing.T) {
+	tbl, err := E1Fig1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(t, tbl.String())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Row 0 is wayup: zero bypasses/loops/drops.
+	if rows[0][0] != "wayup" {
+		t.Fatalf("first row: %v", rows[0])
+	}
+	for col := 4; col <= 6; col++ {
+		if rows[0][col] != "0" {
+			t.Fatalf("wayup violation column %d = %s (row %v)", col, rows[0][col], rows[0])
+		}
+	}
+	// WayUp uses more than one round; one-shot exactly one.
+	if rows[0][1] == "1" {
+		t.Fatalf("wayup rounds = %s", rows[0][1])
+	}
+	if rows[1][1] != "1" {
+		t.Fatalf("oneshot rounds = %s", rows[1][1])
+	}
+}
+
+func TestE3ViolationsShape(t *testing.T) {
+	tbl, err := E3Violations(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(t, tbl.String())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	sawUnsafe := false
+	for _, r := range rows {
+		oneshot, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wayup, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wayup != 0 {
+			t.Fatalf("wayup unsafe fraction %v on row %v", wayup, r)
+		}
+		if oneshot > 0 {
+			sawUnsafe = true
+		}
+	}
+	if !sawUnsafe {
+		t.Fatal("one-shot never unsafe across all sizes — generator or verifier broken")
+	}
+}
+
+func TestE4RoundsShape(t *testing.T) {
+	tbl, err := E4Rounds(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(t, tbl.String())
+	if len(rows) != 28 { // 4 families × 7 sizes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		family := r[0]
+		n, _ := strconv.Atoi(r[1])
+		peacock, _ := strconv.Atoi(r[2])
+		greedy, _ := strconv.Atoi(r[3])
+		if peacock <= 0 || greedy <= 0 {
+			t.Fatalf("non-positive rounds: %v", r)
+		}
+		// The PODC'15 shape lives on the nested family: strong loop
+		// freedom is forced through a linear dependency chain of
+		// backward rules while relaxed loop freedom stays flat.
+		if family == "nested" {
+			if peacock > 4 {
+				t.Fatalf("nested n=%d: peacock rounds %d not flat", n, peacock)
+			}
+			if wantMin := n / 4; greedy < wantMin {
+				t.Fatalf("nested n=%d: greedy-slf rounds %d, want >= %d (linear growth)", n, greedy, wantMin)
+			}
+		}
+		if family == "reversal" && peacock > 3 {
+			t.Fatalf("reversal: peacock rounds %d > 3", peacock)
+		}
+	}
+}
+
+func TestE5ComputeRuns(t *testing.T) {
+	tbl, err := E5Compute(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tableRows(t, tbl.String())) != 5 {
+		t.Fatal("unexpected row count")
+	}
+}
+
+func TestE9MultiPolicyShape(t *testing.T) {
+	tbl, err := E9MultiPolicy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(t, tbl.String())
+	if len(rows) != 10 { // 2 substrates × 5 values of k
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		joint, _ := strconv.Atoi(r[2])
+		seq, _ := strconv.Atoi(r[3])
+		if joint > seq {
+			t.Fatalf("joint rounds %d > sequential %d: %v", joint, seq, r)
+		}
+	}
+	// Larger k must not shrink total flowmods (within a substrate).
+	first, _ := strconv.Atoi(rows[0][4])
+	last, _ := strconv.Atoi(rows[4][4])
+	if last <= first {
+		t.Fatalf("flowmods did not grow with k: %v → %v", first, last)
+	}
+}
+
+func TestE6UpdateTimeVsNSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP sweep")
+	}
+	tbl, err := E6UpdateTimeVsN(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(t, tbl.String())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestMatchAndConstants(t *testing.T) {
+	m := Match()
+	if m.NWDstIP().String() != FlowIP {
+		t.Fatalf("match dst = %s", m.NWDstIP())
+	}
+	if FlowNWDst != 0x0a000002 {
+		t.Fatal("FlowNWDst constant wrong")
+	}
+}
+
+func TestBedConfigSeedsDiffer(t *testing.T) {
+	// Distinct seeds must produce distinct jitter streams (different
+	// per-switch sources); indirectly assert via netem determinism.
+	a := netem.NewSource(1*1000003 + 5)
+	b := netem.NewSource(2*1000003 + 5)
+	dist := netem.Uniform{Min: 0, Max: time.Second}
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Sample(dist) != b.Sample(dist) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}

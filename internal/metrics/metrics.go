@@ -1,0 +1,182 @@
+// Package metrics provides the small measurement toolkit the
+// experiment harness uses: duration histograms with percentile
+// summaries and fixed-width text tables matching the repository's
+// experiment output format.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram accumulates duration samples. The zero value is ready to
+// use. Not safe for concurrent use; callers aggregate per goroutine.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record adds a sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+func (h *Histogram) sortSamples() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank; zero when empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(p/100*float64(len(h.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Min returns the smallest sample (zero when empty).
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[0]
+}
+
+// Max returns the largest sample (zero when empty).
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[len(h.samples)-1]
+}
+
+// Mean returns the arithmetic mean (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Summary renders "n=… mean=… p50=… p95=… max=…".
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s max=%s",
+		h.N(), Round(h.Mean()), Round(h.Percentile(50)), Round(h.Percentile(95)), Round(h.Max()))
+}
+
+// Round trims a duration to a readable precision (10µs granularity
+// under a second, 1ms above).
+func Round(d time.Duration) time.Duration {
+	if d < time.Second {
+		return d.Round(10 * time.Microsecond)
+	}
+	return d.Round(time.Millisecond)
+}
+
+// Table renders fixed-width experiment tables.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = Round(v).String()
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b) // strings.Builder never errors
+	return b.String()
+}

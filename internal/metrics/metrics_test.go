@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram must be all zeros")
+	}
+	if h.Summary() == "" {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Percentile(50); got < 49*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(95); got < 94*time.Millisecond || got > 96*time.Millisecond {
+		t.Fatalf("p95 = %v", got)
+	}
+	if h.Percentile(0) != h.Min() || h.Percentile(100) != h.Max() {
+		t.Fatal("percentile extremes wrong")
+	}
+}
+
+func TestHistogramUnsortedInsertions(t *testing.T) {
+	var h Histogram
+	for _, ms := range []int{50, 10, 90, 30, 70} {
+		h.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 90*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Interleave recording and querying: sorted flag must reset.
+	h.Record(5 * time.Millisecond)
+	if h.Min() != 5*time.Millisecond {
+		t.Fatal("sorted flag stale after Record")
+	}
+}
+
+func TestRound(t *testing.T) {
+	if got := Round(123456 * time.Nanosecond); got != 120*time.Microsecond {
+		t.Fatalf("Round(123.456µs) = %v", got)
+	}
+	if got := Round(2345 * time.Millisecond); got != 2345*time.Millisecond {
+		t.Fatalf("Round(2.345s) = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("algo", "rounds", "time")
+	tbl.AddRow("wayup", 3, 1500*time.Microsecond)
+	tbl.AddRow("oneshot", 1, 2.5)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "algo") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "wayup") || !strings.Contains(lines[2], "1.5ms") {
+		t.Fatalf("row: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "2.50") {
+		t.Fatalf("float row: %q", lines[3])
+	}
+	// Columns aligned: "rounds" column starts at the same offset.
+	idx0 := strings.Index(lines[0], "rounds")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx0 {
+			t.Fatalf("short row %q", ln)
+		}
+	}
+}
+
+func TestTableFprintPropagatesWrites(t *testing.T) {
+	tbl := NewTable("a")
+	tbl.AddRow(1)
+	var sb strings.Builder
+	if err := tbl.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Fatal("nothing written")
+	}
+}

@@ -1,0 +1,155 @@
+// Package netem models the asynchrony of the SDN control channel: the
+// per-message latencies that make FlowMods "take effect out of order"
+// across switches (the paper's core problem statement), and the
+// rule-installation delays of real switches (Kuzniar, Peresini, Kostic,
+// PAM'15 — cited by the paper — report variable, sometimes
+// heavy-tailed flow-table update latencies).
+//
+// All randomness is drawn from explicitly seeded sources so that every
+// experiment in this repository is reproducible run-to-run.
+package netem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Latency is a samplable delay distribution.
+type Latency interface {
+	// Sample draws one delay; implementations never return a negative
+	// duration.
+	Sample(rng *rand.Rand) time.Duration
+	String() string
+}
+
+// Fixed is a constant delay (zero models an ideal channel).
+type Fixed time.Duration
+
+// Sample returns the constant delay.
+func (f Fixed) Sample(*rand.Rand) time.Duration {
+	if f < 0 {
+		return 0
+	}
+	return time.Duration(f)
+}
+
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%v)", time.Duration(f)) }
+
+// Uniform draws uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample draws from the interval; a degenerate interval behaves like
+// Fixed(Min).
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	lo, hi := u.Min, u.Max
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v..%v)", u.Min, u.Max) }
+
+// Normal draws from a truncated-at-zero normal distribution — the
+// common-case model for control-channel RTT jitter.
+type Normal struct {
+	Mean, Stddev time.Duration
+}
+
+// Sample draws one delay, truncating negatives to zero.
+func (n Normal) Sample(rng *rand.Rand) time.Duration {
+	d := time.Duration(rng.NormFloat64()*float64(n.Stddev) + float64(n.Mean))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func (n Normal) String() string { return fmt.Sprintf("normal(μ=%v,σ=%v)", n.Mean, n.Stddev) }
+
+// Pareto draws from a bounded Pareto distribution — the heavy-tailed
+// model for switch rule-installation latency (occasional multi-ms
+// stalls, after the PAM'15 measurements).
+type Pareto struct {
+	Scale time.Duration // minimum delay (x_m)
+	Alpha float64       // tail index; smaller = heavier tail
+	Cap   time.Duration // upper bound; zero means 100× scale
+}
+
+// Sample draws one delay.
+func (p Pareto) Sample(rng *rand.Rand) time.Duration {
+	scale := p.Scale
+	if scale <= 0 {
+		return 0
+	}
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	d := time.Duration(float64(scale) / math.Pow(u, 1/alpha))
+	capAt := p.Cap
+	if capAt <= 0 {
+		capAt = 100 * scale
+	}
+	if d > capAt {
+		d = capAt
+	}
+	return d
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("pareto(xm=%v,α=%.2f)", p.Scale, p.Alpha)
+}
+
+// Source is a mutex-guarded seeded random source usable from many
+// goroutines (switches sample concurrently).
+type Source struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSource returns a deterministic source for the seed.
+func NewSource(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws from dist using the guarded RNG.
+func (s *Source) Sample(dist Latency) time.Duration {
+	if dist == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return dist.Sample(s.rng)
+}
+
+// Int63n draws a uniform integer in [0, n) using the guarded RNG.
+func (s *Source) Int63n(n int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Int63n(n)
+}
+
+// Sleep samples dist and sleeps that long (no-op for zero delays).
+func (s *Source) Sleep(dist Latency) time.Duration {
+	d := s.Sample(dist)
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return d
+}

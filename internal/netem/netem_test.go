@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := Fixed(3 * time.Millisecond).Sample(rng); d != 3*time.Millisecond {
+		t.Fatalf("fixed sample = %v", d)
+	}
+	if d := Fixed(-5).Sample(rng); d != 0 {
+		t.Fatalf("negative fixed = %v", d)
+	}
+	if Fixed(time.Second).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := Uniform{Min: time.Millisecond, Max: 4 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(rng)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("uniform sample %v outside [%v,%v]", d, u.Min, u.Max)
+		}
+	}
+	// Swapped bounds are tolerated.
+	sw := Uniform{Min: 4 * time.Millisecond, Max: time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := sw.Sample(rng)
+		if d < time.Millisecond || d > 4*time.Millisecond {
+			t.Fatalf("swapped-bounds sample %v", d)
+		}
+	}
+	if d := (Uniform{Min: 5, Max: 5}).Sample(rng); d != 5 {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+	if d := (Uniform{Min: -10, Max: -5}).Sample(rng); d < 0 {
+		t.Fatalf("negative uniform = %v", d)
+	}
+}
+
+func TestNormalNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := Normal{Mean: time.Millisecond, Stddev: 2 * time.Millisecond}
+	for i := 0; i < 2000; i++ {
+		if d := n.Sample(rng); d < 0 {
+			t.Fatalf("normal sample negative: %v", d)
+		}
+	}
+}
+
+func TestNormalMeanRoughlyRight(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := Normal{Mean: 10 * time.Millisecond, Stddev: time.Millisecond}
+	var sum time.Duration
+	const iters = 5000
+	for i := 0; i < iters; i++ {
+		sum += n.Sample(rng)
+	}
+	mean := sum / iters
+	if mean < 9*time.Millisecond || mean > 11*time.Millisecond {
+		t.Fatalf("empirical mean %v, want ≈10ms", mean)
+	}
+}
+
+func TestParetoBoundsAndTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Pareto{Scale: time.Millisecond, Alpha: 1.2}
+	sawTail := false
+	for i := 0; i < 5000; i++ {
+		d := p.Sample(rng)
+		if d < p.Scale {
+			t.Fatalf("pareto sample %v below scale", d)
+		}
+		if d > 100*time.Millisecond {
+			t.Fatalf("pareto sample %v above default cap", d)
+		}
+		if d > 10*time.Millisecond {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Fatal("heavy tail never materialized in 5000 samples")
+	}
+	if d := (Pareto{Scale: 0}).Sample(rng); d != 0 {
+		t.Fatalf("zero-scale pareto = %v", d)
+	}
+	capd := Pareto{Scale: time.Millisecond, Alpha: 0.5, Cap: 2 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if d := capd.Sample(rng); d > 2*time.Millisecond {
+			t.Fatalf("cap violated: %v", d)
+		}
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := NewSource(99), NewSource(99)
+	dist := Uniform{Min: 0, Max: time.Second}
+	for i := 0; i < 100; i++ {
+		if a.Sample(dist) != b.Sample(dist) {
+			t.Fatal("same-seed sources disagree")
+		}
+	}
+	if a.Int63n(1000) != b.Int63n(1000) {
+		t.Fatal("Int63n disagrees")
+	}
+}
+
+func TestSourceNilDist(t *testing.T) {
+	s := NewSource(1)
+	if d := s.Sample(nil); d != 0 {
+		t.Fatalf("nil dist sample = %v", d)
+	}
+	if d := s.Sleep(nil); d != 0 {
+		t.Fatalf("nil dist sleep = %v", d)
+	}
+}
+
+func TestSourceConcurrentUse(t *testing.T) {
+	s := NewSource(7)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				s.Sample(Uniform{Min: 0, Max: time.Microsecond})
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestSleepActuallySleeps(t *testing.T) {
+	s := NewSource(8)
+	start := time.Now()
+	d := s.Sleep(Fixed(5 * time.Millisecond))
+	if d != 5*time.Millisecond {
+		t.Fatalf("sleep returned %v", d)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("slept only %v", elapsed)
+	}
+}
+
+// TestQuickAllDistributionsNonNegative property-tests the invariant
+// every Latency implementation promises.
+func TestQuickAllDistributionsNonNegative(t *testing.T) {
+	f := func(seed int64, a, b int32, alpha float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dists := []Latency{
+			Fixed(time.Duration(a)),
+			Uniform{Min: time.Duration(a), Max: time.Duration(b)},
+			Normal{Mean: time.Duration(a), Stddev: time.Duration(b)},
+			Pareto{Scale: time.Duration(a), Alpha: alpha},
+		}
+		for _, d := range dists {
+			for i := 0; i < 20; i++ {
+				if d.Sample(rng) < 0 {
+					return false
+				}
+			}
+			if d.String() == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package ofconn
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tsu/internal/openflow"
+)
+
+// pipePair returns two connected Conns over loopback TCP. Real TCP
+// (not net.Pipe) because the handshake legitimately has both sides
+// write HELLO before reading — fine with kernel socket buffers,
+// deadlock on an unbuffered in-memory pipe.
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	acceptc := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptc <- accepted{c, err}
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-acceptc
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	ca, cb := New(a), New(acc.c)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+func TestReadWriteMessage(t *testing.T) {
+	ca, cb := pipePair(t)
+	go func() {
+		m := &openflow.EchoRequest{Data: []byte("hello")}
+		m.SetXid(42)
+		ca.WriteMessage(m) //nolint:errcheck // test writer
+	}()
+	m, err := cb.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, ok := m.(*openflow.EchoRequest)
+	if !ok || echo.Xid() != 42 || string(echo.Data) != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestReadMessageAcrossPartialWrites(t *testing.T) {
+	// Framing must survive byte-dribbled delivery.
+	a, b := net.Pipe()
+	cb := New(b)
+	defer a.Close()
+	defer cb.Close()
+
+	m := &openflow.EchoRequest{Data: []byte("fragmented-payload")}
+	m.SetXid(7)
+	wire, err := openflow.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for _, chunk := range [][]byte{wire[:3], wire[3:10], wire[10:]} {
+			a.Write(chunk) //nolint:errcheck // test writer
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	got, err := cb.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo := got.(*openflow.EchoRequest); string(echo.Data) != "fragmented-payload" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadMessageBackToBack(t *testing.T) {
+	// Two messages in one write must be framed separately.
+	a, b := net.Pipe()
+	cb := New(b)
+	defer a.Close()
+	defer cb.Close()
+
+	m1 := &openflow.BarrierRequest{}
+	m1.SetXid(1)
+	m2 := &openflow.BarrierReply{}
+	m2.SetXid(2)
+	w1, _ := openflow.Encode(m1)
+	w2, _ := openflow.Encode(m2)
+	go a.Write(append(w1, w2...)) //nolint:errcheck // test writer
+
+	first, err := cb.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cb.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.MsgType() != openflow.TypeBarrierRequest || second.MsgType() != openflow.TypeBarrierReply {
+		t.Fatalf("order: %s then %s", first.MsgType(), second.MsgType())
+	}
+}
+
+func TestNextXidUniqueUnderConcurrency(t *testing.T) {
+	c := New(nil2())
+	defer c.Close()
+	const n = 64
+	const per = 1000
+	var mu sync.Mutex
+	seen := make(map[uint32]bool, n*per)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint32, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, c.NextXid())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, x := range local {
+				if x == 0 {
+					t.Error("zero xid allocated")
+				}
+				if seen[x] {
+					t.Errorf("duplicate xid %d", x)
+				}
+				seen[x] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// nil2 returns a throwaway connection for xid-only tests.
+func nil2() net.Conn {
+	a, b := net.Pipe()
+	go func() { _ = b }()
+	return a
+}
+
+func TestHandshakeBothSides(t *testing.T) {
+	ca, cb := pipePair(t)
+	features := &openflow.FeaturesReply{DatapathID: 42, NTables: 1}
+
+	errc := make(chan error, 1)
+	go func() { errc <- HandshakeSwitch(cb, features) }()
+
+	got, err := HandshakeController(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DatapathID != 42 {
+		t.Fatalf("dpid = %d", got.DatapathID)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeControllerRejectsNonHello(t *testing.T) {
+	ca, cb := pipePair(t)
+	go func() {
+		// Drain the controller's hello, then send garbage.
+		cb.ReadMessage() //nolint:errcheck // test peer
+		m := &openflow.BarrierRequest{}
+		m.SetXid(1)
+		cb.WriteMessage(m) //nolint:errcheck // test peer
+	}()
+	if _, err := HandshakeController(ca); err == nil {
+		t.Fatal("non-hello accepted")
+	}
+}
+
+func TestHandshakeSurvivesEchoDuringFeatures(t *testing.T) {
+	ca, cb := pipePair(t)
+	errc := make(chan error, 1)
+	go func() {
+		// Switch side: hello, read hello, read features request, but
+		// interleave an echo request before the features reply.
+		if _, err := cb.Send(&openflow.Hello{}); err != nil {
+			errc <- err
+			return
+		}
+		if _, err := cb.ReadMessage(); err != nil { // controller hello
+			errc <- err
+			return
+		}
+		req, err := cb.ReadMessage() // features request
+		if err != nil {
+			errc <- err
+			return
+		}
+		if _, err := cb.Send(&openflow.EchoRequest{Data: []byte("mid")}); err != nil {
+			errc <- err
+			return
+		}
+		if _, err := cb.ReadMessage(); err != nil { // echo reply
+			errc <- err
+			return
+		}
+		fr := &openflow.FeaturesReply{DatapathID: 9}
+		fr.SetXid(req.Xid())
+		errc <- cb.WriteMessage(fr)
+	}()
+	fr, err := HandshakeController(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.DatapathID != 9 {
+		t.Fatalf("dpid = %d", fr.DatapathID)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatDpid(t *testing.T) {
+	if got := FormatDpid(3); got != "0000000000000003" {
+		t.Fatalf("FormatDpid(3) = %q", got)
+	}
+	if got := FormatDpid(0xdeadbeef); got != "00000000deadbeef" {
+		t.Fatalf("FormatDpid = %q", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a, _ := net.Pipe()
+	c := New(a)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

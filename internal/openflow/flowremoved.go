@@ -1,0 +1,110 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TypeFlowRemoved and TypePortStatus are the asynchronous notification
+// message types of OpenFlow 1.0 this subset supports.
+const (
+	TypeFlowRemoved MsgType = 11
+	TypePortStatus  MsgType = 12
+)
+
+// Flow-removed reasons (ofp_flow_removed_reason).
+const (
+	FlowRemovedIdleTimeout uint8 = 0
+	FlowRemovedHardTimeout uint8 = 1
+	FlowRemovedDelete      uint8 = 2
+)
+
+// FlowRemoved notifies the controller that a flow entry expired or was
+// deleted (sent when the entry carried FlagSendFlowRem).
+type FlowRemoved struct {
+	xid
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+const flowRemovedFixed = MatchLen + 40
+
+// MsgType returns TypeFlowRemoved.
+func (*FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+func (m *FlowRemoved) bodyLen() int   { return flowRemovedFixed }
+func (m *FlowRemoved) encodeBody(b []byte) error {
+	m.Match.encode(b[0:MatchLen])
+	off := MatchLen
+	binary.BigEndian.PutUint64(b[off:off+8], m.Cookie)
+	binary.BigEndian.PutUint16(b[off+8:off+10], m.Priority)
+	b[off+10] = m.Reason
+	b[off+11] = 0 // pad
+	binary.BigEndian.PutUint32(b[off+12:off+16], m.DurationSec)
+	binary.BigEndian.PutUint32(b[off+16:off+20], m.DurationNsec)
+	binary.BigEndian.PutUint16(b[off+20:off+22], m.IdleTimeout)
+	b[off+22], b[off+23] = 0, 0 // pad
+	binary.BigEndian.PutUint64(b[off+24:off+32], m.PacketCount)
+	binary.BigEndian.PutUint64(b[off+32:off+40], m.ByteCount)
+	return nil
+}
+func (m *FlowRemoved) decodeBody(b []byte) error {
+	if len(b) != flowRemovedFixed {
+		return fmt.Errorf("flow removed body %d bytes, want %d", len(b), flowRemovedFixed)
+	}
+	if err := m.Match.decode(b[0:MatchLen]); err != nil {
+		return err
+	}
+	off := MatchLen
+	m.Cookie = binary.BigEndian.Uint64(b[off : off+8])
+	m.Priority = binary.BigEndian.Uint16(b[off+8 : off+10])
+	m.Reason = b[off+10]
+	m.DurationSec = binary.BigEndian.Uint32(b[off+12 : off+16])
+	m.DurationNsec = binary.BigEndian.Uint32(b[off+16 : off+20])
+	m.IdleTimeout = binary.BigEndian.Uint16(b[off+20 : off+22])
+	m.PacketCount = binary.BigEndian.Uint64(b[off+24 : off+32])
+	m.ByteCount = binary.BigEndian.Uint64(b[off+32 : off+40])
+	return nil
+}
+
+// Port-status reasons (ofp_port_reason).
+const (
+	PortAdd    uint8 = 0
+	PortDelete uint8 = 1
+	PortModify uint8 = 2
+)
+
+// PortStatus notifies the controller of a port change.
+type PortStatus struct {
+	xid
+	Reason uint8
+	Port   PhyPort
+}
+
+const portStatusFixed = 8
+
+// MsgType returns TypePortStatus.
+func (*PortStatus) MsgType() MsgType { return TypePortStatus }
+func (m *PortStatus) bodyLen() int   { return portStatusFixed + phyPortLen }
+func (m *PortStatus) encodeBody(b []byte) error {
+	b[0] = m.Reason
+	for i := 1; i < portStatusFixed; i++ {
+		b[i] = 0 // pad
+	}
+	m.Port.encode(b[portStatusFixed:])
+	return nil
+}
+func (m *PortStatus) decodeBody(b []byte) error {
+	if len(b) != portStatusFixed+phyPortLen {
+		return fmt.Errorf("port status body %d bytes, want %d", len(b), portStatusFixed+phyPortLen)
+	}
+	m.Reason = b[0]
+	m.Port.decode(b[portStatusFixed:])
+	return nil
+}

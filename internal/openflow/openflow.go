@@ -1,0 +1,229 @@
+// Package openflow implements the OpenFlow 1.0 wire protocol subset the
+// prototype uses: the controller↔switch handshake (HELLO, FEATURES),
+// rule installation (FLOW_MOD with OUTPUT actions), the barrier
+// exchange that delimits update rounds (BARRIER_REQUEST/REPLY), flow
+// statistics (STATS_REQUEST/REPLY, used to measure flow-table update
+// time), liveness (ECHO), and error reporting.
+//
+// All encoding is big-endian per the specification, with strict length
+// validation on decode: a malformed message yields an error, never a
+// partially populated struct. Messages are plain structs; Encode and
+// Decode translate between them and wire bytes. Framing over a stream
+// (reading exactly one message) lives in package ofconn.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Version is the only protocol version spoken: OpenFlow 1.0 (0x01).
+const Version = 0x01
+
+// HeaderLen is the length of the fixed ofp_header.
+const HeaderLen = 8
+
+// MaxMessageLen bounds a message's total length (the header's length
+// field is 16-bit).
+const MaxMessageLen = 1<<16 - 1
+
+// MsgType enumerates the ofp_type values of OpenFlow 1.0.
+type MsgType uint8
+
+// OpenFlow 1.0 message types (ofp_type).
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeVendor          MsgType = 4
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypePacketIn        MsgType = 10
+	TypePacketOut       MsgType = 13
+	TypeFlowMod         MsgType = 14
+	TypeStatsRequest    MsgType = 16
+	TypeStatsReply      MsgType = 17
+	TypeBarrierRequest  MsgType = 18
+	TypeBarrierReply    MsgType = 19
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeError:
+		return "ERROR"
+	case TypeEchoRequest:
+		return "ECHO_REQUEST"
+	case TypeEchoReply:
+		return "ECHO_REPLY"
+	case TypeVendor:
+		return "VENDOR"
+	case TypeFeaturesRequest:
+		return "FEATURES_REQUEST"
+	case TypeFeaturesReply:
+		return "FEATURES_REPLY"
+	case TypePacketIn:
+		return "PACKET_IN"
+	case TypeFlowRemoved:
+		return "FLOW_REMOVED"
+	case TypePortStatus:
+		return "PORT_STATUS"
+	case TypePacketOut:
+		return "PACKET_OUT"
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	case TypeStatsRequest:
+		return "STATS_REQUEST"
+	case TypeStatsReply:
+		return "STATS_REPLY"
+	case TypeBarrierRequest:
+		return "BARRIER_REQUEST"
+	case TypeBarrierReply:
+		return "BARRIER_REPLY"
+	}
+	return fmt.Sprintf("TYPE_%d", uint8(t))
+}
+
+// Header is the fixed ofp_header preceding every message.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16 // total message length including the header
+	Xid     uint32 // transaction id echoed by replies
+}
+
+func putHeader(b []byte, t MsgType, length int, xid uint32) {
+	b[0] = Version
+	b[1] = uint8(t)
+	binary.BigEndian.PutUint16(b[2:4], uint16(length))
+	binary.BigEndian.PutUint32(b[4:8], xid)
+}
+
+// ParseHeader decodes the fixed header and validates version and
+// length bounds.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("openflow: header truncated: %d bytes", len(b))
+	}
+	h := Header{
+		Version: b[0],
+		Type:    MsgType(b[1]),
+		Length:  binary.BigEndian.Uint16(b[2:4]),
+		Xid:     binary.BigEndian.Uint32(b[4:8]),
+	}
+	if h.Version != Version {
+		return Header{}, fmt.Errorf("openflow: unsupported version 0x%02x", h.Version)
+	}
+	if int(h.Length) < HeaderLen {
+		return Header{}, fmt.Errorf("openflow: header length %d < %d", h.Length, HeaderLen)
+	}
+	return h, nil
+}
+
+// Message is any OpenFlow message of the supported subset. Xid returns
+// the transaction id; SetXid is provided by all implementations via the
+// embedded field, so the connection layer can allocate ids uniformly.
+type Message interface {
+	MsgType() MsgType
+	Xid() uint32
+	SetXid(uint32)
+
+	// bodyLen returns the encoded body length (total minus header).
+	bodyLen() int
+	// encodeBody writes the body into b, which has exactly bodyLen()
+	// bytes.
+	encodeBody(b []byte) error
+}
+
+// xid provides the Xid accessors every message embeds.
+type xid struct {
+	ID uint32
+}
+
+// Xid returns the message's transaction id.
+func (x *xid) Xid() uint32 { return x.ID }
+
+// SetXid sets the message's transaction id.
+func (x *xid) SetXid(v uint32) { x.ID = v }
+
+// Encode serialises m into its complete wire form.
+func Encode(m Message) ([]byte, error) {
+	total := HeaderLen + m.bodyLen()
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("openflow: %s message of %d bytes exceeds maximum %d", m.MsgType(), total, MaxMessageLen)
+	}
+	buf := make([]byte, total)
+	putHeader(buf, m.MsgType(), total, m.Xid())
+	if err := m.encodeBody(buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Decode parses exactly one complete message. The input must contain
+// the entire message and nothing more (framing is the caller's job).
+func Decode(b []byte) (Message, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if int(h.Length) != len(b) {
+		return nil, fmt.Errorf("openflow: header says %d bytes, got %d", h.Length, len(b))
+	}
+	body := b[HeaderLen:]
+	var m Message
+	switch h.Type {
+	case TypeHello:
+		m = &Hello{}
+	case TypeError:
+		m = &Error{}
+	case TypeEchoRequest:
+		m = &EchoRequest{}
+	case TypeEchoReply:
+		m = &EchoReply{}
+	case TypeFeaturesRequest:
+		m = &FeaturesRequest{}
+	case TypeFeaturesReply:
+		m = &FeaturesReply{}
+	case TypePacketIn:
+		m = &PacketIn{}
+	case TypeFlowRemoved:
+		m = &FlowRemoved{}
+	case TypePortStatus:
+		m = &PortStatus{}
+	case TypePacketOut:
+		m = &PacketOut{}
+	case TypeFlowMod:
+		m = &FlowMod{}
+	case TypeStatsRequest:
+		m = &StatsRequest{}
+	case TypeStatsReply:
+		m = &StatsReply{}
+	case TypeBarrierRequest:
+		m = &BarrierRequest{}
+	case TypeBarrierReply:
+		m = &BarrierReply{}
+	default:
+		return nil, fmt.Errorf("openflow: unsupported message type %s", h.Type)
+	}
+	if err := decodeBodyInto(m, body); err != nil {
+		return nil, fmt.Errorf("openflow: decoding %s: %w", h.Type, err)
+	}
+	m.SetXid(h.Xid)
+	return m, nil
+}
+
+// bodyDecoder is implemented by every message to parse its body.
+type bodyDecoder interface {
+	decodeBody(b []byte) error
+}
+
+func decodeBodyInto(m Message, body []byte) error {
+	d, ok := m.(bodyDecoder)
+	if !ok {
+		return fmt.Errorf("message type %s lacks a decoder", m.MsgType())
+	}
+	return d.decodeBody(body)
+}

@@ -1,0 +1,94 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PacketIn reasons (ofp_packet_in_reason).
+const (
+	PacketInReasonNoMatch uint8 = 0
+	PacketInReasonAction  uint8 = 1
+)
+
+// PacketIn delivers a data-plane packet to the controller (table miss
+// or explicit output-to-controller action).
+type PacketIn struct {
+	xid
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+const packetInFixed = 10
+
+// MsgType returns TypePacketIn.
+func (*PacketIn) MsgType() MsgType { return TypePacketIn }
+func (m *PacketIn) bodyLen() int   { return packetInFixed + len(m.Data) }
+func (m *PacketIn) encodeBody(b []byte) error {
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(b[6:8], m.InPort)
+	b[8] = m.Reason
+	b[9] = 0 // pad
+	copy(b[packetInFixed:], m.Data)
+	return nil
+}
+func (m *PacketIn) decodeBody(b []byte) error {
+	if len(b) < packetInFixed {
+		return fmt.Errorf("packet-in body %d bytes, want >= %d", len(b), packetInFixed)
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.TotalLen = binary.BigEndian.Uint16(b[4:6])
+	m.InPort = binary.BigEndian.Uint16(b[6:8])
+	m.Reason = b[8]
+	m.Data = append([]byte(nil), b[packetInFixed:]...)
+	return nil
+}
+
+// PacketOut injects a data-plane packet through the switch — how the
+// probe harness launches measurement traffic during updates.
+type PacketOut struct {
+	xid
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+const packetOutFixed = 8
+
+// MsgType returns TypePacketOut.
+func (*PacketOut) MsgType() MsgType { return TypePacketOut }
+func (m *PacketOut) bodyLen() int {
+	return packetOutFixed + actionsWireLen(m.Actions) + len(m.Data)
+}
+func (m *PacketOut) encodeBody(b []byte) error {
+	actLen := actionsWireLen(m.Actions)
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	binary.BigEndian.PutUint16(b[6:8], uint16(actLen))
+	encodeActions(b[packetOutFixed:packetOutFixed+actLen], m.Actions)
+	copy(b[packetOutFixed+actLen:], m.Data)
+	return nil
+}
+func (m *PacketOut) decodeBody(b []byte) error {
+	if len(b) < packetOutFixed {
+		return fmt.Errorf("packet-out body %d bytes, want >= %d", len(b), packetOutFixed)
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	actLen := int(binary.BigEndian.Uint16(b[6:8]))
+	if packetOutFixed+actLen > len(b) {
+		return fmt.Errorf("packet-out actions of %d bytes overrun body of %d", actLen, len(b))
+	}
+	actions, err := decodeActions(b[packetOutFixed : packetOutFixed+actLen])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	m.Data = append([]byte(nil), b[packetOutFixed+actLen:]...)
+	return nil
+}

@@ -1,0 +1,198 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StatsType enumerates ofp_stats_types of the supported subset.
+type StatsType uint16
+
+// Supported statistics kinds.
+const (
+	StatsFlow StatsType = 1
+)
+
+// StatsRequest asks the switch for statistics; the prototype uses flow
+// statistics to observe flow-table contents and measure update times.
+type StatsRequest struct {
+	xid
+	Kind  StatsType
+	Flags uint16
+	Flow  *FlowStatsRequest // body when Kind == StatsFlow
+}
+
+// FlowStatsRequest is the ofp_flow_stats_request body.
+type FlowStatsRequest struct {
+	Match   Match
+	TableID uint8
+	OutPort uint16
+}
+
+const statsRequestFixed = 4
+const flowStatsRequestLen = MatchLen + 4
+
+// MsgType returns TypeStatsRequest.
+func (*StatsRequest) MsgType() MsgType { return TypeStatsRequest }
+func (m *StatsRequest) bodyLen() int {
+	if m.Flow != nil {
+		return statsRequestFixed + flowStatsRequestLen
+	}
+	return statsRequestFixed
+}
+func (m *StatsRequest) encodeBody(b []byte) error {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.Kind))
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	if m.Flow != nil {
+		if m.Kind != StatsFlow {
+			return fmt.Errorf("stats request kind %d with flow body", m.Kind)
+		}
+		m.Flow.Match.encode(b[4 : 4+MatchLen])
+		b[4+MatchLen] = m.Flow.TableID
+		b[4+MatchLen+1] = 0 // pad
+		binary.BigEndian.PutUint16(b[4+MatchLen+2:4+MatchLen+4], m.Flow.OutPort)
+	}
+	return nil
+}
+func (m *StatsRequest) decodeBody(b []byte) error {
+	if len(b) < statsRequestFixed {
+		return fmt.Errorf("stats request body %d bytes, want >= %d", len(b), statsRequestFixed)
+	}
+	m.Kind = StatsType(binary.BigEndian.Uint16(b[0:2]))
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	rest := b[statsRequestFixed:]
+	switch m.Kind {
+	case StatsFlow:
+		if len(rest) != flowStatsRequestLen {
+			return fmt.Errorf("flow stats request body %d bytes, want %d", len(rest), flowStatsRequestLen)
+		}
+		var fr FlowStatsRequest
+		if err := fr.Match.decode(rest[0:MatchLen]); err != nil {
+			return err
+		}
+		fr.TableID = rest[MatchLen]
+		fr.OutPort = binary.BigEndian.Uint16(rest[MatchLen+2 : MatchLen+4])
+		m.Flow = &fr
+		return nil
+	default:
+		return fmt.Errorf("unsupported stats kind %d", m.Kind)
+	}
+}
+
+// FlowStats is one ofp_flow_stats entry of a flow-stats reply.
+type FlowStats struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Actions      []Action
+}
+
+const flowStatsFixed = 88
+
+func (f *FlowStats) wireLen() int { return flowStatsFixed + actionsWireLen(f.Actions) }
+
+func (f *FlowStats) encode(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(f.wireLen()))
+	b[2] = f.TableID
+	b[3] = 0 // pad
+	f.Match.encode(b[4 : 4+MatchLen])
+	off := 4 + MatchLen
+	binary.BigEndian.PutUint32(b[off:off+4], f.DurationSec)
+	binary.BigEndian.PutUint32(b[off+4:off+8], f.DurationNsec)
+	binary.BigEndian.PutUint16(b[off+8:off+10], f.Priority)
+	binary.BigEndian.PutUint16(b[off+10:off+12], f.IdleTimeout)
+	binary.BigEndian.PutUint16(b[off+12:off+14], f.HardTimeout)
+	// 6 pad bytes.
+	off += 20
+	binary.BigEndian.PutUint64(b[off:off+8], f.Cookie)
+	binary.BigEndian.PutUint64(b[off+8:off+16], f.PacketCount)
+	binary.BigEndian.PutUint64(b[off+16:off+24], f.ByteCount)
+	encodeActions(b[flowStatsFixed:f.wireLen()], f.Actions)
+}
+
+func (f *FlowStats) decode(b []byte) (int, error) {
+	if len(b) < flowStatsFixed {
+		return 0, fmt.Errorf("flow stats entry %d bytes, want >= %d", len(b), flowStatsFixed)
+	}
+	length := int(binary.BigEndian.Uint16(b[0:2]))
+	if length < flowStatsFixed || length > len(b) {
+		return 0, fmt.Errorf("flow stats entry length %d out of range (have %d)", length, len(b))
+	}
+	f.TableID = b[2]
+	if err := f.Match.decode(b[4 : 4+MatchLen]); err != nil {
+		return 0, err
+	}
+	off := 4 + MatchLen
+	f.DurationSec = binary.BigEndian.Uint32(b[off : off+4])
+	f.DurationNsec = binary.BigEndian.Uint32(b[off+4 : off+8])
+	f.Priority = binary.BigEndian.Uint16(b[off+8 : off+10])
+	f.IdleTimeout = binary.BigEndian.Uint16(b[off+10 : off+12])
+	f.HardTimeout = binary.BigEndian.Uint16(b[off+12 : off+14])
+	off += 20
+	f.Cookie = binary.BigEndian.Uint64(b[off : off+8])
+	f.PacketCount = binary.BigEndian.Uint64(b[off+8 : off+16])
+	f.ByteCount = binary.BigEndian.Uint64(b[off+16 : off+24])
+	actions, err := decodeActions(b[flowStatsFixed:length])
+	if err != nil {
+		return 0, err
+	}
+	f.Actions = actions
+	return length, nil
+}
+
+// StatsReply returns statistics; only flow stats are supported.
+type StatsReply struct {
+	xid
+	Kind  StatsType
+	Flags uint16
+	Flows []FlowStats
+}
+
+// MsgType returns TypeStatsReply.
+func (*StatsReply) MsgType() MsgType { return TypeStatsReply }
+func (m *StatsReply) bodyLen() int {
+	total := statsRequestFixed
+	for i := range m.Flows {
+		total += m.Flows[i].wireLen()
+	}
+	return total
+}
+func (m *StatsReply) encodeBody(b []byte) error {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.Kind))
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	off := statsRequestFixed
+	for i := range m.Flows {
+		m.Flows[i].encode(b[off:])
+		off += m.Flows[i].wireLen()
+	}
+	return nil
+}
+func (m *StatsReply) decodeBody(b []byte) error {
+	if len(b) < statsRequestFixed {
+		return fmt.Errorf("stats reply body %d bytes, want >= %d", len(b), statsRequestFixed)
+	}
+	m.Kind = StatsType(binary.BigEndian.Uint16(b[0:2]))
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	if m.Kind != StatsFlow {
+		return fmt.Errorf("unsupported stats kind %d", m.Kind)
+	}
+	m.Flows = nil
+	rest := b[statsRequestFixed:]
+	for len(rest) > 0 {
+		var f FlowStats
+		n, err := f.decode(rest)
+		if err != nil {
+			return err
+		}
+		m.Flows = append(m.Flows, f)
+		rest = rest[n:]
+	}
+	return nil
+}

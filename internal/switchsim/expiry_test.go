@@ -1,0 +1,73 @@
+package switchsim
+
+import (
+	"testing"
+	"time"
+
+	"tsu/internal/openflow"
+)
+
+func timedFM(ip string, prio uint16, port uint16, idle, hard uint16, flags uint16) *openflow.FlowMod {
+	f := fm(openflow.FlowAdd, ip, prio, port)
+	f.IdleTimeout = idle
+	f.HardTimeout = hard
+	f.Flags = flags
+	return f
+}
+
+func TestExpireEntriesHardTimeout(t *testing.T) {
+	var tbl FlowTable
+	tbl.Apply(timedFM("10.0.0.2", 100, 3, 0, 2, openflow.FlagSendFlowRem)) // 2 units
+	tbl.Apply(timedFM("10.0.0.3", 100, 4, 0, 0, 0))                        // never expires
+
+	unit := 10 * time.Millisecond
+	// Before the deadline: nothing expires.
+	expired, _ := tbl.ExpireEntries(time.Now().Add(15*time.Millisecond), unit)
+	if len(expired) != 0 {
+		t.Fatalf("premature expiry: %v", expired)
+	}
+	expired, reasons := tbl.ExpireEntries(time.Now().Add(25*time.Millisecond), unit)
+	if len(expired) != 1 || reasons[0] != openflow.FlowRemovedHardTimeout {
+		t.Fatalf("expired = %v reasons = %v", expired, reasons)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table len = %d", tbl.Len())
+	}
+}
+
+func TestExpireEntriesIdleTimeout(t *testing.T) {
+	var tbl FlowTable
+	tbl.Apply(timedFM("10.0.0.2", 100, 3, 1, 0, 0)) // idle 1 unit
+	unit := 20 * time.Millisecond
+
+	// Keep hitting the entry: it must stay.
+	base := time.Now()
+	tbl.Lookup(nwDst("10.0.0.2"), 64)
+	expired, _ := tbl.ExpireEntries(base.Add(10*time.Millisecond), unit)
+	if len(expired) != 0 {
+		t.Fatal("idle entry expired despite recent hit")
+	}
+	// No hits for > 1 unit: gone, reason idle.
+	expired, reasons := tbl.ExpireEntries(time.Now().Add(50*time.Millisecond), unit)
+	if len(expired) != 1 || reasons[0] != openflow.FlowRemovedIdleTimeout {
+		t.Fatalf("expired = %v reasons = %v", expired, reasons)
+	}
+}
+
+func TestExpireEntriesZeroTimeoutsNeverExpire(t *testing.T) {
+	var tbl FlowTable
+	tbl.Apply(timedFM("10.0.0.2", 100, 3, 0, 0, 0))
+	expired, _ := tbl.ExpireEntries(time.Now().Add(time.Hour), time.Millisecond)
+	if len(expired) != 0 || tbl.Len() != 1 {
+		t.Fatal("permanent entry expired")
+	}
+}
+
+func TestStatsCarryTimeouts(t *testing.T) {
+	var tbl FlowTable
+	tbl.Apply(timedFM("10.0.0.2", 100, 3, 7, 9, 0))
+	stats := tbl.Stats()
+	if len(stats) != 1 || stats[0].IdleTimeout != 7 || stats[0].HardTimeout != 9 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

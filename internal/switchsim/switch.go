@@ -1,0 +1,344 @@
+package switchsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsu/internal/netem"
+	"tsu/internal/ofconn"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+)
+
+// Faults injects switch misbehaviour for robustness testing.
+type Faults struct {
+	// DropBarriers makes the switch process barrier requests without
+	// ever replying — the controller's round must time out.
+	DropBarriers bool
+
+	// DisconnectAfterFlowMods closes the control connection after the
+	// N-th FlowMod has been applied (0 disables) — a mid-update switch
+	// crash.
+	DisconnectAfterFlowMods uint64
+}
+
+// Config parameterizes a simulated switch.
+type Config struct {
+	// Node is the switch's topology identity; the OpenFlow datapath ID
+	// equals uint64(Node), matching the demo's integer datapath naming.
+	Node topo.NodeID
+
+	// InstallLatency delays each FlowMod before it takes effect in the
+	// flow table (rule-installation cost; PAM'15-shaped distributions
+	// recommended). Nil means instantaneous.
+	InstallLatency netem.Latency
+
+	// CtrlLatency delays every inbound control message before
+	// processing, modelling control-channel propagation and switch
+	// queueing. Per-switch variation of this latency is the asynchrony
+	// that reorders updates across switches. Nil means none.
+	CtrlLatency netem.Latency
+
+	// Source provides the deterministic randomness for the latency
+	// distributions; nil creates a per-switch source seeded by the
+	// node ID.
+	Source *netem.Source
+
+	// Faults optionally injects misbehaviour (dropped barriers,
+	// mid-update disconnects).
+	Faults Faults
+
+	// TimeoutUnit scales flow-entry idle/hard timeouts (the OpenFlow
+	// spec counts them in seconds; simulations shrink the unit). Zero
+	// selects one second.
+	TimeoutUnit time.Duration
+
+	// Logger receives connection lifecycle events; nil discards them.
+	Logger *slog.Logger
+}
+
+// Switch is one simulated OpenFlow switch.
+type Switch struct {
+	cfg    Config
+	fabric *Fabric
+	table  *FlowTable
+	src    *netem.Source
+	logger *slog.Logger
+
+	flowModsApplied atomic.Uint64
+	barriersSeen    atomic.Uint64
+	packetOutsSeen  atomic.Uint64
+
+	mu     sync.Mutex
+	conn   *ofconn.Conn
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewSwitch creates a switch and registers it on the fabric.
+func NewSwitch(f *Fabric, cfg Config) (*Switch, error) {
+	src := cfg.Source
+	if src == nil {
+		src = netem.NewSource(int64(cfg.Node))
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Switch{
+		cfg:    cfg,
+		fabric: f,
+		table:  &FlowTable{},
+		src:    src,
+		logger: logger.With("dpid", uint64(cfg.Node)),
+	}
+	if err := f.register(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NodeID returns the switch's topology identity.
+func (s *Switch) NodeID() topo.NodeID { return s.cfg.Node }
+
+// DatapathID returns the OpenFlow datapath identifier.
+func (s *Switch) DatapathID() uint64 { return uint64(s.cfg.Node) }
+
+// Table exposes the live flow table (data plane and tests read it).
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// FlowModsApplied returns how many FlowMods have taken effect.
+func (s *Switch) FlowModsApplied() uint64 { return s.flowModsApplied.Load() }
+
+// BarriersSeen returns how many barrier requests were answered.
+func (s *Switch) BarriersSeen() uint64 { return s.barriersSeen.Load() }
+
+// PacketOutsSeen returns how many packet-out injections were started.
+func (s *Switch) PacketOutsSeen() uint64 { return s.packetOutsSeen.Load() }
+
+// features builds the switch's FEATURES_REPLY body from the fabric's
+// port map.
+func (s *Switch) features() *openflow.FeaturesReply {
+	fr := &openflow.FeaturesReply{
+		DatapathID: s.DatapathID(),
+		NBuffers:   256,
+		NTables:    1,
+	}
+	pm := s.fabric.Ports()
+	for port, nb := range pm.PortNeighbor[s.cfg.Node] {
+		fr.Ports = append(fr.Ports, openflow.PhyPort{
+			PortNo: port,
+			Name:   fmt.Sprintf("s%d-eth%d", s.cfg.Node, port),
+			HWAddr: portHWAddr(s.DatapathID(), port),
+			Peer:   uint32(nb),
+		})
+	}
+	for port, host := range pm.PortHost[s.cfg.Node] {
+		fr.Ports = append(fr.Ports, openflow.PhyPort{
+			PortNo: port,
+			Name:   fmt.Sprintf("s%d-%s", s.cfg.Node, host),
+			HWAddr: portHWAddr(s.DatapathID(), port),
+		})
+	}
+	return fr
+}
+
+func portHWAddr(dpid uint64, port uint16) [6]byte {
+	return [6]byte{0x02, byte(dpid >> 16), byte(dpid >> 8), byte(dpid), byte(port >> 8), byte(port)}
+}
+
+// Connect dials the controller, runs the switch-side handshake, and
+// starts the control loop in a background goroutine. It returns once
+// the handshake completed. Stop (or ctx cancellation) terminates the
+// loop.
+func (s *Switch) Connect(ctx context.Context, controllerAddr string) error {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", controllerAddr)
+	if err != nil {
+		return fmt.Errorf("switchsim: dialing controller: %w", err)
+	}
+	conn := ofconn.New(nc)
+	if err := ofconn.HandshakeSwitch(conn, s.features()); err != nil {
+		conn.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("switchsim: handshake: %w", err)
+	}
+	loopCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+
+	s.mu.Lock()
+	s.conn = conn
+	s.cancel = cancel
+	s.done = done
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		defer conn.Close() //nolint:errcheck // loop exit path
+		s.controlLoop(loopCtx, conn)
+	}()
+	// Tear the connection down when the context dies so the blocking
+	// read returns.
+	go func() {
+		<-loopCtx.Done()
+		conn.Close() //nolint:errcheck // unblocking the reader
+	}()
+	go s.expiryLoop(loopCtx, conn)
+	return nil
+}
+
+// expiryLoop sweeps the flow table for idle/hard-timeout expiry and
+// emits FLOW_REMOVED for entries that asked for it.
+func (s *Switch) expiryLoop(ctx context.Context, conn *ofconn.Conn) {
+	unit := s.cfg.TimeoutUnit
+	if unit <= 0 {
+		unit = time.Second
+	}
+	period := unit / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			expired, reasons := s.table.ExpireEntries(now, unit)
+			for i, e := range expired {
+				if e.Flags&openflow.FlagSendFlowRem == 0 {
+					continue
+				}
+				age := e.Age(now)
+				fr := &openflow.FlowRemoved{
+					Match:        e.Match,
+					Cookie:       e.Cookie,
+					Priority:     e.Priority,
+					Reason:       reasons[i],
+					DurationSec:  uint32(age / time.Second),
+					DurationNsec: uint32(age % time.Second),
+					IdleTimeout:  e.IdleTimeout,
+					PacketCount:  e.PacketCount,
+					ByteCount:    e.ByteCount,
+				}
+				if _, err := conn.Send(fr); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Stop terminates the control loop and waits for it to exit. Safe to
+// call multiple times or before Connect.
+func (s *Switch) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// controlLoop processes control messages strictly in order — the
+// property that gives BARRIER_REQUEST its semantics: when the reply is
+// sent, every earlier FlowMod has been applied.
+func (s *Switch) controlLoop(ctx context.Context, conn *ofconn.Conn) {
+	for {
+		m, err := conn.ReadMessage()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logger.Warn("control connection read failed", "err", err)
+			}
+			return
+		}
+		// Control-channel latency: everything this switch does lags by
+		// its own per-message delay, which is what desynchronizes
+		// switches from each other.
+		s.src.Sleep(s.cfg.CtrlLatency)
+
+		if err := s.handle(conn, m); err != nil {
+			s.logger.Warn("handling message failed", "type", m.MsgType().String(), "err", err)
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func (s *Switch) handle(conn *ofconn.Conn, m openflow.Message) error {
+	switch msg := m.(type) {
+	case *openflow.FlowMod:
+		s.src.Sleep(s.cfg.InstallLatency)
+		if oferr := s.table.Apply(msg); oferr != nil {
+			return conn.WriteMessage(oferr)
+		}
+		applied := s.flowModsApplied.Add(1)
+		if n := s.cfg.Faults.DisconnectAfterFlowMods; n > 0 && applied >= n {
+			return fmt.Errorf("fault injection: disconnecting after %d flowmods", applied)
+		}
+		return nil
+	case *openflow.BarrierRequest:
+		s.barriersSeen.Add(1)
+		if s.cfg.Faults.DropBarriers {
+			return nil // fault injection: swallow the reply
+		}
+		reply := &openflow.BarrierReply{}
+		reply.SetXid(msg.Xid())
+		return conn.WriteMessage(reply)
+	case *openflow.EchoRequest:
+		reply := &openflow.EchoReply{Data: msg.Data}
+		reply.SetXid(msg.Xid())
+		return conn.WriteMessage(reply)
+	case *openflow.StatsRequest:
+		reply := &openflow.StatsReply{Kind: openflow.StatsFlow, Flows: s.table.Stats()}
+		reply.SetXid(msg.Xid())
+		return conn.WriteMessage(reply)
+	case *openflow.PacketOut:
+		// The payload's first four bytes carry the flow's nw_dst (the
+		// probe convention of this repository). OFPP_TABLE means "run
+		// through my own flow table", i.e. start the data-plane walk
+		// here; a concrete port starts it at that port's neighbor.
+		if len(msg.Data) < 4 {
+			return nil
+		}
+		nwDst := uint32(msg.Data[0])<<24 | uint32(msg.Data[1])<<16 | uint32(msg.Data[2])<<8 | uint32(msg.Data[3])
+		start := s.cfg.Node
+		if port, ok := outputPort(msg.Actions); ok && port != openflow.PortTable {
+			next, isSwitch := s.fabric.Ports().PortNeighbor[s.cfg.Node][port]
+			if !isSwitch {
+				return nil // host port or invalid: nothing to walk
+			}
+			start = next
+		}
+		// Walk asynchronously: a packet in flight must not stall the
+		// control loop (and hence barrier ordering).
+		go s.fabric.Inject(start, nwDst, 4*s.fabric.Graph().NumNodes())
+		s.packetOutsSeen.Add(1)
+		return nil
+	case *openflow.Hello:
+		return nil
+	case *openflow.EchoReply, *openflow.BarrierReply, *openflow.Error:
+		// Replies flowing switch-ward are controller bugs; log & drop.
+		s.logger.Warn("unexpected reply on switch", "type", m.MsgType().String())
+		return nil
+	default:
+		e := &openflow.Error{ErrType: openflow.ErrTypeBadRequest, Code: openflow.ErrCodeBadType}
+		e.SetXid(m.Xid())
+		return conn.WriteMessage(e)
+	}
+}

@@ -1,0 +1,260 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fig1Waypoint is the waypoint switch of the paper's Figure 1 ("Black
+// Node s3 is the waypoint").
+const Fig1Waypoint NodeID = 3
+
+// Fig1OldPath and Fig1NewPath reconstruct the solid (old) and dashed
+// (new) routes of Figure 1. The text fixes twelve switches, h1 on s1,
+// h2 on s12 and the waypoint s3 on both routes; the exact drawn
+// permutation is not recoverable from the paper text, so the
+// reconstruction routes the old policy over switches 1..6 and the new
+// policy over 7..11, both through the waypoint (see DESIGN.md).
+var (
+	Fig1OldPath = Path{1, 2, 3, 4, 5, 6, 12}
+	Fig1NewPath = Path{1, 7, 8, 3, 9, 10, 11, 12}
+)
+
+// Fig1 builds the paper's Figure 1 demo topology: 12 switches, the old
+// and new routes as links, and hosts h1 (s1) and h2 (s12).
+func Fig1() *Graph {
+	g := NewGraph()
+	for n := NodeID(1); n <= 12; n++ {
+		g.AddNode(n)
+	}
+	for _, p := range []Path{Fig1OldPath, Fig1NewPath} {
+		for i := 0; i+1 < len(p); i++ {
+			if err := g.AddLink(p[i], p[i+1]); err != nil {
+				panic(err) // static paths; cannot self-link
+			}
+		}
+	}
+	mustHost(g, Host{Name: "h1", Attach: 1})
+	mustHost(g, Host{Name: "h2", Attach: 12})
+	return g
+}
+
+func mustHost(g *Graph, h Host) {
+	if err := g.AddHost(h); err != nil {
+		panic(err)
+	}
+}
+
+// Linear builds a chain topology 1-2-...-n, the canonical substrate for
+// the two-path update model (nodes are identified with their old-path
+// position).
+func Linear(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("topo: Linear(%d): need n >= 1", n))
+	}
+	g := NewGraph()
+	g.AddNode(1)
+	for i := 2; i <= n; i++ {
+		if err := g.AddLink(NodeID(i-1), NodeID(i)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Ring builds a cycle topology 1-2-...-n-1.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("topo: Ring(%d): need n >= 3", n))
+	}
+	g := Linear(n)
+	if err := g.AddLink(NodeID(n), 1); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Grid builds a rows×cols mesh with row-major IDs starting at 1.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("topo: Grid(%d,%d): need positive dims", rows, cols))
+	}
+	g := NewGraph()
+	id := func(r, c int) NodeID { return NodeID(r*cols + c + 1) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(id(r, c))
+			if c > 0 {
+				if err := g.AddLink(id(r, c-1), id(r, c)); err != nil {
+					panic(err)
+				}
+			}
+			if r > 0 {
+				if err := g.AddLink(id(r-1, c), id(r, c)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// TwoPathInstance is a randomly generated update scenario: a topology
+// containing an old and a new simple path between a common source and
+// destination, optionally sharing a waypoint. It is the workload
+// generator for the scheduling experiments (E3, E4).
+type TwoPathInstance struct {
+	Graph    *Graph
+	Old, New Path
+	Waypoint NodeID // 0 when the instance has no waypoint constraint
+}
+
+// RandomTwoPath generates an instance over n switches using rng. The
+// old path is ⟨1..k⟩ for k = oldLen; the new path is a random simple
+// path from 1 to k over the full node set (it may revisit old-path
+// nodes in any order — the hard cases for loop freedom). If waypoint is
+// true, a shared interior node is selected as waypoint and both paths
+// are forced through it.
+//
+// The generator guarantees: both paths simple, same endpoints, and (if
+// requested) the waypoint strictly interior to both.
+func RandomTwoPath(rng *rand.Rand, n int, waypoint bool) TwoPathInstance {
+	if n < 4 {
+		panic(fmt.Sprintf("topo: RandomTwoPath(n=%d): need n >= 4", n))
+	}
+	old := make(Path, n)
+	for i := range old {
+		old[i] = NodeID(i + 1)
+	}
+	src, dst := old[0], old[n-1]
+
+	var wp NodeID
+	if waypoint {
+		wp = old[1+rng.Intn(n-2)] // strictly interior on the old path
+	}
+
+	// Interior candidates for the new path: every node except the
+	// endpoints. A random subset, in random order, forms the new route;
+	// the waypoint (if any) is forced in.
+	interior := make([]NodeID, 0, n-2)
+	for _, v := range old[1 : n-1] {
+		interior = append(interior, v)
+	}
+	rng.Shuffle(len(interior), func(i, j int) { interior[i], interior[j] = interior[j], interior[i] })
+	keep := rng.Intn(len(interior) + 1)
+	chosen := interior[:keep]
+	if wp != 0 {
+		found := false
+		for _, v := range chosen {
+			if v == wp {
+				found = true
+				break
+			}
+		}
+		if !found {
+			chosen = append(chosen, wp)
+		}
+	}
+	newPath := make(Path, 0, len(chosen)+2)
+	newPath = append(newPath, src)
+	newPath = append(newPath, chosen...)
+	newPath = append(newPath, dst)
+
+	g := NewGraph()
+	for _, v := range old {
+		g.AddNode(v)
+	}
+	for _, p := range []Path{old, newPath} {
+		for i := 0; i+1 < len(p); i++ {
+			if err := g.AddLink(p[i], p[i+1]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return TwoPathInstance{Graph: g, Old: old, New: newPath, Waypoint: wp}
+}
+
+// Reversal builds the adversarial family where the new path visits the
+// old path's interior in reverse order: old ⟨1..n⟩, new
+// ⟨1, n-1, n-2, ..., 2, n⟩. Strong loop freedom struggles here while
+// relaxed loop freedom finishes in a constant number of rounds.
+func Reversal(n int) TwoPathInstance {
+	if n < 4 {
+		panic(fmt.Sprintf("topo: Reversal(%d): need n >= 4", n))
+	}
+	old := make(Path, n)
+	for i := range old {
+		old[i] = NodeID(i + 1)
+	}
+	newPath := make(Path, 0, n)
+	newPath = append(newPath, 1)
+	for v := n - 1; v >= 2; v-- {
+		newPath = append(newPath, NodeID(v))
+	}
+	newPath = append(newPath, NodeID(n))
+	return instanceFromPaths(old, newPath, 0)
+}
+
+// Staircase builds the interleaved adversarial family old ⟨1..n⟩, new
+// ⟨1, 3, 2, 5, 4, 7, 6, ..., n⟩: every second new edge points backward
+// on the old path, forcing dependency chains for strong loop freedom.
+func Staircase(n int) TwoPathInstance {
+	if n < 5 {
+		panic(fmt.Sprintf("topo: Staircase(%d): need n >= 5", n))
+	}
+	old := make(Path, n)
+	for i := range old {
+		old[i] = NodeID(i + 1)
+	}
+	newPath := Path{1}
+	// Pairs (2k+1, 2k): visit the odd node, then step back to the even
+	// node, then jump two ahead.
+	for hi := 3; hi < n; hi += 2 {
+		newPath = append(newPath, NodeID(hi), NodeID(hi-1))
+	}
+	newPath = append(newPath, NodeID(n))
+	return instanceFromPaths(old, newPath, 0)
+}
+
+// Nested builds the family that separates strong from relaxed loop
+// freedom by round count: old ⟨1..n⟩, new ⟨1, n-1, n-4, n-7, ..., n⟩.
+// Every new edge between interior targets jumps back by three, so the
+// two skipped old-path switches keep forwarding into the span forever;
+// under strong loop freedom each backward rule may only activate after
+// the next inner one (Θ(n) rounds, even for the exact-optimal
+// scheduler), while relaxed loop freedom finishes in three rounds:
+// once the source shortcuts to n-1, the whole interior is off the walk
+// and flips at once.
+func Nested(n int) TwoPathInstance {
+	if n < 7 {
+		panic(fmt.Sprintf("topo: Nested(%d): need n >= 7", n))
+	}
+	old := make(Path, n)
+	for i := range old {
+		old[i] = NodeID(i + 1)
+	}
+	newPath := Path{1}
+	for v := n - 1; v >= 2; v -= 3 {
+		newPath = append(newPath, NodeID(v))
+	}
+	newPath = append(newPath, NodeID(n))
+	return instanceFromPaths(old, newPath, 0)
+}
+
+func instanceFromPaths(old, newPath Path, wp NodeID) TwoPathInstance {
+	g := NewGraph()
+	for _, v := range old {
+		g.AddNode(v)
+	}
+	for _, v := range newPath {
+		g.AddNode(v)
+	}
+	for _, p := range []Path{old, newPath} {
+		for i := 0; i+1 < len(p); i++ {
+			if err := g.AddLink(p[i], p[i+1]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return TwoPathInstance{Graph: g, Old: old, New: newPath, Waypoint: wp}
+}

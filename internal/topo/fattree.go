@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FatTree builds the classic k-ary fat-tree datacenter topology
+// (Al-Fares et al.): (k/2)² core switches, k pods of k/2 aggregation
+// and k/2 edge switches each, with one host attached per edge switch
+// (h<edge-id>). Aggregation switch j of every pod connects to cores
+// j·(k/2)+1 … (j+1)·(k/2); every edge switch connects to every
+// aggregation switch of its pod.
+//
+// Node numbering: cores 1..(k/2)², then per pod p (0-based) the
+// aggregation switches, then its edge switches.
+func FatTree(k int) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: FatTree(%d): k must be even and >= 2", k))
+	}
+	half := k / 2
+	numCores := half * half
+	g := NewGraph()
+	core := func(i int) NodeID { return NodeID(i + 1) } // i in [0, numCores)
+	agg := func(pod, j int) NodeID {
+		return NodeID(numCores + pod*k + j + 1) // j in [0, half)
+	}
+	edge := func(pod, j int) NodeID {
+		return NodeID(numCores + pod*k + half + j + 1)
+	}
+	for i := 0; i < numCores; i++ {
+		g.AddNode(core(i))
+	}
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < half; j++ {
+			g.AddNode(agg(pod, j))
+			g.AddNode(edge(pod, j))
+		}
+		for j := 0; j < half; j++ {
+			// Aggregation j uplinks to its core group.
+			for c := j * half; c < (j+1)*half; c++ {
+				mustLink(g, agg(pod, j), core(c))
+			}
+			// Full bipartite agg↔edge inside the pod.
+			for e := 0; e < half; e++ {
+				mustLink(g, agg(pod, j), edge(pod, e))
+			}
+		}
+		for j := 0; j < half; j++ {
+			mustHost(g, Host{Name: fmt.Sprintf("h%d", uint64(edge(pod, j))), Attach: edge(pod, j)})
+		}
+	}
+	return g
+}
+
+func mustLink(g *Graph, a, b NodeID) {
+	if err := g.AddLink(a, b); err != nil {
+		panic(err)
+	}
+}
+
+// FatTreeEdges returns the edge switches of a FatTree(k) graph in
+// ascending ID order (the switches hosts attach to).
+func FatTreeEdges(g *Graph) []NodeID {
+	var out []NodeID
+	for _, h := range g.Hosts() {
+		out = append(out, h.Attach)
+	}
+	return out
+}
+
+// RandomFatTreePolicy draws an update instance between two random edge
+// switches of different pods: the old and new paths climb to two
+// different core switches (edge → agg → core → agg → edge), giving
+// disjoint middles with shared endpoints — the standard traffic-
+// engineering reroute in a datacenter fabric.
+func RandomFatTreePolicy(rng *rand.Rand, g *Graph) (TwoPathInstance, error) {
+	edges := FatTreeEdges(g)
+	if len(edges) < 2 {
+		return TwoPathInstance{}, fmt.Errorf("topo: fat-tree has %d edge switches, need >= 2", len(edges))
+	}
+	src := edges[rng.Intn(len(edges))]
+	dst := src
+	for dst == src {
+		dst = edges[rng.Intn(len(edges))]
+	}
+	old, err := fatTreeRoute(rng, g, src, dst)
+	if err != nil {
+		return TwoPathInstance{}, err
+	}
+	var newPath Path
+	for tries := 0; tries < 64; tries++ {
+		p, err := fatTreeRoute(rng, g, src, dst)
+		if err != nil {
+			return TwoPathInstance{}, err
+		}
+		if !p.Equal(old) {
+			newPath = p
+			break
+		}
+	}
+	if newPath == nil {
+		return TwoPathInstance{}, fmt.Errorf("topo: could not draw a distinct second route %d→%d", src, dst)
+	}
+	return TwoPathInstance{Graph: g, Old: old, New: newPath}, nil
+}
+
+// fatTreeRoute picks a random valley-free route src→dst: up to a random
+// aggregation switch, up to a random shared core, down the other side.
+// Same-pod pairs route edge→agg→edge.
+func fatTreeRoute(rng *rand.Rand, g *Graph, src, dst NodeID) (Path, error) {
+	srcAggs := g.Neighbors(src) // edge switches only neighbor aggs
+	dstAggs := g.Neighbors(dst)
+	if len(srcAggs) == 0 || len(dstAggs) == 0 {
+		return nil, fmt.Errorf("topo: switch %d or %d has no uplinks", src, dst)
+	}
+	// Same pod: one shared aggregation switch suffices.
+	shared := intersect(srcAggs, dstAggs)
+	if len(shared) > 0 {
+		a := shared[rng.Intn(len(shared))]
+		return Path{src, a, dst}, nil
+	}
+	for tries := 0; tries < 64; tries++ {
+		up := srcAggs[rng.Intn(len(srcAggs))]
+		down := dstAggs[rng.Intn(len(dstAggs))]
+		cores := intersect(coresOf(g, up), coresOf(g, down))
+		if len(cores) == 0 {
+			continue
+		}
+		c := cores[rng.Intn(len(cores))]
+		return Path{src, up, c, down, dst}, nil
+	}
+	return nil, fmt.Errorf("topo: no valley-free route %d→%d", src, dst)
+}
+
+// coresOf returns an aggregation switch's core uplinks. An aggregation
+// switch neighbors only cores and its pod's edge switches; cores carry
+// no hosts (and, under this package's numbering, have smaller IDs).
+func coresOf(g *Graph, aggSwitch NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range g.Neighbors(aggSwitch) {
+		if n < aggSwitch && !hasHost(g, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func hasHost(g *Graph, n NodeID) bool {
+	for _, h := range g.Hosts() {
+		if h.Attach == n {
+			return true
+		}
+	}
+	return false
+}
+
+func intersect(a, b []NodeID) []NodeID {
+	set := make(map[NodeID]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	var out []NodeID
+	for _, y := range b {
+		if set[y] {
+			out = append(out, y)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFatTreeStructure(t *testing.T) {
+	g := FatTree(4)
+	// k=4: 4 cores, 4 pods × (2 agg + 2 edge) = 20 switches.
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d, want 20", g.NumNodes())
+	}
+	// Links: core-agg 4 pods × 2 agg × 2 cores = 16; agg-edge 4 pods ×
+	// 2×2 = 16. Total 32.
+	if g.NumLinks() != 32 {
+		t.Fatalf("links = %d, want 32", g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Fatal("fat-tree disconnected")
+	}
+	// One host per edge switch: 8 hosts.
+	if len(g.Hosts()) != 8 {
+		t.Fatalf("hosts = %d, want 8", len(g.Hosts()))
+	}
+	// Cores (1..4) have degree k (one uplink from one agg per pod).
+	for c := NodeID(1); c <= 4; c++ {
+		if g.Degree(c) != 4 {
+			t.Fatalf("core %d degree = %d, want 4", c, g.Degree(c))
+		}
+	}
+	// Edge switches neighbor exactly the half aggs of their pod.
+	for _, e := range FatTreeEdges(g) {
+		if g.Degree(e) != 2 {
+			t.Fatalf("edge %d degree = %d, want 2", e, g.Degree(e))
+		}
+	}
+}
+
+func TestFatTreeSizes(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		g := FatTree(k)
+		half := k / 2
+		wantNodes := half*half + k*k // cores + k pods × (k/2+k/2)
+		if g.NumNodes() != wantNodes {
+			t.Fatalf("FatTree(%d) nodes = %d, want %d", k, g.NumNodes(), wantNodes)
+		}
+		if len(g.Hosts()) != k*half {
+			t.Fatalf("FatTree(%d) hosts = %d, want %d", k, len(g.Hosts()), k*half)
+		}
+	}
+}
+
+func TestFatTreePanicsOnOddK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("FatTree(%d) did not panic", k)
+				}
+			}()
+			FatTree(k)
+		}()
+	}
+}
+
+func TestRandomFatTreePolicy(t *testing.T) {
+	g := FatTree(4)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		inst, err := RandomFatTreePolicy(rng, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Path{inst.Old, inst.New} {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !g.ContainsPath(p) {
+				t.Fatalf("trial %d: route %v not in graph", trial, p)
+			}
+		}
+		if inst.Old.Src() != inst.New.Src() || inst.Old.Dst() != inst.New.Dst() {
+			t.Fatalf("trial %d: endpoint mismatch %v vs %v", trial, inst.Old, inst.New)
+		}
+		if inst.Old.Equal(inst.New) {
+			t.Fatalf("trial %d: routes identical", trial)
+		}
+		// Valley-free: 3 hops same-pod or 5 hops cross-pod.
+		if l := len(inst.Old); l != 3 && l != 5 {
+			t.Fatalf("trial %d: route length %d", trial, l)
+		}
+	}
+}
+
+func TestFatTreePoliciesSchedulable(t *testing.T) {
+	// Fat-tree reroutes must be schedulable by the core library (the
+	// E9-style datacenter workload).
+	g := FatTree(4)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		inst, err := RandomFatTreePolicy(rng, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The instance is exercised through the core package in
+		// integration tests; here pin the structural invariant the
+		// schedulers rely on: shared endpoints, simple paths.
+		if inst.Old.Src() == inst.Old.Dst() {
+			t.Fatal("degenerate route")
+		}
+	}
+}

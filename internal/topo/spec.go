@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FromSpec builds a topology from a compact textual specification, the
+// format the command-line tools share so that the controller and the
+// switch fleet derive identical port maps:
+//
+//	fig1           — the paper's Figure 1 demo topology
+//	linear:N       — chain of N switches
+//	ring:N         — cycle of N switches
+//	grid:RxC       — R×C mesh
+//	fattree:K      — K-ary fat-tree (K even)
+//	reversal:N     — reversal update family (graph holds both paths)
+//	staircase:N    — staircase update family
+//	nested:N       — nested update family
+func FromSpec(spec string) (*Graph, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "fig1":
+		if hasArg {
+			return nil, fmt.Errorf("topo: fig1 takes no argument (got %q)", spec)
+		}
+		return Fig1(), nil
+	case "linear", "ring", "reversal", "staircase", "nested", "fattree":
+		n, err := specInt(spec, arg, hasArg)
+		if err != nil {
+			return nil, err
+		}
+		return buildSized(name, n)
+	case "grid":
+		if !hasArg {
+			return nil, fmt.Errorf("topo: grid needs RxC (e.g. grid:3x4)")
+		}
+		rs, cs, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("topo: grid spec %q, want grid:RxC", spec)
+		}
+		r, err1 := strconv.Atoi(rs)
+		c, err2 := strconv.Atoi(cs)
+		if err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return nil, fmt.Errorf("topo: grid spec %q, want positive RxC", spec)
+		}
+		return Grid(r, c), nil
+	default:
+		return nil, fmt.Errorf("topo: unknown topology spec %q", spec)
+	}
+}
+
+func specInt(spec, arg string, hasArg bool) (int, error) {
+	if !hasArg {
+		return 0, fmt.Errorf("topo: spec %q needs a size argument", spec)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("topo: spec %q needs a positive size", spec)
+	}
+	return n, nil
+}
+
+func buildSized(name string, n int) (g *Graph, err error) {
+	defer func() {
+		// The sized builders panic on out-of-range sizes; surface that
+		// as an error for command-line use.
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	switch name {
+	case "linear":
+		return Linear(n), nil
+	case "ring":
+		return Ring(n), nil
+	case "reversal":
+		return Reversal(n).Graph, nil
+	case "staircase":
+		return Staircase(n).Graph, nil
+	case "nested":
+		return Nested(n).Graph, nil
+	case "fattree":
+		return FatTree(n), nil
+	}
+	return nil, fmt.Errorf("topo: unknown sized topology %q", name)
+}
+
+// UpdateFromSpec returns the update instance paths of a two-path
+// family spec (reversal:N, staircase:N, nested:N), or ok=false for
+// plain topologies.
+func UpdateFromSpec(spec string) (TwoPathInstance, bool, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "reversal", "staircase", "nested":
+	default:
+		return TwoPathInstance{}, false, nil
+	}
+	n, err := specInt(spec, arg, hasArg)
+	if err != nil {
+		return TwoPathInstance{}, false, err
+	}
+	var inst TwoPathInstance
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		switch name {
+		case "reversal":
+			inst = Reversal(n)
+		case "staircase":
+			inst = Staircase(n)
+		case "nested":
+			inst = Nested(n)
+		}
+		return nil
+	}()
+	if err != nil {
+		return TwoPathInstance{}, false, err
+	}
+	return inst, true, nil
+}

@@ -1,0 +1,54 @@
+package topo
+
+import "testing"
+
+func TestFromSpecValid(t *testing.T) {
+	cases := map[string]int{ // spec → expected node count
+		"fig1":        12,
+		"linear:5":    5,
+		"ring:6":      6,
+		"grid:2x3":    6,
+		"reversal:8":  8,
+		"staircase:9": 9,
+		"nested:10":   10,
+	}
+	for spec, nodes := range cases {
+		g, err := FromSpec(spec)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", spec, err)
+		}
+		if g.NumNodes() != nodes {
+			t.Fatalf("FromSpec(%q) nodes = %d, want %d", spec, g.NumNodes(), nodes)
+		}
+	}
+}
+
+func TestFromSpecInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus", "fig1:3", "linear", "linear:x", "linear:-1", "linear:0",
+		"grid", "grid:3", "grid:ax2", "grid:0x3", "ring:2", "nested:3",
+	} {
+		if _, err := FromSpec(spec); err == nil {
+			t.Fatalf("FromSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestUpdateFromSpec(t *testing.T) {
+	inst, ok, err := UpdateFromSpec("reversal:8")
+	if err != nil || !ok {
+		t.Fatalf("reversal:8: ok=%v err=%v", ok, err)
+	}
+	if inst.Old.Src() != 1 || inst.Old.Dst() != 8 {
+		t.Fatalf("instance = %+v", inst)
+	}
+	if _, ok, err := UpdateFromSpec("fig1"); ok || err != nil {
+		t.Fatalf("fig1 should not be a two-path spec (ok=%v err=%v)", ok, err)
+	}
+	if _, _, err := UpdateFromSpec("nested:2"); err == nil {
+		t.Fatal("nested:2 accepted")
+	}
+	if _, _, err := UpdateFromSpec("reversal:x"); err == nil {
+		t.Fatal("reversal:x accepted")
+	}
+}

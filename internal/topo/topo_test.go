@@ -1,0 +1,447 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinkCanonical(t *testing.T) {
+	l1 := NewLink(5, 2)
+	l2 := NewLink(2, 5)
+	if l1 != l2 {
+		t.Fatalf("NewLink not canonical: %v vs %v", l1, l2)
+	}
+	if l1.A != 2 || l1.B != 5 {
+		t.Fatalf("NewLink order: got %v", l1)
+	}
+}
+
+func TestLinkHasOther(t *testing.T) {
+	l := NewLink(1, 2)
+	if !l.Has(1) || !l.Has(2) || l.Has(3) {
+		t.Fatalf("Has wrong for %v", l)
+	}
+	if l.Other(1) != 2 || l.Other(2) != 1 {
+		t.Fatalf("Other wrong for %v", l)
+	}
+}
+
+func TestLinkOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	NewLink(1, 2).Other(9)
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(1)
+	g.AddNode(1) // idempotent
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+	if err := g.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(1, 2); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 1 {
+		t.Fatalf("NumLinks = %d, want 1", g.NumLinks())
+	}
+	if !g.HasLink(2, 1) {
+		t.Fatal("HasLink not symmetric")
+	}
+	if g.Degree(1) != 1 {
+		t.Fatalf("Degree(1) = %d, want 1", g.Degree(1))
+	}
+}
+
+func TestGraphSelfLinkRejected(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddLink(3, 3); err == nil {
+		t.Fatal("self-link accepted")
+	}
+}
+
+func TestGraphZeroValueUsable(t *testing.T) {
+	var g Graph
+	g.AddNode(7)
+	if !g.HasNode(7) {
+		t.Fatal("zero-value graph unusable")
+	}
+}
+
+func TestGraphHosts(t *testing.T) {
+	g := Linear(3)
+	if err := g.AddHost(Host{Name: "h1", Attach: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddHost(Host{Name: "hx", Attach: 99}); err == nil {
+		t.Fatal("host on unknown switch accepted")
+	}
+	hs := g.Hosts()
+	if len(hs) != 1 || hs[0].Name != "h1" {
+		t.Fatalf("Hosts = %v", hs)
+	}
+}
+
+func TestGraphNodesSorted(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []NodeID{5, 1, 3, 2, 4} {
+		g.AddNode(n)
+	}
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("Nodes not sorted: %v", nodes)
+		}
+	}
+}
+
+func TestGraphLinksDeterministic(t *testing.T) {
+	g := Grid(3, 3)
+	a := g.Links()
+	b := g.Links()
+	if len(a) != len(b) {
+		t.Fatal("Links length changed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Links not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) != 12 { // 3x3 grid: 2*3 horizontal + 2*3 vertical
+		t.Fatalf("grid links = %d, want 12", len(a))
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := Linear(5)
+	if !g.Connected() {
+		t.Fatal("linear should be connected")
+	}
+	g.AddNode(99)
+	if g.Connected() {
+		t.Fatal("isolated node should break connectivity")
+	}
+	if !NewGraph().Connected() {
+		t.Fatal("empty graph considered connected by convention")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Ring(6)
+	p, err := g.ShortestPath(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 { // 1-2-3-4 or 1-6-5-4, both length 4
+		t.Fatalf("shortest 1→4 on ring(6) = %v (len %d), want 4 nodes", p, len(p))
+	}
+	if p.Src() != 1 || p.Dst() != 4 {
+		t.Fatalf("endpoints wrong: %v", p)
+	}
+	if !g.ContainsPath(p) {
+		t.Fatalf("path %v not in graph", p)
+	}
+	if _, err := g.ShortestPath(1, 99); err == nil {
+		t.Fatal("path to unknown node accepted")
+	}
+}
+
+func TestShortestPathSameNode(t *testing.T) {
+	g := Linear(3)
+	p, err := g.ShortestPath(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Path{2}) {
+		t.Fatalf("self path = %v", p)
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	g := Linear(3)
+	g.AddNode(50)
+	if _, err := g.ShortestPath(1, 50); err == nil {
+		t.Fatal("expected error for unreachable destination")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Fig1()
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumLinks() != g.NumLinks() {
+		t.Fatal("clone size mismatch")
+	}
+	if err := c.AddLink(1, 12); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasLink(1, 12) {
+		t.Fatal("clone aliases original")
+	}
+	if len(c.Hosts()) != 2 {
+		t.Fatalf("clone hosts = %v", c.Hosts())
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Path
+		ok   bool
+	}{
+		{"1,2,3", Path{1, 2, 3}, true},
+		{"1 2 3", Path{1, 2, 3}, true},
+		{"12", Path{12}, true},
+		{"", nil, false},
+		{"1,x,3", nil, false},
+		{"-1,2", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePath(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParsePath(%q) err = %v, ok want %v", c.in, err, c.ok)
+		}
+		if c.ok && !got.Equal(c.want) {
+			t.Fatalf("ParsePath(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if s := (Path{1, 2, 3}).String(); s != "1->2->3" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPathQueries(t *testing.T) {
+	p := Path{4, 7, 9}
+	if p.Src() != 4 || p.Dst() != 9 {
+		t.Fatal("Src/Dst wrong")
+	}
+	if p.Index(7) != 1 || p.Index(5) != -1 {
+		t.Fatal("Index wrong")
+	}
+	if !p.Contains(9) || p.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if n, ok := p.Successor(4); !ok || n != 7 {
+		t.Fatal("Successor(4) wrong")
+	}
+	if _, ok := p.Successor(9); ok {
+		t.Fatal("Successor of destination should be absent")
+	}
+	if _, ok := p.Successor(123); ok {
+		t.Fatal("Successor of absent node should be absent")
+	}
+}
+
+func TestPathSimpleValidate(t *testing.T) {
+	if !(Path{1, 2, 3}).Simple() {
+		t.Fatal("simple path flagged non-simple")
+	}
+	if (Path{1, 2, 1}).Simple() {
+		t.Fatal("repeated node not caught")
+	}
+	if (Path{}).Simple() {
+		t.Fatal("empty path should not be simple")
+	}
+	if err := (Path{1, 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Path{1}).Validate(); err == nil {
+		t.Fatal("single-node path validated")
+	}
+	if err := (Path{1, 2, 2}).Validate(); err == nil {
+		t.Fatal("non-simple path validated")
+	}
+}
+
+func TestPathCloneIndependent(t *testing.T) {
+	p := Path{1, 2, 3}
+	c := p.Clone()
+	c[0] = 9
+	if p[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestFig1Invariants(t *testing.T) {
+	g := Fig1()
+	if g.NumNodes() != 12 {
+		t.Fatalf("Fig1 nodes = %d, want 12", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("Fig1 disconnected")
+	}
+	for _, p := range []Path{Fig1OldPath, Fig1NewPath} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.ContainsPath(p) {
+			t.Fatalf("Fig1 missing path %v", p)
+		}
+		if !p.Contains(Fig1Waypoint) {
+			t.Fatalf("path %v misses waypoint", p)
+		}
+		if p.Src() != 1 || p.Dst() != 12 {
+			t.Fatalf("path %v endpoints wrong", p)
+		}
+	}
+	// Union of both routes covers all 12 switches (as drawn).
+	seen := map[NodeID]bool{}
+	for _, p := range []Path{Fig1OldPath, Fig1NewPath} {
+		for _, n := range p {
+			seen[n] = true
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("routes cover %d switches, want 12", len(seen))
+	}
+	hs := g.Hosts()
+	if len(hs) != 2 || hs[0].Attach != 1 || hs[1].Attach != 12 {
+		t.Fatalf("Fig1 hosts = %v", hs)
+	}
+}
+
+func TestLinearRingGrid(t *testing.T) {
+	if g := Linear(1); g.NumNodes() != 1 || g.NumLinks() != 0 {
+		t.Fatal("Linear(1) wrong")
+	}
+	if g := Linear(5); g.NumLinks() != 4 {
+		t.Fatal("Linear(5) wrong")
+	}
+	if g := Ring(5); g.NumLinks() != 5 {
+		t.Fatal("Ring(5) wrong")
+	}
+	if g := Grid(2, 3); g.NumNodes() != 6 || g.NumLinks() != 7 {
+		t.Fatalf("Grid(2,3) wrong: %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Linear0":    func() { Linear(0) },
+		"Ring2":      func() { Ring(2) },
+		"Grid0":      func() { Grid(0, 3) },
+		"Reversal3":  func() { Reversal(3) },
+		"Staircase4": func() { Staircase(4) },
+		"Random3":    func() { RandomTwoPath(rand.New(rand.NewSource(1)), 3, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReversalStructure(t *testing.T) {
+	inst := Reversal(6)
+	if !inst.Old.Equal(Path{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("old = %v", inst.Old)
+	}
+	if !inst.New.Equal(Path{1, 5, 4, 3, 2, 6}) {
+		t.Fatalf("new = %v", inst.New)
+	}
+	if !inst.Graph.ContainsPath(inst.New) {
+		t.Fatal("graph missing new path")
+	}
+}
+
+func TestStaircaseStructure(t *testing.T) {
+	inst := Staircase(8)
+	if !inst.New.Equal(Path{1, 3, 2, 5, 4, 7, 6, 8}) {
+		t.Fatalf("staircase new = %v", inst.New)
+	}
+	if err := inst.New.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inst = Staircase(9)
+	if err := inst.New.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.New.Dst() != 9 {
+		t.Fatalf("staircase(9) dst = %v", inst.New.Dst())
+	}
+}
+
+// TestRandomTwoPathInvariants property-tests the workload generator:
+// both paths simple, same endpoints, waypoint interior to both when
+// requested, and all path links present in the graph.
+func TestRandomTwoPathInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	check := func(seed int64, rawN uint8, wantWP bool) bool {
+		n := 4 + int(rawN%60)
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomTwoPath(rng, n, wantWP)
+		if err := inst.Old.Validate(); err != nil {
+			return false
+		}
+		if err := inst.New.Validate(); err != nil {
+			return false
+		}
+		if inst.Old.Src() != inst.New.Src() || inst.Old.Dst() != inst.New.Dst() {
+			return false
+		}
+		if !inst.Graph.ContainsPath(inst.Old) || !inst.Graph.ContainsPath(inst.New) {
+			return false
+		}
+		if wantWP {
+			w := inst.Waypoint
+			if w == 0 {
+				return false
+			}
+			for _, p := range []Path{inst.Old, inst.New} {
+				i := p.Index(w)
+				if i <= 0 || i >= len(p)-1 {
+					return false
+				}
+			}
+		} else if inst.Waypoint != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTwoPathDeterministicPerSeed(t *testing.T) {
+	a := RandomTwoPath(rand.New(rand.NewSource(42)), 12, true)
+	b := RandomTwoPath(rand.New(rand.NewSource(42)), 12, true)
+	if !a.Old.Equal(b.Old) || !a.New.Equal(b.New) || a.Waypoint != b.Waypoint {
+		t.Fatal("generator not deterministic for fixed seed")
+	}
+}
+
+func TestNestedStructure(t *testing.T) {
+	inst := Nested(10)
+	if !inst.New.Equal(Path{1, 9, 6, 3, 10}) {
+		t.Fatalf("nested(10) new = %v", inst.New)
+	}
+	if err := inst.New.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{7, 8, 9, 22, 100} {
+		inst := Nested(n)
+		if err := inst.New.Validate(); err != nil {
+			t.Fatalf("Nested(%d): %v", n, err)
+		}
+		if inst.New.Dst() != NodeID(n) || inst.New.Src() != 1 {
+			t.Fatalf("Nested(%d) endpoints wrong: %v", n, inst.New)
+		}
+		if !inst.Graph.ContainsPath(inst.New) {
+			t.Fatalf("Nested(%d) graph missing new path", n)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package verify checks transient consistency of update schedules.
+//
+// A schedule is transiently consistent for a property set when the
+// property holds in every reachable intermediate state: every prefix of
+// completed rounds plus every subset of the in-flight round (barriers
+// order rounds; asynchrony makes intra-round subsets arbitrary). The
+// verifier decides this exactly per round via the core package's
+// branching walk search and the polynomial double-edge test for strong
+// loop freedom; when a round is too large for the exact search budget
+// it falls back to randomized subset sampling and marks the result
+// inexact.
+//
+// The verifier is algorithm-agnostic: every scheduler in this
+// repository is validated against it in tests, and the experiment
+// harness uses it to count violations of the one-shot baseline.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"tsu/internal/core"
+	"tsu/internal/topo"
+)
+
+// Options configures verification.
+type Options struct {
+	// Budget bounds the exact per-round subset search (walk steps).
+	// Zero selects core.DefaultCheckBudget.
+	Budget int
+
+	// Samples is the number of random subsets checked per round when
+	// the exact search exhausts its budget. Zero selects 1024.
+	Samples int
+
+	// Seed seeds the sampling RNG (deterministic verification).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = core.DefaultCheckBudget
+	}
+	if o.Samples <= 0 {
+		o.Samples = 1024
+	}
+	return o
+}
+
+// RoundResult records the verdict for one round.
+type RoundResult struct {
+	Round     int
+	Size      int
+	Exact     bool                 // exhaustive over all subsets vs sampled
+	Violation *core.CounterExample // nil when no violation found
+}
+
+// Report is the outcome of verifying a schedule.
+type Report struct {
+	Algorithm  string
+	Properties core.Property
+	Rounds     []RoundResult
+
+	// FinalStateOK reports whether applying every round yields exactly
+	// the new path as the forwarding walk.
+	FinalStateOK bool
+
+	// StructureErr holds the schedule-structure failure, if any
+	// (rounds not partitioning the pending set).
+	StructureErr error
+}
+
+// OK reports whether the schedule passed: valid structure, no
+// violations in any round, and a correct final state. An inexact
+// (sampled) round without violations still counts as passing; check
+// Exact per round when exhaustiveness matters.
+func (r *Report) OK() bool {
+	if r.StructureErr != nil || !r.FinalStateOK {
+		return false
+	}
+	for _, rr := range r.Rounds {
+		if rr.Violation != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Exact reports whether every round was verified exhaustively.
+func (r *Report) Exact() bool {
+	for _, rr := range r.Rounds {
+		if !rr.Exact {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstViolation returns the first recorded counterexample, or nil.
+func (r *Report) FirstViolation() *core.CounterExample {
+	for _, rr := range r.Rounds {
+		if rr.Violation != nil {
+			return rr.Violation
+		}
+	}
+	return nil
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify %s %s: ", r.Algorithm, r.Properties)
+	switch {
+	case r.StructureErr != nil:
+		fmt.Fprintf(&b, "structure error: %v", r.StructureErr)
+	case !r.OK():
+		fmt.Fprintf(&b, "FAIL (%v)", r.FirstViolation())
+	case r.Exact():
+		fmt.Fprintf(&b, "ok (exact, %d rounds)", len(r.Rounds))
+	default:
+		fmt.Fprintf(&b, "ok (sampled, %d rounds)", len(r.Rounds))
+	}
+	return b.String()
+}
+
+// Schedule verifies a schedule against props in every reachable
+// transient state.
+func Schedule(in *core.Instance, s *core.Schedule, props core.Property, opts Options) *Report {
+	opts = opts.withDefaults()
+	report := &Report{Algorithm: s.Algorithm, Properties: props}
+	if err := s.Validate(in); err != nil {
+		report.StructureErr = err
+		return report
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	done := make(core.State)
+	for i, round := range s.Rounds {
+		rr := RoundResult{Round: i, Size: len(round)}
+		cex, exact := in.CheckRound(done, round, props, opts.Budget)
+		rr.Exact = exact
+		rr.Violation = cex
+		if !exact && cex == nil {
+			rr.Violation = SampleRound(in, done, round, props, opts.Samples, rng)
+		}
+		report.Rounds = append(report.Rounds, rr)
+		for _, v := range round {
+			done[v] = true
+		}
+	}
+	walk, outcome := in.Walk(done)
+	report.FinalStateOK = outcome == core.Reached && walk.Equal(in.New)
+	return report
+}
+
+// SampleRound draws random subsets of round on top of done and returns
+// the first counterexample found, or nil. It always includes the empty
+// and full subsets.
+func SampleRound(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, samples int, rng *rand.Rand) *core.CounterExample {
+	check := func(st core.State) *core.CounterExample {
+		if violated := in.CheckState(st, props); violated != 0 {
+			walk, _ := in.Walk(st)
+			return &core.CounterExample{Updated: st, Walk: walk, Violated: violated}
+		}
+		return nil
+	}
+	full := done.Clone()
+	for _, v := range round {
+		full[v] = true
+	}
+	if cex := check(done.Clone()); cex != nil {
+		return cex
+	}
+	if cex := check(full); cex != nil {
+		return cex
+	}
+	for i := 0; i < samples; i++ {
+		st := done.Clone()
+		for _, v := range round {
+			if rng.Intn(2) == 0 {
+				st[v] = true
+			}
+		}
+		if cex := check(st); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+// Guarantees verifies a schedule against its own declared guarantee
+// set — the contract check used throughout the tests and examples.
+func Guarantees(in *core.Instance, s *core.Schedule, opts Options) *Report {
+	return Schedule(in, s, s.Guarantees, opts)
+}

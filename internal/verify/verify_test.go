@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsu/internal/core"
+	"tsu/internal/topo"
+)
+
+func TestScheduleAcceptsCorrectSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		ti := topo.RandomTwoPath(rng, 4+rng.Intn(12), true)
+		in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
+
+		w, err := core.WayUp(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Guarantees(in, w, Options{})
+		if !r.OK() {
+			t.Fatalf("wayup rejected: %v", r)
+		}
+
+		p, err := core.Peacock(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = Guarantees(in, p, Options{})
+		if !r.OK() {
+			t.Fatalf("peacock rejected: %v", r)
+		}
+	}
+}
+
+func TestScheduleRejectsOneShotOnAdversarial(t *testing.T) {
+	ti := topo.Reversal(10)
+	in := core.MustInstance(ti.Old, ti.New, 0)
+	s := core.OneShot(in)
+	r := Schedule(in, s, core.NoBlackhole|core.RelaxedLoopFreedom, Options{})
+	if r.OK() {
+		t.Fatal("one-shot on reversal(10) must fail relaxed loop freedom")
+	}
+	cex := r.FirstViolation()
+	if cex == nil {
+		t.Fatal("no counterexample recorded")
+	}
+	if got := in.CheckState(cex.Updated, core.NoBlackhole|core.RelaxedLoopFreedom); got == 0 {
+		t.Fatalf("counterexample state %v exhibits no violation", cex.Updated)
+	}
+}
+
+func TestScheduleRejectsWaypointBypass(t *testing.T) {
+	in := core.MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 2)
+	s := core.OneShot(in)
+	r := Schedule(in, s, core.WaypointEnforcement, Options{})
+	if r.OK() {
+		t.Fatal("one-shot bypass not detected")
+	}
+	if v := r.FirstViolation(); v == nil || !v.Violated.Has(core.WaypointEnforcement) {
+		t.Fatalf("violation = %v, want waypoint", r.FirstViolation())
+	}
+}
+
+func TestScheduleStructureErrors(t *testing.T) {
+	in := core.MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	bad := &core.Schedule{Algorithm: "bad", Rounds: [][]topo.NodeID{{1}}}
+	r := Schedule(in, bad, core.NoBlackhole, Options{})
+	if r.OK() || r.StructureErr == nil {
+		t.Fatalf("structure error not reported: %v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestScheduleFinalState(t *testing.T) {
+	// A structurally valid, per-round safe schedule always ends in the
+	// new path; synthesize one manually and check FinalStateOK.
+	in := core.MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 4, 3}, 0)
+	s := &core.Schedule{Algorithm: "manual", Rounds: [][]topo.NodeID{{4}, {1}}}
+	r := Schedule(in, s, core.NoBlackhole|core.RelaxedLoopFreedom, Options{})
+	if !r.OK() || !r.FinalStateOK {
+		t.Fatalf("manual schedule rejected: %v", r)
+	}
+}
+
+func TestSampledFallbackOnSafeHugeRound(t *testing.T) {
+	// Peacock's bulk round on a large reversal instance is safe but far
+	// too large for an exact subset search under a tiny budget: the
+	// verifier must fall back to sampling and still pass.
+	ti := topo.Reversal(40)
+	in := core.MustInstance(ti.Old, ti.New, 0)
+	s, err := core.Peacock(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Schedule(in, s, core.RelaxedLoopFreedom|core.NoBlackhole, Options{Budget: 32, Samples: 200, Seed: 1})
+	if r.Exact() {
+		t.Fatal("expected sampled verification with budget 32")
+	}
+	if !r.OK() {
+		t.Fatalf("sampling rejected a correct schedule: %v", r)
+	}
+}
+
+func TestInexactButViolatingRoundStillFails(t *testing.T) {
+	// One-shot on a big reversal: whether the exact search finishes or
+	// not, the violation must surface.
+	ti := topo.Reversal(40)
+	in := core.MustInstance(ti.Old, ti.New, 0)
+	s := core.OneShot(in)
+	r := Schedule(in, s, core.RelaxedLoopFreedom|core.NoBlackhole, Options{Budget: 64, Samples: 500, Seed: 1})
+	if r.OK() {
+		t.Fatal("one-shot violation missed on reversal(40)")
+	}
+}
+
+func TestSampleRoundFindsFullSubsetViolation(t *testing.T) {
+	// Violation only in the full subset: old 1→2→3, new 1→4→3 with
+	// round {1} on done {}: subset {1} drops at 4. Empty/full subsets
+	// are always included in the sample.
+	in := core.MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 4, 3}, 0)
+	rng := rand.New(rand.NewSource(2))
+	cex := SampleRound(in, nil, []topo.NodeID{1}, core.NoBlackhole, 0, rng)
+	if cex == nil || !cex.Violated.Has(core.NoBlackhole) {
+		t.Fatalf("cex = %v, want blackhole", cex)
+	}
+}
+
+func TestReportExactAndOK(t *testing.T) {
+	in := core.MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	p, err := core.Peacock(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Guarantees(in, p, Options{})
+	if !r.OK() || !r.Exact() {
+		t.Fatalf("peacock on tiny instance must verify exactly: %v", r)
+	}
+	if r.FirstViolation() != nil {
+		t.Fatal("unexpected violation")
+	}
+	for _, rr := range r.Rounds {
+		if rr.Size == 0 {
+			t.Fatal("round size not recorded")
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Budget != core.DefaultCheckBudget || o.Samples != 1024 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Budget: 5, Samples: 7}.withDefaults()
+	if o.Budget != 5 || o.Samples != 7 {
+		t.Fatalf("overrides lost: %+v", o)
+	}
+}
