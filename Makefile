@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci fmt vet test bench build
+
+ci: fmt vet test
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=10x -run '^$$' .

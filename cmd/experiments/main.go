@@ -1,6 +1,6 @@
 // Command experiments regenerates the reproduction's experiment tables
-// (see EXPERIMENTS.md). Each experiment spins up the full stack —
-// controller, switch fleet over loopback TCP, probes — or the pure
+// (see README.md for the experiment index). Each experiment spins up the
+// full stack — controller, switch fleet over loopback TCP, probes — or the pure
 // algorithm harness, and prints its table.
 //
 // Usage:

@@ -35,7 +35,7 @@ func run() error {
 		newPath   = flag.String("new", "", "new route, comma-separated datapath ids")
 		waypoint  = flag.Uint64("wp", 0, "waypoint datapath id (0 = none)")
 		family    = flag.String("family", "", "generate the instance from a family spec (reversal:N, staircase:N, nested:N) instead of -old/-new")
-		algorithm = flag.String("algorithm", "", "one of wayup, peacock, greedy-slf, sequential, oneshot, optimal (default: all applicable)")
+		algorithm = flag.String("algorithm", "", "one of "+strings.Join(core.Names(), ", ")+" (default: all applicable)")
 		propsFlag = flag.String("props", "", "verify against these properties instead of the schedule's own guarantees (comma-separated: no-blackhole, waypoint, relaxed-lf, strong-lf)")
 	)
 	flag.Parse()
@@ -52,19 +52,20 @@ func run() error {
 		return err
 	}
 
-	algos := []string{"oneshot", "peacock", "greedy-slf", "sequential"}
-	if in.Waypoint != 0 {
-		algos = append(algos, "wayup")
-	}
-	if in.NumPending() <= core.MaxOptimalPending {
-		algos = append(algos, "optimal")
-	}
+	var algos []string
 	if *algorithm != "" {
 		algos = []string{*algorithm}
+	} else {
+		// Every registered scheduler that applies to this instance.
+		for _, name := range core.Names() {
+			if s, err := core.Lookup(name); err == nil && s.Applicable(in) {
+				algos = append(algos, name)
+			}
+		}
 	}
 
 	for _, algo := range algos {
-		sched, err := scheduleBy(in, algo, props)
+		sched, err := core.ScheduleByName(in, algo, props)
 		if err != nil {
 			fmt.Printf("%-11s %v\n", algo+":", err)
 			continue
@@ -134,34 +135,4 @@ func parseProps(s string) (core.Property, error) {
 		}
 	}
 	return p, nil
-}
-
-func scheduleBy(in *core.Instance, algo string, props core.Property) (*core.Schedule, error) {
-	switch algo {
-	case "wayup":
-		return core.WayUp(in)
-	case "peacock":
-		return core.Peacock(in)
-	case "greedy-slf":
-		return core.GreedySLF(in)
-	case "sequential":
-		p := props
-		if p == 0 {
-			p = core.NoBlackhole | core.RelaxedLoopFreedom
-		}
-		return core.Sequential(in, p)
-	case "oneshot":
-		return core.OneShot(in), nil
-	case "optimal":
-		p := props
-		if p == 0 {
-			p = core.NoBlackhole | core.RelaxedLoopFreedom
-			if in.Waypoint != 0 {
-				p |= core.WaypointEnforcement
-			}
-		}
-		return core.Optimal(in, p)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
 }

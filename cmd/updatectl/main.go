@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"tsu/internal/controller"
+	"tsu/internal/core"
 	"tsu/internal/topo"
 )
 
@@ -37,7 +39,7 @@ func run() error {
 		oldPath   = flag.String("old", "", "old route, comma-separated datapath ids")
 		newPath   = flag.String("new", "", "new route, comma-separated datapath ids")
 		waypoint  = flag.Uint64("wp", 0, "waypoint datapath id (0 = none)")
-		algorithm = flag.String("algorithm", "", "wayup | peacock | greedy-slf | oneshot (default: wayup with waypoint, else peacock)")
+		algorithm = flag.String("algorithm", "", strings.Join(core.Names(), " | ")+" | two-phase (default: wayup with waypoint, else peacock)")
 		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address")
 		interval  = flag.Duration("interval", 0, "pause between rounds")
 		install   = flag.Bool("install", false, "install -old as the active policy first (POST /policy)")
@@ -54,6 +56,15 @@ func run() error {
 	next, err := topo.ParsePath(*newPath)
 	if err != nil {
 		return fmt.Errorf("-new: %w", err)
+	}
+
+	// Fail fast on unknown algorithms before touching the server; the
+	// registry is the single source of scheduler names ("two-phase" is
+	// the controller's tagging fallback, not a round scheduler).
+	if *algorithm != "" && *algorithm != "two-phase" {
+		if _, err := core.Lookup(*algorithm); err != nil {
+			return fmt.Errorf("-algorithm: %w", err)
+		}
 	}
 
 	if *install {

@@ -19,7 +19,6 @@
 //   - internal/trace     — live probe/violation measurement
 //   - internal/experiments — the experiment harness (E1..E9)
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// See README.md for the package tour and quickstart. The benchmarks in
 // bench_test.go regenerate every experiment table.
 package tsu

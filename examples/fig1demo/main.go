@@ -27,7 +27,7 @@ func main() {
 	fmt.Printf("  old route (solid):  %v\n", topo.Fig1OldPath)
 	fmt.Printf("  new route (dashed): %v\n\n", topo.Fig1NewPath)
 
-	for _, algo := range []string{"wayup", "two-phase", "oneshot"} {
+	for _, algo := range []string{core.AlgoWayUp, "two-phase", core.AlgoOneShot} {
 		if err := runOnce(algo); err != nil {
 			log.Fatal(err)
 		}
@@ -73,11 +73,7 @@ func runOnce(algo string) error {
 		}
 	default:
 		var sched *core.Schedule
-		if algo == "wayup" {
-			sched, err = core.WayUp(in)
-		} else {
-			sched = core.OneShot(in)
-		}
+		sched, err = core.ScheduleByName(in, algo, 0)
 		if err == nil {
 			fmt.Printf("%s: %d round(s)\n", algo, sched.NumRounds())
 			job, err = bed.RunUpdate(in, sched, 0)

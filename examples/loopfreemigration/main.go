@@ -22,15 +22,15 @@ import (
 
 func main() {
 	fmt.Println("rounds needed: relaxed (Peacock) vs strong (greedy) loop freedom")
-	tbl := metrics.NewTable("n", "peacock", "greedy-slf")
+	tbl := metrics.NewTable("n", core.AlgoPeacock, core.AlgoGreedySLF)
 	for _, n := range []int{10, 22, 46, 94, 190} {
 		ti := topo.Nested(n)
 		in := core.MustInstance(ti.Old, ti.New, 0)
-		p, err := core.Peacock(in)
+		p, err := core.ScheduleByName(in, core.AlgoPeacock, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		g, err := core.GreedySLF(in)
+		g, err := core.ScheduleByName(in, core.AlgoGreedySLF, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +41,7 @@ func main() {
 	// Execute the n=22 migration live.
 	ti := topo.Nested(22)
 	in := core.MustInstance(ti.Old, ti.New, 0)
-	sched, err := core.Peacock(in)
+	sched, err := core.ScheduleByName(in, core.AlgoPeacock, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func main() {
 		instances = append(instances, in)
 	}
 
-	joint, err := core.NewJointUpdate(instances, core.Peacock)
+	joint, err := core.NewJointUpdate(instances, core.MustScheduler(core.AlgoPeacock), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

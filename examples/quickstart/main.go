@@ -24,17 +24,22 @@ func main() {
 	}
 
 	// One-shot (what a naive controller does): provably unsafe.
-	oneShot := core.OneShot(instance)
+	oneShot, err := core.ScheduleByName(instance, core.AlgoOneShot, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	report := verify.Schedule(instance, oneShot,
 		core.NoBlackhole|core.WaypointEnforcement|core.RelaxedLoopFreedom, verify.Options{})
 	fmt.Println(report)
 	if cex := report.FirstViolation(); cex != nil {
-		fmt.Printf("  e.g. with %d rules already flipped the walk is %v\n",
-			len(cex.Updated), cex.Walk)
+		fmt.Printf("  e.g. with switches %v already flipped the walk is %v\n",
+			instance.StateNodes(cex.Updated), cex.Walk)
 	}
 
-	// WayUp: rounds separated by barriers, transiently secure.
-	schedule, err := core.WayUp(instance)
+	// WayUp: rounds separated by barriers, transiently secure. An empty
+	// algorithm name picks the instance's default (wayup here — the
+	// policy has a waypoint).
+	schedule, err := core.ScheduleByName(instance, "", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +48,7 @@ func main() {
 	fmt.Println(report)
 
 	// Peacock: relaxed loop freedom when there is no waypoint to guard.
-	peacock, err := core.Peacock(instance)
+	peacock, err := core.ScheduleByName(instance, core.AlgoPeacock, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

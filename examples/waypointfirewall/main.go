@@ -41,7 +41,7 @@ func main() {
 	report := verify.Schedule(in, oneShot, props, verify.Options{})
 	fmt.Println("one-shot:", report)
 	if cex := report.FirstViolation(); cex != nil {
-		fmt.Printf("  interleaving: switches %v updated first\n", updatedOf(cex))
+		fmt.Printf("  interleaving: switches %v updated first\n", in.StateNodes(cex.Updated))
 		fmt.Printf("  packet walk:  %v — %s\n\n", cex.Walk, explain(cex, firewall))
 	}
 
@@ -88,19 +88,6 @@ func main() {
 		fmt.Println("optimal:", opt)
 		fmt.Println("        ", verify.Schedule(hard, opt, jointProps, verify.Options{}))
 	}
-}
-
-func updatedOf(cex *core.CounterExample) []topo.NodeID {
-	var out []topo.NodeID
-	for n := range cex.Updated {
-		out = append(out, n)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1] > out[j]; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
-	return out
 }
 
 func explain(cex *core.CounterExample, firewall topo.NodeID) string {

@@ -1,0 +1,3 @@
+module tsu
+
+go 1.22

@@ -105,7 +105,7 @@ func TestSubmitJointTwoFlows(t *testing.T) {
 
 	inA := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
 	inB := core.MustInstance(topo.Fig1NewPath, topo.Fig1OldPath, topo.Fig1Waypoint)
-	ju, err := core.NewJointUpdate([]*core.Instance{inA, inB}, core.WayUp)
+	ju, err := core.NewJointUpdate([]*core.Instance{inA, inB}, core.MustScheduler(core.AlgoWayUp), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestSubmitJointTwoFlows(t *testing.T) {
 func TestSubmitJointValidation(t *testing.T) {
 	tb := newTestbed(t, topo.Fig1(), nil)
 	in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
-	ju, err := core.NewJointUpdate([]*core.Instance{in}, core.Peacock)
+	ju, err := core.NewJointUpdate([]*core.Instance{in}, core.MustScheduler(core.AlgoPeacock), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

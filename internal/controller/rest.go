@@ -24,9 +24,10 @@ type UpdateRequest struct {
 	NewPath  []uint64 `json:"newpath"`
 	Waypoint uint64   `json:"wp,omitempty"`
 	Interval int      `json:"interval,omitempty"` // milliseconds between rounds
-	// Algorithm selects the scheduler: "wayup" (default when wp is
-	// set), "peacock" (default otherwise), "greedy-slf", "oneshot", or
-	// "two-phase" (tagged per-packet consistency).
+	// Algorithm selects the scheduler: any name registered with the
+	// core scheduler registry (see core.Names; wayup is the default
+	// when wp is set, peacock otherwise), or "two-phase" (tagged
+	// per-packet consistency).
 	Algorithm string `json:"algorithm,omitempty"`
 	// NWDst identifies the flow (IPv4 destination), e.g. "10.0.0.2".
 	NWDst string `json:"nw_dst"`
@@ -155,27 +156,10 @@ func fromNodeRounds(rounds [][]topo.NodeID) [][]uint64 {
 }
 
 // ScheduleFor builds the schedule for an instance using the named
-// algorithm ("" picks wayup when a waypoint is present, else peacock).
+// algorithm via the core scheduler registry ("" picks wayup when a
+// waypoint is present, else peacock).
 func ScheduleFor(in *core.Instance, algorithm string) (*core.Schedule, error) {
-	if algorithm == "" {
-		if in.Waypoint != 0 {
-			algorithm = "wayup"
-		} else {
-			algorithm = "peacock"
-		}
-	}
-	switch algorithm {
-	case "wayup":
-		return core.WayUp(in)
-	case "peacock":
-		return core.Peacock(in)
-	case "greedy-slf":
-		return core.GreedySLF(in)
-	case "oneshot":
-		return core.OneShot(in), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
-	}
+	return core.ScheduleByName(in, algorithm, 0)
 }
 
 func (c *Controller) handleUpdate(w http.ResponseWriter, r *http.Request) {

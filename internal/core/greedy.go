@@ -30,8 +30,8 @@ import (
 // instances can stall the *global-graph* variant; callers fall back to
 // Peacock or Optimal.
 func GreedySLF(in *Instance) (*Schedule, error) {
-	s := &Schedule{Algorithm: "greedy-slf", Guarantees: NoBlackhole | StrongLoopFreedom | RelaxedLoopFreedom}
-	done := make(State)
+	s := &Schedule{Algorithm: AlgoGreedySLF, Guarantees: NoBlackhole | StrongLoopFreedom | RelaxedLoopFreedom}
+	done := in.NewState()
 	pending := in.Pending()
 	remaining := make(map[topo.NodeID]bool, len(pending))
 	for _, v := range pending {
@@ -56,7 +56,7 @@ func GreedySLF(in *Instance) (*Schedule, error) {
 		}
 		s.Rounds = append(s.Rounds, round)
 		for _, v := range round {
-			done[v] = true
+			in.Mark(done, v)
 			delete(remaining, v)
 		}
 	}

@@ -17,6 +17,9 @@ import (
 // new path except the destination, a rule forwarding to its new-path
 // successor. Switches whose old and new successors coincide need no
 // FlowMod and are treated as already final.
+//
+// An Instance is immutable after construction and safe for concurrent
+// use; the parallel verifier relies on this.
 type Instance struct {
 	Old      topo.Path
 	New      topo.Path
@@ -27,6 +30,20 @@ type Instance struct {
 	oldPos  map[topo.NodeID]int
 	newPos  map[topo.NodeID]int
 	pending map[topo.NodeID]bool // switches that need a FlowMod
+
+	// Dense index layer: every switch of Old ∪ New gets an index in
+	// [0, NumNodes), ascending by switch ID. The hot paths — Walk,
+	// CheckState, CheckRound's subset search, RoundSafeStrongLF — run
+	// entirely on these arrays and State bitsets.
+	nodeOf      []topo.NodeID
+	idxOf       map[topo.NodeID]int32
+	oldSuccIdx  []int32 // -1 when v has no old-path successor
+	newSuccIdx  []int32 // -1 when v has no new-path successor
+	pendingBits State
+	srcIdx      int32
+	dstIdx      int32
+	wpIdx       int32 // -1 when the policy has no waypoint
+	words       int   // State words needed for NumNodes bits
 }
 
 // NewInstance validates and indexes an update problem. It returns an
@@ -78,7 +95,48 @@ func NewInstance(old, newPath topo.Path, waypoint topo.NodeID) (*Instance, error
 			in.pending[v] = true
 		}
 	}
+	in.buildIndex()
 	return in, nil
+}
+
+// buildIndex materializes the dense index layer from the path maps.
+func (in *Instance) buildIndex() {
+	seen := make(map[topo.NodeID]bool, len(in.Old)+len(in.New))
+	for _, p := range []topo.Path{in.Old, in.New} {
+		for _, v := range p {
+			if !seen[v] {
+				seen[v] = true
+				in.nodeOf = append(in.nodeOf, v)
+			}
+		}
+	}
+	sort.Slice(in.nodeOf, func(i, j int) bool { return in.nodeOf[i] < in.nodeOf[j] })
+	in.words = (len(in.nodeOf) + 63) / 64
+	in.idxOf = make(map[topo.NodeID]int32, len(in.nodeOf))
+	for i, v := range in.nodeOf {
+		in.idxOf[v] = int32(i)
+	}
+	in.oldSuccIdx = make([]int32, len(in.nodeOf))
+	in.newSuccIdx = make([]int32, len(in.nodeOf))
+	in.pendingBits = in.NewState()
+	for i, v := range in.nodeOf {
+		in.oldSuccIdx[i], in.newSuccIdx[i] = -1, -1
+		if n, ok := in.oldSucc[v]; ok {
+			in.oldSuccIdx[i] = in.idxOf[n]
+		}
+		if n, ok := in.newSucc[v]; ok {
+			in.newSuccIdx[i] = in.idxOf[n]
+		}
+		if in.pending[v] {
+			in.pendingBits.Set(i)
+		}
+	}
+	in.srcIdx = in.idxOf[in.Old.Src()]
+	in.dstIdx = in.idxOf[in.Old.Dst()]
+	in.wpIdx = -1
+	if in.Waypoint != 0 {
+		in.wpIdx = in.idxOf[in.Waypoint]
+	}
 }
 
 // MustInstance is NewInstance for statically known-good inputs; it
@@ -165,17 +223,8 @@ func (in *Instance) NewOnly(v topo.NodeID) bool {
 
 // Nodes returns the union of both paths' switches in ascending ID order.
 func (in *Instance) Nodes() []topo.NodeID {
-	seen := make(map[topo.NodeID]bool, len(in.Old)+len(in.New))
-	var out []topo.NodeID
-	for _, p := range []topo.Path{in.Old, in.New} {
-		for _, v := range p {
-			if !seen[v] {
-				seen[v] = true
-				out = append(out, v)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]topo.NodeID, len(in.nodeOf))
+	copy(out, in.nodeOf)
 	return out
 }
 

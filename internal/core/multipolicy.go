@@ -27,14 +27,16 @@ type FlowUpdate struct {
 	Switch topo.NodeID
 }
 
-// NewJointUpdate schedules every instance with the provided scheduler.
-func NewJointUpdate(instances []*Instance, scheduler func(*Instance) (*Schedule, error)) (*JointUpdate, error) {
+// NewJointUpdate schedules every instance with the provided scheduler
+// (see Register / Lookup for dispatch by name). props == 0 selects the
+// scheduler's default property set.
+func NewJointUpdate(instances []*Instance, scheduler Scheduler, props Property) (*JointUpdate, error) {
 	if len(instances) == 0 {
 		return nil, fmt.Errorf("core: joint update needs at least one policy")
 	}
 	j := &JointUpdate{Instances: instances}
 	for i, in := range instances {
-		s, err := scheduler(in)
+		s, err := scheduler.Schedule(in, props)
 		if err != nil {
 			return nil, fmt.Errorf("core: joint update: policy %d: %w", i, err)
 		}

@@ -9,7 +9,7 @@ import "tsu/internal/topo"
 // the comparator that exhibits transient loops and waypoint bypasses in
 // the experiments.
 func OneShot(in *Instance) *Schedule {
-	s := &Schedule{Algorithm: "oneshot", Guarantees: 0}
+	s := &Schedule{Algorithm: AlgoOneShot, Guarantees: 0}
 	if pending := in.Pending(); len(pending) > 0 {
 		s.Rounds = [][]topo.NodeID{pending}
 	}

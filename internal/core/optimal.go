@@ -34,7 +34,7 @@ func Optimal(in *Instance, props Property) (*Schedule, error) {
 	if k > MaxOptimalPending {
 		return nil, fmt.Errorf("core: optimal solver limited to %d pending switches, instance has %d", MaxOptimalPending, k)
 	}
-	s := &Schedule{Algorithm: "optimal", Guarantees: props}
+	s := &Schedule{Algorithm: AlgoOptimal, Guarantees: props}
 	if k == 0 {
 		return s, nil
 	}
@@ -52,10 +52,10 @@ func Optimal(in *Instance, props Property) (*Schedule, error) {
 		return out
 	}
 	maskState := func(mask uint32) State {
-		st := make(State)
+		st := in.NewState()
 		for i, v := range pending {
 			if mask&(1<<uint(i)) != 0 {
-				st[v] = true
+				in.Mark(st, v)
 			}
 		}
 		return st
@@ -145,10 +145,10 @@ func Feasible(in *Instance, props Property) (bool, error) {
 			return r
 		}
 		memo[m] = false // cycle guard; overwritten below
-		done := make(State)
+		done := in.NewState()
 		for i, v := range pending {
 			if m&(1<<uint(i)) != 0 {
-				done[v] = true
+				in.Mark(done, v)
 			}
 		}
 		ok := false

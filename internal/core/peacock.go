@@ -15,7 +15,7 @@ import (
 // batching: far fewer rounds than strong loop freedom on adversarial
 // instances.
 //
-// The reconstruction (see DESIGN.md) batches with two constructive
+// The reconstruction batches with two constructive
 // lemmas evaluated against the current inter-round walk W:
 //
 //   - L1 (off-walk): pending switches not on W can all be flipped in
@@ -34,8 +34,8 @@ import (
 // chain is final, and any chain blocker is itself off-walk and flips in
 // the current round.
 func Peacock(in *Instance) (*Schedule, error) {
-	s := &Schedule{Algorithm: "peacock", Guarantees: NoBlackhole | RelaxedLoopFreedom}
-	done := make(State)
+	s := &Schedule{Algorithm: AlgoPeacock, Guarantees: NoBlackhole | RelaxedLoopFreedom}
+	done := in.NewState()
 	pending := in.Pending()
 	remaining := make(map[topo.NodeID]bool, len(pending))
 	for _, v := range pending {
@@ -55,7 +55,7 @@ func Peacock(in *Instance) (*Schedule, error) {
 	if len(newOnly) > 0 {
 		s.Rounds = append(s.Rounds, newOnly)
 		for _, v := range newOnly {
-			done[v] = true
+			in.Mark(done, v)
 			delete(remaining, v)
 		}
 	}
@@ -88,7 +88,7 @@ func Peacock(in *Instance) (*Schedule, error) {
 		}
 		s.Rounds = append(s.Rounds, round)
 		for _, v := range round {
-			done[v] = true
+			in.Mark(done, v)
 			delete(remaining, v)
 		}
 	}
@@ -109,7 +109,7 @@ func (in *Instance) forwardLanding(v topo.NodeID, done State, walkPos map[topo.N
 		}
 		// Off-walk: the chain may only continue over final switches,
 		// whose sole rule is their new-path successor.
-		if in.pending[cur] && !done[cur] {
+		if in.pending[cur] && !in.Updated(done, cur) {
 			return 0, false
 		}
 		next, ok := in.newSucc[cur]

@@ -36,7 +36,7 @@ func TestQuickSchedulerContract(t *testing.T) {
 				return false
 			}
 			props := s.Guarantees
-			done := make(State)
+			done := in.NewState()
 			for _, round := range s.Rounds {
 				if len(round) > 16 {
 					return true // exhaustive check infeasible; sizes here keep rounds small
@@ -44,9 +44,7 @@ func TestQuickSchedulerContract(t *testing.T) {
 				if bruteForceRound(in, done, round, props) != 0 {
 					return false
 				}
-				for _, v := range round {
-					done[v] = true
-				}
+				in.Mark(done, round...)
 			}
 			walk, outcome := in.Walk(done)
 			if outcome != Reached || !walk.Equal(in.New) {
@@ -69,10 +67,10 @@ func TestQuickWalkDeterminism(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		ti := topo.RandomTwoPath(rng, n, false)
 		in := MustInstance(ti.Old, ti.New, 0)
-		st := make(State)
+		st := in.NewState()
 		for i, v := range in.Pending() {
 			if mask&(1<<uint(i%16)) != 0 && i < 16 {
-				st[v] = true
+				in.Mark(st, v)
 			}
 		}
 		w1, o1 := in.Walk(st)

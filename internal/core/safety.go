@@ -9,7 +9,8 @@ import (
 // CounterExample witnesses a transient-consistency violation: a
 // reachable intermediate state (completed rounds plus the Updated
 // subset of the in-flight round) together with the offending forwarding
-// walk.
+// walk. Updated is keyed by the instance's node index; use
+// Instance.StateNodes to list the switches.
 type CounterExample struct {
 	Updated  State     // the violating rule state
 	Walk     topo.Path // forwarding walk from the source in that state
@@ -39,56 +40,64 @@ const DefaultCheckBudget = 1 << 20
 // subset realizing the cycle. Hence: all subsets safe ⇔ the double-edge
 // graph is acyclic.
 func (in *Instance) RoundSafeStrongLF(done State, round []topo.NodeID) bool {
-	inRound := make(map[topo.NodeID]bool, len(round))
-	for _, v := range round {
-		inRound[v] = true
-	}
-	edges := func(v topo.NodeID) []topo.NodeID {
-		if v == in.Dst() {
-			return nil
-		}
-		var out []topo.NodeID
-		if !in.pending[v] {
-			if n, ok := in.NextHop(v, nil); ok {
-				out = append(out, n)
-			}
-			return out
-		}
-		if done[v] {
-			return append(out, in.newSucc[v])
-		}
-		if inRound[v] {
-			out = append(out, in.newSucc[v])
-		}
-		if n, ok := in.oldSucc[v]; ok {
-			out = append(out, n)
-		}
-		return out
-	}
+	inRound := in.StateOf(round...)
 	const (
 		white = 0
 		grey  = 1
 		black = 2
 	)
-	color := make(map[topo.NodeID]int)
-	var visit func(v topo.NodeID) bool
-	visit = func(v topo.NodeID) bool {
-		color[v] = grey
-		for _, n := range edges(v) {
-			switch color[n] {
+	n := len(in.nodeOf)
+	var colorBuf [128]uint8
+	var color []uint8
+	if n <= len(colorBuf) {
+		color = colorBuf[:n]
+	} else {
+		color = make([]uint8, n)
+	}
+	var visit func(i int32) bool
+	visit = func(i int32) bool {
+		color[i] = grey
+		var succ [2]int32 // per-frame: the double-edge successors of i
+		ns := 0
+		if i != in.dstIdx {
+			switch {
+			case !in.pendingBits.Has(int(i)):
+				if s := in.newSuccIdx[i]; s >= 0 {
+					succ[ns] = s
+					ns++
+				} else if s := in.oldSuccIdx[i]; s >= 0 {
+					succ[ns] = s
+					ns++
+				}
+			case done.Has(int(i)):
+				succ[ns] = in.newSuccIdx[i]
+				ns++
+			default:
+				if inRound.Has(int(i)) {
+					succ[ns] = in.newSuccIdx[i]
+					ns++
+				}
+				if s := in.oldSuccIdx[i]; s >= 0 {
+					succ[ns] = s
+					ns++
+				}
+			}
+		}
+		for k := 0; k < ns; k++ {
+			switch color[succ[k]] {
 			case grey:
 				return true
 			case white:
-				if visit(n) {
+				if visit(succ[k]) {
 					return true
 				}
 			}
 		}
-		color[v] = black
+		color[i] = black
 		return false
 	}
-	for _, v := range in.Nodes() {
-		if color[v] == white && visit(v) {
+	for i := 0; i < n; i++ {
+		if color[i] == white && visit(int32(i)) {
 			return false
 		}
 	}
@@ -106,6 +115,9 @@ func (in *Instance) RoundSafeStrongLF(done State, round []topo.NodeID) bool {
 // 2^(walk-reachable in-flight switches) rather than 2^|round|. The
 // budget caps explored steps; exact=false means the budget was
 // exhausted before the search completed (no violation found so far).
+//
+// CheckRound is read-only on the instance and safe to call from
+// concurrent goroutines (the parallel verifier does).
 func (in *Instance) CheckRound(done State, round []topo.NodeID, props Property, budget int) (cex *CounterExample, exact bool) {
 	if budget <= 0 {
 		budget = DefaultCheckBudget
@@ -120,21 +132,24 @@ func (in *Instance) CheckRound(done State, round []topo.NodeID, props Property, 
 	if walkProps == 0 {
 		return nil, true
 	}
+	w := in.words
+	buf := make(State, 4*w) // one backing array for all four scratch bitsets
 	c := &roundChecker{
-		in:       in,
-		done:     done,
-		inRound:  make(map[topo.NodeID]bool, len(round)),
-		props:    walkProps,
-		budget:   budget,
-		assigned: make(map[topo.NodeID]bool),
-		onWalk:   make(map[topo.NodeID]bool),
+		in:           in,
+		done:         done,
+		inRound:      buf[0*w : 1*w],
+		props:        walkProps,
+		budget:       budget,
+		assignedMask: buf[1*w : 2*w],
+		assignedVal:  buf[2*w : 3*w],
+		onWalk:       buf[3*w : 4*w],
 	}
 	for _, v := range round {
-		if in.pending[v] && !done[v] {
-			c.inRound[v] = true
+		if i, ok := in.idxOf[v]; ok && in.pendingBits.Has(int(i)) && !done.Has(int(i)) {
+			c.inRound.Set(int(i))
 		}
 	}
-	c.step(in.Src())
+	c.step(in.srcIdx)
 	return c.cex, !c.exhausted
 }
 
@@ -147,9 +162,9 @@ func (in *Instance) strongLFCounterExample(done State, round []topo.NodeID) *Cou
 	// witness. If no single growth order exhibits it (cycle needs
 	// several specific switches in specific rule states), fall back to
 	// enumerating subsets for small rounds, else report the full round.
-	st := done.Clone()
+	st := in.CloneState(done)
 	for _, v := range round {
-		st[v] = true
+		in.Mark(st, v)
 		if in.hasRuleCycle(st) {
 			walk, _ := in.Walk(st)
 			return &CounterExample{Updated: st, Walk: walk, Violated: StrongLoopFreedom}
@@ -157,15 +172,15 @@ func (in *Instance) strongLFCounterExample(done State, round []topo.NodeID) *Cou
 	}
 	if len(round) <= 16 {
 		for mask := 0; mask < 1<<len(round); mask++ {
-			st := done.Clone()
+			sub := in.CloneState(done)
 			for i, v := range round {
 				if mask&(1<<i) != 0 {
-					st[v] = true
+					in.Mark(sub, v)
 				}
 			}
-			if in.hasRuleCycle(st) {
-				walk, _ := in.Walk(st)
-				return &CounterExample{Updated: st, Walk: walk, Violated: StrongLoopFreedom}
+			if in.hasRuleCycle(sub) {
+				walk, _ := in.Walk(sub)
+				return &CounterExample{Updated: sub, Walk: walk, Violated: StrongLoopFreedom}
 			}
 		}
 	}
@@ -173,50 +188,51 @@ func (in *Instance) strongLFCounterExample(done State, round []topo.NodeID) *Cou
 	return &CounterExample{Updated: st, Walk: walk, Violated: StrongLoopFreedom}
 }
 
-// roundChecker performs the branching walk search of CheckRound.
+// roundChecker performs the branching walk search of CheckRound over
+// dense node indices. The tri-state per-switch assignment (unassigned /
+// updated / not yet) lives in two bitsets: assignedMask marks fixed
+// switches, assignedVal their value.
 type roundChecker struct {
-	in       *Instance
-	done     State
-	inRound  map[topo.NodeID]bool
-	props    Property
-	budget   int
-	assigned map[topo.NodeID]bool
-	onWalk   map[topo.NodeID]bool
-	walk     topo.Path
+	in           *Instance
+	done         State
+	inRound      State
+	props        Property
+	budget       int
+	assignedMask State
+	assignedVal  State
+	onWalk       State
+	walk         []int32
 
 	cex       *CounterExample
 	exhausted bool
 }
 
-func (c *roundChecker) updated(v topo.NodeID) bool {
-	if c.done[v] {
-		return true
-	}
-	b, ok := c.assigned[v]
-	return ok && b
+func (c *roundChecker) updated(i int32) bool {
+	return c.done.Has(int(i)) || (c.assignedMask.Has(int(i)) && c.assignedVal.Has(int(i)))
 }
 
 // report records a counterexample for the current branch. When tail is
-// non-zero it is appended to the recorded walk (the destination for a
-// bypass, the repeated switch for a loop); the dropping switch of a
+// non-negative it is appended to the recorded walk (the destination for
+// a bypass, the repeated switch for a loop); the dropping switch of a
 // blackhole is already the last walk element.
-func (c *roundChecker) report(violated Property, tail topo.NodeID) {
-	st := c.done.Clone()
-	for n, b := range c.assigned {
-		if b {
-			st[n] = true
-		}
+func (c *roundChecker) report(violated Property, tail int32) {
+	st := c.in.CloneState(c.done)
+	for w := range st {
+		st[w] |= c.assignedMask[w] & c.assignedVal[w]
 	}
-	walk := c.walk.Clone()
-	if tail != 0 {
-		walk = append(walk, tail)
+	walk := make(topo.Path, 0, len(c.walk)+1)
+	for _, i := range c.walk {
+		walk = append(walk, c.in.nodeOf[i])
+	}
+	if tail >= 0 {
+		walk = append(walk, c.in.nodeOf[tail])
 	}
 	c.cex = &CounterExample{Updated: st, Walk: walk, Violated: violated}
 }
 
-// step explores the walk arriving at v; it returns true when a
+// step explores the walk arriving at i; it returns true when a
 // violation has been recorded (callers unwind immediately).
-func (c *roundChecker) step(v topo.NodeID) bool {
+func (c *roundChecker) step(i int32) bool {
 	if c.cex != nil {
 		return true
 	}
@@ -225,53 +241,69 @@ func (c *roundChecker) step(v topo.NodeID) bool {
 		c.exhausted = true
 		return false
 	}
-	if v == c.in.Dst() {
-		if c.props.Has(WaypointEnforcement) && c.in.Waypoint != 0 && !c.onWalk[c.in.Waypoint] {
-			c.report(WaypointEnforcement, v)
+	if i == c.in.dstIdx {
+		if c.props.Has(WaypointEnforcement) && c.in.wpIdx >= 0 && !c.onWalk.Has(int(c.in.wpIdx)) {
+			c.report(WaypointEnforcement, i)
 			return true
 		}
 		return false
 	}
-	if c.onWalk[v] {
+	if c.onWalk.Has(int(i)) {
 		if c.props.Has(RelaxedLoopFreedom) {
-			c.report(RelaxedLoopFreedom, v)
+			c.report(RelaxedLoopFreedom, i)
 			return true
 		}
 		// The walk cycles: it will never reach the destination or a
 		// drop, so no further property can be violated on this branch.
 		return false
 	}
-	c.onWalk[v] = true
-	c.walk = append(c.walk, v)
+	c.onWalk.Set(int(i))
+	c.walk = append(c.walk, i)
 	defer func() {
-		delete(c.onWalk, v)
+		c.onWalk.Clear(int(i))
 		c.walk = c.walk[:len(c.walk)-1]
 	}()
 
-	if c.inRound[v] {
-		if _, fixed := c.assigned[v]; !fixed {
-			for _, b := range []bool{true, false} {
-				c.assigned[v] = b
-				if c.advance(v) {
-					return true
-				}
-				if c.exhausted {
-					break
-				}
+	if c.inRound.Has(int(i)) && !c.assignedMask.Has(int(i)) {
+		c.assignedMask.Set(int(i))
+		for _, b := range []bool{true, false} {
+			if b {
+				c.assignedVal.Set(int(i))
+			} else {
+				c.assignedVal.Clear(int(i))
 			}
-			delete(c.assigned, v)
-			return false
+			if c.advance(i) {
+				return true
+			}
+			if c.exhausted {
+				break
+			}
 		}
+		c.assignedMask.Clear(int(i))
+		c.assignedVal.Clear(int(i))
+		return false
 	}
-	return c.advance(v)
+	return c.advance(i)
 }
 
-// advance follows v's rule under the current assignment.
-func (c *roundChecker) advance(v topo.NodeID) bool {
-	next, ok := c.in.NextHop(v, c.updated)
-	if !ok {
+// advance follows i's rule under the current assignment.
+func (c *roundChecker) advance(i int32) bool {
+	in := c.in
+	var next int32
+	if in.pendingBits.Has(int(i)) {
+		if c.updated(i) {
+			next = in.newSuccIdx[i]
+		} else {
+			next = in.oldSuccIdx[i]
+		}
+	} else if in.newSuccIdx[i] >= 0 {
+		next = in.newSuccIdx[i]
+	} else {
+		next = in.oldSuccIdx[i]
+	}
+	if next < 0 {
 		if c.props.Has(NoBlackhole) {
-			c.report(NoBlackhole, 0) // v is already the walk's last element
+			c.report(NoBlackhole, -1) // i is already the walk's last element
 			return true
 		}
 		return false
@@ -285,7 +317,7 @@ func (c *roundChecker) advance(v topo.NodeID) bool {
 // Only untouched new-path-only switches lack rules. Schedulers use this
 // to avoid transient blackholes.
 func (in *Instance) hasGuaranteedRule(v topo.NodeID, done State) bool {
-	if v == in.Dst() || !in.pending[v] || done[v] {
+	if v == in.Dst() || !in.pending[v] || in.Updated(done, v) {
 		return true
 	}
 	return in.OnOld(v)

@@ -13,10 +13,10 @@ import (
 func bruteForceRound(in *Instance, done State, round []topo.NodeID, props Property) Property {
 	var violated Property
 	for mask := 0; mask < 1<<len(round); mask++ {
-		st := done.Clone()
+		st := in.CloneState(done)
 		for i, v := range round {
 			if mask&(1<<i) != 0 {
-				st[v] = true
+				in.Mark(st, v)
 			}
 		}
 		violated |= in.CheckState(st, props)
@@ -34,11 +34,11 @@ func TestRoundSafeStrongLFMatchesBruteForce(t *testing.T) {
 			continue
 		}
 		// Random done set and round over the remainder.
-		done := make(State)
+		done := in.NewState()
 		var rest []topo.NodeID
 		for _, v := range pending {
 			if rng.Intn(3) == 0 {
-				done[v] = true
+				in.Mark(done, v)
 			} else {
 				rest = append(rest, v)
 			}
@@ -56,7 +56,7 @@ func TestRoundSafeStrongLFMatchesBruteForce(t *testing.T) {
 		brute := bruteForceRound(in, done, round, StrongLoopFreedom) == 0
 		if fast != brute {
 			t.Fatalf("instance %v done %v round %v: double-edge says safe=%v, brute force says %v",
-				in, done, round, fast, brute)
+				in, in.StateNodes(done), round, fast, brute)
 		}
 	}
 }
@@ -71,11 +71,11 @@ func TestCheckRoundMatchesBruteForce(t *testing.T) {
 		if len(pending) == 0 {
 			continue
 		}
-		done := make(State)
+		done := in.NewState()
 		var rest []topo.NodeID
 		for _, v := range pending {
 			if rng.Intn(3) == 0 {
-				done[v] = true
+				in.Mark(done, v)
 			} else {
 				rest = append(rest, v)
 			}
@@ -96,22 +96,22 @@ func TestCheckRoundMatchesBruteForce(t *testing.T) {
 		brute := bruteForceRound(in, done, round, props)
 		if (cex == nil) != (brute == 0) {
 			t.Fatalf("instance %v done %v round %v: checker cex=%v, brute violations=%v",
-				in, done, round, cex, brute)
+				in, in.StateNodes(done), round, cex, brute)
 		}
 		if cex != nil {
 			// The counterexample must be a real reachable state
 			// exhibiting the claimed violation.
 			if got := in.CheckState(cex.Updated, props); !got.Has(cex.Violated) {
 				t.Fatalf("counterexample state %v does not violate %v (violates %v)",
-					cex.Updated, cex.Violated, got)
+					in.StateNodes(cex.Updated), cex.Violated, got)
 			}
 			// And its updated set must be done ∪ subset(round).
 			inRound := map[topo.NodeID]bool{}
 			for _, v := range round {
 				inRound[v] = true
 			}
-			for v := range cex.Updated {
-				if !done[v] && !inRound[v] {
+			for _, v := range in.StateNodes(cex.Updated) {
+				if !in.Updated(done, v) && !inRound[v] {
 					t.Fatalf("counterexample updates switch %d outside done∪round", v)
 				}
 			}
@@ -192,6 +192,6 @@ func TestStrongLFCounterExampleIsReal(t *testing.T) {
 		t.Fatal("expected strong-LF counterexample")
 	}
 	if got := in.CheckState(cex.Updated, StrongLoopFreedom); !got.Has(StrongLoopFreedom) {
-		t.Fatalf("counterexample state %v has no rule cycle", cex.Updated)
+		t.Fatalf("counterexample state %v has no rule cycle", in.StateNodes(cex.Updated))
 	}
 }

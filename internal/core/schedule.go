@@ -16,8 +16,8 @@ type Schedule struct {
 	// Rounds holds the switches updated per round, in execution order.
 	Rounds [][]topo.NodeID
 
-	// Algorithm names the scheduler that produced this schedule
-	// ("wayup", "peacock", "greedy-slf", "oneshot", "optimal").
+	// Algorithm names the scheduler that produced this schedule (one
+	// of the registered names, see Names).
 	Algorithm string
 
 	// Guarantees is the property set the scheduler promises to hold in
@@ -91,13 +91,11 @@ func (s *Schedule) Validate(in *Instance) error {
 }
 
 // StateAfter returns the updated-set after the first n rounds have
-// completed.
-func (s *Schedule) StateAfter(n int) State {
-	st := make(State)
+// completed, as a State of the given instance.
+func (s *Schedule) StateAfter(in *Instance, n int) State {
+	st := in.NewState()
 	for i := 0; i < n && i < len(s.Rounds); i++ {
-		for _, v := range s.Rounds[i] {
-			st[v] = true
-		}
+		in.Mark(st, s.Rounds[i]...)
 	}
 	return st
 }

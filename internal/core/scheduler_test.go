@@ -16,7 +16,7 @@ func verifyScheduleBrute(t *testing.T, in *Instance, s *Schedule, props Property
 	if err := s.Validate(in); err != nil {
 		t.Fatalf("%s: invalid schedule: %v", s.Algorithm, err)
 	}
-	done := make(State)
+	done := in.NewState()
 	for i, round := range s.Rounds {
 		if len(round) > 18 {
 			t.Fatalf("%s: round %d too large for brute force (%d)", s.Algorithm, i, len(round))
@@ -25,9 +25,7 @@ func verifyScheduleBrute(t *testing.T, in *Instance, s *Schedule, props Property
 			t.Fatalf("%s: round %d (%v) violates %v on %v\nschedule: %v",
 				s.Algorithm, i, round, violated, in, s)
 		}
-		for _, v := range round {
-			done[v] = true
-		}
+		in.Mark(done, round...)
 	}
 	// Final state must realize the new path.
 	walk, outcome := in.Walk(done)
@@ -336,15 +334,17 @@ func TestScheduleValidateCatchesBadSchedules(t *testing.T) {
 }
 
 func TestScheduleStateAfterAndString(t *testing.T) {
+	// Old 1→2→3→4, new 1→3→2→4: pending = {1, 3, 2}.
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
 	s := &Schedule{Algorithm: "x", Rounds: [][]topo.NodeID{{1, 2}, {3}}}
-	st := s.StateAfter(1)
-	if !st[1] || !st[2] || st[3] {
-		t.Fatalf("StateAfter(1) = %v", st)
+	st := s.StateAfter(in, 1)
+	if !in.Updated(st, 1) || !in.Updated(st, 2) || in.Updated(st, 3) {
+		t.Fatalf("StateAfter(1) = %v", in.StateNodes(st))
 	}
-	if s.StateAfter(0)[1] {
+	if s.StateAfter(in, 0).Count() != 0 {
 		t.Fatal("StateAfter(0) must be empty")
 	}
-	if len(s.StateAfter(5)) != 3 {
+	if s.StateAfter(in, 5).Count() != 3 {
 		t.Fatal("StateAfter beyond rounds must include everything")
 	}
 	if s.String() != "x[2 rounds: {1 2} {3}]" {
@@ -364,7 +364,7 @@ func TestJointUpdate(t *testing.T) {
 		mk(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}),
 		mk(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 6, 4}),
 	}
-	j, err := NewJointUpdate(instances, Peacock)
+	j, err := NewJointUpdate(instances, MustScheduler(AlgoPeacock), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,11 +393,11 @@ func TestJointUpdate(t *testing.T) {
 }
 
 func TestJointUpdateErrors(t *testing.T) {
-	if _, err := NewJointUpdate(nil, Peacock); err == nil {
+	if _, err := NewJointUpdate(nil, MustScheduler(AlgoPeacock), 0); err == nil {
 		t.Fatal("empty joint update accepted")
 	}
 	in := MustInstance(topo.Path{1, 2, 3}, topo.Path{1, 3}, 0)
-	if _, err := NewJointUpdate([]*Instance{in}, WayUp); err == nil {
+	if _, err := NewJointUpdate([]*Instance{in}, MustScheduler(AlgoWayUp), 0); err == nil {
 		t.Fatal("scheduler error not propagated")
 	}
 }

@@ -17,13 +17,13 @@ import (
 // It fails when no individually safe switch exists (for waypoint-plus-
 // loop-freedom combinations that are jointly infeasible).
 func Sequential(in *Instance, props Property) (*Schedule, error) {
-	s := &Schedule{Algorithm: "sequential", Guarantees: props}
+	s := &Schedule{Algorithm: AlgoSequential, Guarantees: props}
 	pending := in.Pending()
 	remaining := make(map[topo.NodeID]bool, len(pending))
 	for _, v := range pending {
 		remaining[v] = true
 	}
-	done := make(State)
+	done := in.NewState()
 	for len(remaining) > 0 {
 		var pick topo.NodeID
 		found := false
@@ -42,7 +42,7 @@ func Sequential(in *Instance, props Property) (*Schedule, error) {
 			return nil, fmt.Errorf("core: sequential stalled with %d pending switches on %v (props %s)", len(remaining), in, props)
 		}
 		s.Rounds = append(s.Rounds, []topo.NodeID{pick})
-		done[pick] = true
+		in.Mark(done, pick)
 		delete(remaining, pick)
 	}
 	return s, nil

@@ -29,29 +29,6 @@ func (o Outcome) String() string {
 	return "unknown"
 }
 
-// State is the set of switches whose update has taken effect.
-type State map[topo.NodeID]bool
-
-// Clone returns a copy of the state.
-func (s State) Clone() State {
-	c := make(State, len(s))
-	for k, v := range s {
-		if v {
-			c[k] = true
-		}
-	}
-	return c
-}
-
-// StateOf builds a State containing the given switches.
-func StateOf(nodes ...topo.NodeID) State {
-	s := make(State, len(nodes))
-	for _, n := range nodes {
-		s[n] = true
-	}
-	return s
-}
-
 // NextHop returns the switch v forwards to under the given updated-set,
 // and false when v has no matching rule (packets are dropped) or v is
 // the destination.
@@ -77,28 +54,72 @@ func (in *Instance) NextHop(v topo.NodeID, updated func(topo.NodeID) bool) (topo
 	return n, ok
 }
 
+// nextHopIdx is NextHop over dense indices with a State updated-set:
+// shift-and-mask only, no map lookups.
+func (in *Instance) nextHopIdx(i int32, updated State) (int32, bool) {
+	if i == in.dstIdx {
+		return -1, false
+	}
+	if in.pendingBits.Has(int(i)) {
+		if updated.Has(int(i)) {
+			return in.newSuccIdx[i], true
+		}
+		n := in.oldSuccIdx[i]
+		return n, n >= 0
+	}
+	if n := in.newSuccIdx[i]; n >= 0 {
+		return n, true
+	}
+	n := in.oldSuccIdx[i]
+	return n, n >= 0
+}
+
 // Walk follows the forwarding rules from the source under the given
 // updated-set and returns the visited path together with its outcome.
 // On a Looped outcome the returned path ends with the first repeated
 // switch (included twice).
 func (in *Instance) Walk(updated State) (topo.Path, Outcome) {
-	return in.WalkFunc(func(v topo.NodeID) bool { return updated[v] })
+	path := make(topo.Path, 0, len(in.nodeOf)+1)
+	var seenBuf [8]uint64
+	var seen State
+	if in.words <= len(seenBuf) {
+		seen = State(seenBuf[:in.words])
+	} else {
+		seen = make(State, in.words)
+	}
+	i := in.srcIdx
+	for {
+		path = append(path, in.nodeOf[i])
+		if i == in.dstIdx {
+			return path, Reached
+		}
+		if seen.Has(int(i)) {
+			return path, Looped
+		}
+		seen.Set(int(i))
+		next, ok := in.nextHopIdx(i, updated)
+		if !ok {
+			return path, Dropped
+		}
+		i = next
+	}
 }
 
 // WalkFunc is Walk with a predicate instead of a State set.
 func (in *Instance) WalkFunc(updated func(topo.NodeID) bool) (topo.Path, Outcome) {
 	var path topo.Path
-	seen := make(map[topo.NodeID]bool)
+	seen := in.NewState()
 	v := in.Src()
 	for {
 		path = append(path, v)
 		if v == in.Dst() {
 			return path, Reached
 		}
-		if seen[v] {
+		i := int(in.idxOf[v])
+		if seen.Has(i) {
 			return path, Looped
 		}
-		seen[v] = true
+		seen.Set(i)
 		next, ok := in.NextHop(v, updated)
 		if !ok {
 			return path, Dropped
@@ -139,11 +160,18 @@ func (in *Instance) hasRuleCycle(updated State) bool {
 		grey  = 1
 		black = 2
 	)
-	color := make(map[topo.NodeID]int)
-	var visit func(v topo.NodeID) bool
-	visit = func(v topo.NodeID) bool {
-		color[v] = grey
-		if next, ok := in.NextHop(v, func(n topo.NodeID) bool { return updated[n] }); ok {
+	n := len(in.nodeOf)
+	var colorBuf [128]uint8
+	var color []uint8
+	if n <= len(colorBuf) {
+		color = colorBuf[:n]
+	} else {
+		color = make([]uint8, n)
+	}
+	var visit func(i int32) bool
+	visit = func(i int32) bool {
+		color[i] = grey
+		if next, ok := in.nextHopIdx(i, updated); ok {
 			switch color[next] {
 			case grey:
 				return true
@@ -153,11 +181,11 @@ func (in *Instance) hasRuleCycle(updated State) bool {
 				}
 			}
 		}
-		color[v] = black
+		color[i] = black
 		return false
 	}
-	for _, v := range in.Nodes() {
-		if color[v] == white && visit(v) {
+	for i := 0; i < n; i++ {
+		if color[i] == white && visit(int32(i)) {
 			return true
 		}
 	}

@@ -19,7 +19,7 @@ func TestWalkInitialFollowsOldPath(t *testing.T) {
 
 func TestWalkFinalFollowsNewPath(t *testing.T) {
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
-	st := StateOf(in.Pending()...)
+	st := in.StateOf(in.Pending()...)
 	path, outcome := in.Walk(st)
 	if outcome != Reached {
 		t.Fatalf("outcome = %v", outcome)
@@ -32,7 +32,7 @@ func TestWalkFinalFollowsNewPath(t *testing.T) {
 func TestWalkDropAtRulelessNewOnlySwitch(t *testing.T) {
 	// Update 1 but not the new-only switch 5: packets reach 5 and drop.
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
-	path, outcome := in.Walk(StateOf(1))
+	path, outcome := in.Walk(in.StateOf(1))
 	if outcome != Dropped {
 		t.Fatalf("outcome = %v, want dropped", outcome)
 	}
@@ -45,7 +45,7 @@ func TestWalkLoop(t *testing.T) {
 	// Old 1→2→3→4, new 1→3→2→4. Updating only 3 (rule 3→2) loops:
 	// 1→2→3→2.
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
-	path, outcome := in.Walk(StateOf(3))
+	path, outcome := in.Walk(in.StateOf(3))
 	if outcome != Looped {
 		t.Fatalf("outcome = %v, want looped", outcome)
 	}
@@ -55,11 +55,21 @@ func TestWalkLoop(t *testing.T) {
 	}
 }
 
+func TestWalkFuncMatchesWalk(t *testing.T) {
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
+	st := in.StateOf(1, 3)
+	w1, o1 := in.Walk(st)
+	w2, o2 := in.WalkFunc(func(v topo.NodeID) bool { return in.Updated(st, v) })
+	if o1 != o2 || !w1.Equal(w2) {
+		t.Fatalf("Walk = %v (%v), WalkFunc = %v (%v)", w1, o1, w2, o2)
+	}
+}
+
 func TestNextHopResolution(t *testing.T) {
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
 	upd := func(updated ...topo.NodeID) func(topo.NodeID) bool {
-		st := StateOf(updated...)
-		return func(v topo.NodeID) bool { return st[v] }
+		st := in.StateOf(updated...)
+		return func(v topo.NodeID) bool { return in.Updated(st, v) }
 	}
 	// Pending switch before update: old rule.
 	if n, ok := in.NextHop(1, upd()); !ok || n != 2 {
@@ -95,7 +105,7 @@ func TestCheckStateWaypointBypass(t *testing.T) {
 	// No — 3 keeps its old rule 3→4, so the walk is 1→3→4, bypassing
 	// waypoint 2.
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 2)
-	violated := in.CheckState(StateOf(1), NoBlackhole|WaypointEnforcement|RelaxedLoopFreedom)
+	violated := in.CheckState(in.StateOf(1), NoBlackhole|WaypointEnforcement|RelaxedLoopFreedom)
 	if !violated.Has(WaypointEnforcement) {
 		t.Fatalf("violated = %v, want waypoint bypass", violated)
 	}
@@ -108,7 +118,7 @@ func TestCheckStateWaypointOKOnLoop(t *testing.T) {
 	// A looping state never delivers packets, so waypoint enforcement
 	// is not violated even though the loop is.
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 2)
-	violated := in.CheckState(StateOf(3), WaypointEnforcement|RelaxedLoopFreedom)
+	violated := in.CheckState(in.StateOf(3), WaypointEnforcement|RelaxedLoopFreedom)
 	if violated.Has(WaypointEnforcement) {
 		t.Fatal("waypoint flagged on a looping walk")
 	}
@@ -122,7 +132,7 @@ func TestCheckStateReachableLoopViolatesBoth(t *testing.T) {
 	// reachable from the source violates relaxed and strong loop
 	// freedom alike.
 	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 3, 2, 4}, 0)
-	vio := in.CheckState(StateOf(1, 3), StrongLoopFreedom|RelaxedLoopFreedom)
+	vio := in.CheckState(in.StateOf(1, 3), StrongLoopFreedom|RelaxedLoopFreedom)
 	if !vio.Has(StrongLoopFreedom) || !vio.Has(RelaxedLoopFreedom) {
 		t.Fatalf("violated = %v, want both loop properties", vio)
 	}
@@ -135,7 +145,7 @@ func TestCheckStateStaleCycleViolatesOnlyStrong(t *testing.T) {
 	// This is exactly the state relaxed loop freedom permits and
 	// strong loop freedom forbids.
 	in := MustInstance(topo.Path{1, 2, 3, 4, 5, 6, 7, 8}, topo.Path{1, 7, 5, 2, 8}, 0)
-	st := StateOf(1, 5)
+	st := in.StateOf(1, 5)
 	walk, outcome := in.Walk(st)
 	if outcome != Reached || !walk.Equal(topo.Path{1, 7, 8}) {
 		t.Fatalf("walk = %v (%v), want 1->7->8 reached", walk, outcome)
@@ -156,32 +166,67 @@ func TestCheckStateLoopConsistency(t *testing.T) {
 	in := MustInstance(topo.Path{1, 2, 3, 4, 5, 6}, topo.Path{1, 4, 3, 6}, 0)
 	pend := in.Pending()
 	for mask := 0; mask < 1<<len(pend); mask++ {
-		st := make(State)
+		st := in.NewState()
 		for i, v := range pend {
 			if mask&(1<<i) != 0 {
-				st[v] = true
+				in.Mark(st, v)
 			}
 		}
 		vio := in.CheckState(st, StrongLoopFreedom|RelaxedLoopFreedom)
 		_, outcome := in.Walk(st)
 		if outcome == Looped && !vio.Has(StrongLoopFreedom) {
-			t.Fatalf("state %v: reachable loop must be a strong-LF violation", st)
+			t.Fatalf("state %v: reachable loop must be a strong-LF violation", in.StateNodes(st))
 		}
 		if vio.Has(RelaxedLoopFreedom) && outcome != Looped {
-			t.Fatalf("state %v: relaxed violation without a looping walk", st)
+			t.Fatalf("state %v: relaxed violation without a looping walk", in.StateNodes(st))
 		}
 	}
 }
 
 func TestStateHelpers(t *testing.T) {
-	s := StateOf(1, 2)
-	if !s[1] || !s[2] || s[3] {
-		t.Fatal("StateOf wrong")
+	in := MustInstance(topo.Path{1, 2, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	s := in.StateOf(1, 5)
+	if !in.Updated(s, 1) || !in.Updated(s, 5) || in.Updated(s, 3) {
+		t.Fatal("StateOf/Updated wrong")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if got := in.StateNodes(s); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("StateNodes = %v", got)
 	}
 	c := s.Clone()
-	c[3] = true
-	if s[3] {
+	in.Mark(c, 3)
+	if in.Updated(s, 3) {
 		t.Fatal("Clone aliases")
+	}
+	c.Clear(in.NodeIndex(3))
+	if in.Updated(c, 3) {
+		t.Fatal("Clear failed")
+	}
+	// Switches off both paths are ignored by Mark and read as absent.
+	in.Mark(c, 99)
+	if in.Updated(c, 99) {
+		t.Fatal("unknown switch marked")
+	}
+	// A nil State is the empty set.
+	if State(nil).Has(7) || State(nil).Count() != 0 || State(nil).Clone() != nil {
+		t.Fatal("nil State semantics wrong")
+	}
+}
+
+func TestNodeIndexRoundTrip(t *testing.T) {
+	in := MustInstance(topo.Path{1, 9, 3, 4}, topo.Path{1, 5, 3, 4}, 0)
+	if in.NumNodes() != 5 { // union {1, 3, 4, 5, 9}
+		t.Fatalf("NumNodes = %d", in.NumNodes())
+	}
+	for i := 0; i < in.NumNodes(); i++ {
+		if in.NodeIndex(in.NodeAt(i)) != i {
+			t.Fatalf("NodeIndex(NodeAt(%d)) = %d", i, in.NodeIndex(in.NodeAt(i)))
+		}
+	}
+	if in.NodeIndex(77) != -1 {
+		t.Fatal("NodeIndex of unknown switch should be -1")
 	}
 }
 

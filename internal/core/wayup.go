@@ -15,7 +15,7 @@ import (
 // always be achieved, in which case the schedule keeps waypoint
 // enforcement and sets LoopFreedomCompromised.
 //
-// The reconstruction (see DESIGN.md) orders updates in three phases by
+// The reconstruction orders updates in three phases by
 // position relative to the waypoint w. Write O1/O2 for strictly
 // before/after w on the old path and N1/N2 for the same on the new
 // path. The invariant is that packets which have not yet crossed w can
@@ -55,12 +55,12 @@ func WayUp(in *Instance) (*Schedule, error) {
 		return nil, fmt.Errorf("core: wayup requires a waypoint in %v", in)
 	}
 	s := &Schedule{
-		Algorithm:  "wayup",
+		Algorithm:  AlgoWayUp,
 		Guarantees: NoBlackhole | WaypointEnforcement,
 	}
 	wOld := in.OldIndex(in.Waypoint)
 	wNew := in.NewIndex(in.Waypoint)
-	done := make(State)
+	done := in.NewState()
 
 	var phaseA, phaseB, phaseC []topo.NodeID
 	for _, v := range in.Pending() { // new-path order, deterministic
@@ -84,12 +84,6 @@ func WayUp(in *Instance) (*Schedule, error) {
 		s.Guarantees |= RelaxedLoopFreedom
 	}
 	return s, nil
-}
-
-func markDone(done State, nodes []topo.NodeID) {
-	for _, v := range nodes {
-		done[v] = true
-	}
 }
 
 // appendLoopFreeBatches partitions nodes into rounds that keep the
@@ -163,13 +157,13 @@ func (in *Instance) appendLoopFreeBatches(s *Schedule, done State, nodes []topo.
 			for _, flush := range [][]topo.NodeID{newOnly, rest} {
 				if len(flush) > 0 {
 					s.Rounds = append(s.Rounds, flush)
-					markDone(done, flush)
+					in.Mark(done, flush...)
 				}
 			}
 			return true
 		}
 		s.Rounds = append(s.Rounds, round)
-		markDone(done, round)
+		in.Mark(done, round...)
 		for _, v := range round {
 			delete(remaining, v)
 		}

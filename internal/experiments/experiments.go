@@ -1,8 +1,7 @@
 // Package experiments regenerates every experiment of the reproduction
-// (see DESIGN.md's experiment index and EXPERIMENTS.md for the
-// paper-vs-measured record). Each experiment builds a metrics.Table; the
-// cmd/experiments binary prints them and the root bench harness invokes
-// them under testing.B.
+// (see README.md for the experiment index). Each experiment builds a
+// metrics.Table; the cmd/experiments binary prints them and the root
+// bench harness invokes them under testing.B.
 //
 // E1 and E2 reproduce the paper's own artifacts (the Figure 1 demo
 // scenario and the stated "update time of flow tables" evaluation);
@@ -151,9 +150,9 @@ func fig1Bed(cfg BedConfig) (*Bed, error) {
 	return bed, nil
 }
 
-// scheduleByName builds a schedule for the Fig.1 instance.
+// scheduleByName builds a schedule through the core scheduler registry.
 func scheduleByName(in *core.Instance, algo string) (*core.Schedule, error) {
-	return controller.ScheduleFor(in, algo)
+	return core.ScheduleByName(in, algo, 0)
 }
 
 // E1Fig1 reproduces the paper's demo scenario (Figure 1): the WayUp
@@ -163,7 +162,7 @@ func scheduleByName(in *core.Instance, algo string) (*core.Schedule, error) {
 // waypoint bypasses, loops, drops.
 func E1Fig1(seed int64) (*metrics.Table, error) {
 	tbl := metrics.NewTable("algorithm", "rounds", "update_time", "probes", "bypasses", "loops", "drops")
-	for _, algo := range []string{"wayup", "oneshot"} {
+	for _, algo := range []string{core.AlgoWayUp, core.AlgoOneShot} {
 		bed, err := fig1Bed(BedConfig{
 			Jitter:  netem.Uniform{Min: 0, Max: 3 * time.Millisecond},
 			Install: netem.Uniform{Min: 500 * time.Microsecond, Max: 3 * time.Millisecond},
@@ -216,7 +215,7 @@ func E2UpdateTime(reps int, seed int64) (*metrics.Table, error) {
 	}
 	tbl := metrics.NewTable("install_latency", "algorithm", "rounds", "mean_total", "mean_per_round")
 	for _, reg := range regimes {
-		for _, algo := range []string{"oneshot", "peacock", "wayup", "greedy-slf"} {
+		for _, algo := range []string{core.AlgoOneShot, core.AlgoPeacock, core.AlgoWayUp, core.AlgoGreedySLF} {
 			var total metrics.Histogram
 			var perRound metrics.Histogram
 			rounds := 0
@@ -256,8 +255,9 @@ func E2UpdateTime(reps int, seed int64) (*metrics.Table, error) {
 // E3Violations measures how often the one-shot baseline admits a
 // reachable transiently insecure state on random waypoint instances —
 // versus the scheduled algorithms, which are verified safe on every
-// instance. Columns: n, instances, one-shot unsafe fraction, wayup
-// unsafe fraction (always 0).
+// instance. All instances of a size verify as one parallel batch.
+// Columns: n, instances, one-shot unsafe fraction, wayup unsafe
+// fraction (always 0).
 func E3Violations(instances int, seed int64) (*metrics.Table, error) {
 	if instances <= 0 {
 		instances = 50
@@ -266,24 +266,29 @@ func E3Violations(instances int, seed int64) (*metrics.Table, error) {
 	props := core.NoBlackhole | core.WaypointEnforcement
 	for _, n := range []int{8, 16, 24, 32} {
 		rng := rand.New(rand.NewSource(seed + int64(n)))
-		oneshotUnsafe, wayupUnsafe := 0, 0
+		var tasks []verify.Task
 		for i := 0; i < instances; i++ {
 			ti := topo.RandomTwoPath(rng, n, true)
 			in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
 			if in.NumPending() == 0 {
 				continue
 			}
-			if !verify.Schedule(in, core.OneShot(in), props, verify.Options{Budget: 1 << 18, Samples: 512, Seed: seed}).OK() {
-				oneshotUnsafe++
-			}
-			w, err := core.WayUp(in)
-			if err != nil {
-				return nil, err
-			}
-			if !verify.Schedule(in, w, props, verify.Options{Budget: 1 << 18, Samples: 512, Seed: seed}).OK() {
-				wayupUnsafe++
+			for _, algo := range []string{core.AlgoOneShot, core.AlgoWayUp} {
+				s, err := scheduleByName(in, algo)
+				if err != nil {
+					return nil, err
+				}
+				tasks = append(tasks, verify.Task{Instance: in, Schedule: s, Props: props})
 			}
 		}
+		reports := verify.Batch(tasks, verify.Options{Budget: 1 << 18, Samples: 512, Seed: seed})
+		unsafe := map[string]int{} // keyed by the schedule's own algorithm
+		for _, r := range reports {
+			if !r.OK() {
+				unsafe[r.Algorithm]++
+			}
+		}
+		oneshotUnsafe, wayupUnsafe := unsafe[core.AlgoOneShot], unsafe[core.AlgoWayUp]
 		tbl.AddRow(n, instances,
 			float64(oneshotUnsafe)/float64(instances),
 			float64(wayupUnsafe)/float64(instances))
@@ -331,7 +336,7 @@ func E4Rounds(seed int64) (*metrics.Table, error) {
 // E5Compute measures scheduler computation time per instance size —
 // the control-plane cost of transient security.
 func E5Compute(seed int64) (*metrics.Table, error) {
-	tbl := metrics.NewTable("n", "peacock", "greedy_slf", "wayup")
+	tbl := metrics.NewTable("n", core.AlgoPeacock, "greedy_slf", core.AlgoWayUp)
 	for _, n := range []int{8, 32, 128, 512, 2048} {
 		rng := rand.New(rand.NewSource(seed + int64(n)))
 		ti := topo.RandomTwoPath(rng, n, true)
@@ -408,7 +413,7 @@ func E7JitterDose(seed int64) (*metrics.Table, error) {
 	tbl := metrics.NewTable("jitter_max", "oneshot_violations", "oneshot_probes", "oneshot_rate", "wayup_violations", "wayup_probes")
 	for _, jit := range []time.Duration{0, time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond} {
 		counts := map[string]trace.Stats{}
-		for _, algo := range []string{"oneshot", "wayup"} {
+		for _, algo := range []string{core.AlgoOneShot, core.AlgoWayUp} {
 			var agg trace.Stats
 			for rep := 0; rep < reps; rep++ {
 				var jitter netem.Latency
@@ -449,14 +454,14 @@ func E7JitterDose(seed int64) (*metrics.Table, error) {
 			}
 			counts[algo] = agg
 		}
-		one := counts["oneshot"]
+		one := counts[core.AlgoOneShot]
 		rate := 0.0
 		if one.Sent > 0 {
 			rate = float64(one.Violations()) / float64(one.Sent)
 		}
 		tbl.AddRow(jit,
 			one.Violations(), one.Sent, rate,
-			counts["wayup"].Violations(), counts["wayup"].Sent)
+			counts[core.AlgoWayUp].Violations(), counts[core.AlgoWayUp].Sent)
 	}
 	return tbl, nil
 }
@@ -491,7 +496,7 @@ func E9MultiPolicy(seed int64) (*metrics.Table, error) {
 				}
 				instances = append(instances, in)
 			}
-			joint, err := core.NewJointUpdate(instances, core.Peacock)
+			joint, err := core.NewJointUpdate(instances, core.MustScheduler(core.AlgoPeacock), 0)
 			if err != nil {
 				return nil, err
 			}

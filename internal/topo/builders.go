@@ -14,7 +14,7 @@ const Fig1Waypoint NodeID = 3
 // h2 on s12 and the waypoint s3 on both routes; the exact drawn
 // permutation is not recoverable from the paper text, so the
 // reconstruction routes the old policy over switches 1..6 and the new
-// policy over 7..11, both through the waypoint (see DESIGN.md).
+// policy over 7..11, both through the waypoint.
 var (
 	Fig1OldPath = Path{1, 2, 3, 4, 5, 6, 12}
 	Fig1NewPath = Path{1, 7, 8, 3, 9, 10, 11, 12}

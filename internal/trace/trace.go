@@ -4,7 +4,7 @@
 // every probe — delivered via the waypoint, delivered around it
 // (security violation), dropped (blackhole), or stuck in a forwarding
 // loop. This is the measurement harness behind the violation
-// experiments (E1, E3, E7 in EXPERIMENTS.md): one-shot updates produce
+// experiments (E1, E3, E7 in internal/experiments): one-shot updates produce
 // violations under channel asynchrony, scheduled updates do not.
 package trace
 

@@ -10,6 +10,15 @@
 // it falls back to randomized subset sampling and marks the result
 // inexact.
 //
+// The engine is parallel: rounds are independent work items (the state
+// a round starts from is determined by the schedule alone, not by
+// earlier verdicts), so they fan out over a worker pool sized by
+// Options.Workers, and sampling fallbacks split into fixed-size chunks
+// that fan out the same way. Results merge deterministically — the
+// report is identical for every worker count, including 1. Batch
+// verifies many (instance, schedule) pairs in one pool, which is how
+// the experiment harness amortizes across thousands of instances.
+//
 // The verifier is algorithm-agnostic: every scheduler in this
 // repository is validated against it in tests, and the experiment
 // harness uses it to count violations of the one-shot baseline.
@@ -18,7 +27,10 @@ package verify
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tsu/internal/core"
 	"tsu/internal/topo"
@@ -34,8 +46,13 @@ type Options struct {
 	// the exact search exhausts its budget. Zero selects 1024.
 	Samples int
 
-	// Seed seeds the sampling RNG (deterministic verification).
+	// Seed seeds the sampling RNGs. Verification is deterministic in
+	// (Seed, Budget, Samples) and independent of Workers.
 	Seed int64
+
+	// Workers bounds the verification worker pool. Zero selects
+	// runtime.GOMAXPROCS(0); 1 forces serial execution.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Samples <= 0 {
 		o.Samples = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -124,39 +144,123 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Schedule verifies a schedule against props in every reachable
-// transient state.
-func Schedule(in *core.Instance, s *core.Schedule, props core.Property, opts Options) *Report {
-	opts = opts.withDefaults()
-	report := &Report{Algorithm: s.Algorithm, Properties: props}
-	if err := s.Validate(in); err != nil {
-		report.StructureErr = err
-		return report
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	done := make(core.State)
-	for i, round := range s.Rounds {
-		rr := RoundResult{Round: i, Size: len(round)}
-		cex, exact := in.CheckRound(done, round, props, opts.Budget)
-		rr.Exact = exact
-		rr.Violation = cex
-		if !exact && cex == nil {
-			rr.Violation = SampleRound(in, done, round, props, opts.Samples, rng)
-		}
-		report.Rounds = append(report.Rounds, rr)
-		for _, v := range round {
-			done[v] = true
-		}
-	}
-	walk, outcome := in.Walk(done)
-	report.FinalStateOK = outcome == core.Reached && walk.Equal(in.New)
-	return report
+// Task is one (instance, schedule, properties) verification job for
+// Batch.
+type Task struct {
+	Instance *core.Instance
+	Schedule *core.Schedule
+	Props    core.Property
 }
 
-// SampleRound draws random subsets of round on top of done and returns
-// the first counterexample found, or nil. It always includes the empty
-// and full subsets.
-func SampleRound(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, samples int, rng *rand.Rand) *core.CounterExample {
+// Schedule verifies a schedule against props in every reachable
+// transient state, fanning the per-round work over Options.Workers.
+func Schedule(in *core.Instance, s *core.Schedule, props core.Property, opts Options) *Report {
+	return Batch([]Task{{Instance: in, Schedule: s, Props: props}}, opts)[0]
+}
+
+// Guarantees verifies a schedule against its own declared guarantee
+// set — the contract check used throughout the tests and examples.
+func Guarantees(in *core.Instance, s *core.Schedule, opts Options) *Report {
+	return Schedule(in, s, s.Guarantees, opts)
+}
+
+// Batch verifies many schedules in one worker pool. Per-round work
+// items from every task interleave freely across workers; results are
+// merged back per task, so reports[i] corresponds to tasks[i] and is
+// bit-identical to a serial run.
+func Batch(tasks []Task, opts Options) []*Report {
+	opts = opts.withDefaults()
+	reports := make([]*Report, len(tasks))
+
+	// Materialize every round work item with its (deterministic)
+	// pre-round state. The final-state check is cheap and serial.
+	type item struct {
+		task  int
+		round int
+		done  core.State
+	}
+	var items []item
+	for t, task := range tasks {
+		r := &Report{Algorithm: task.Schedule.Algorithm, Properties: task.Props}
+		reports[t] = r
+		if err := task.Schedule.Validate(task.Instance); err != nil {
+			r.StructureErr = err
+			continue
+		}
+		r.Rounds = make([]RoundResult, len(task.Schedule.Rounds))
+		done := task.Instance.NewState()
+		for i, round := range task.Schedule.Rounds {
+			items = append(items, item{task: t, round: i, done: done.Clone()})
+			task.Instance.Mark(done, round...)
+		}
+		walk, outcome := task.Instance.Walk(done)
+		r.FinalStateOK = outcome == core.Reached && walk.Equal(task.Instance.New)
+	}
+
+	// Phase 1: exact subset search, one work item per round.
+	parallelFor(opts.Workers, len(items), func(k int) {
+		it := items[k]
+		task := tasks[it.task]
+		round := task.Schedule.Rounds[it.round]
+		cex, exact := task.Instance.CheckRound(it.done, round, task.Props, opts.Budget)
+		reports[it.task].Rounds[it.round] = RoundResult{
+			Round: it.round, Size: len(round), Exact: exact, Violation: cex,
+		}
+	})
+
+	// Phase 2: sampling fallback for rounds the exact search could not
+	// exhaust, split into fixed-size chunks (chunking is independent of
+	// the worker count, so results are too).
+	type chunk struct {
+		item   int // index into items
+		offset int // first sample of the chunk
+		count  int
+	}
+	const chunkSamples = 128
+	var chunks []chunk
+	chunkCex := make(map[int][]*core.CounterExample) // item -> per-chunk result
+	for k, it := range items {
+		rr := &reports[it.task].Rounds[it.round]
+		if rr.Exact || rr.Violation != nil {
+			continue
+		}
+		n := (opts.Samples + chunkSamples - 1) / chunkSamples
+		chunkCex[k] = make([]*core.CounterExample, n)
+		for c := 0; c < n; c++ {
+			count := chunkSamples
+			if last := opts.Samples - c*chunkSamples; last < count {
+				count = last
+			}
+			chunks = append(chunks, chunk{item: k, offset: c * chunkSamples, count: count})
+		}
+	}
+	parallelFor(opts.Workers, len(chunks), func(j int) {
+		ch := chunks[j]
+		it := items[ch.item]
+		task := tasks[it.task]
+		round := task.Schedule.Rounds[it.round]
+		seed := opts.Seed ^ (int64(it.task)+1)<<40 ^ (int64(it.round)+1)<<20 ^ int64(ch.offset)
+		rng := rand.New(rand.NewSource(seed))
+		chunkCex[ch.item][ch.offset/chunkSamples] = sampleChunk(
+			task.Instance, it.done, round, task.Props, ch.count, rng, ch.offset == 0)
+	})
+	for k, cexs := range chunkCex {
+		it := items[k]
+		rr := &reports[it.task].Rounds[it.round]
+		for _, cex := range cexs { // lowest chunk wins: deterministic
+			if cex != nil {
+				rr.Violation = cex
+				break
+			}
+		}
+	}
+	return reports
+}
+
+// sampleChunk draws count random subsets of round on top of done and
+// returns the first counterexample, or nil. When endpoints is set the
+// empty and full subsets are checked first (once per round, by chunk 0).
+func sampleChunk(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, count int, rng *rand.Rand, endpoints bool) *core.CounterExample {
 	check := func(st core.State) *core.CounterExample {
 		if violated := in.CheckState(st, props); violated != 0 {
 			walk, _ := in.Walk(st)
@@ -164,21 +268,21 @@ func SampleRound(in *core.Instance, done core.State, round []topo.NodeID, props 
 		}
 		return nil
 	}
-	full := done.Clone()
-	for _, v := range round {
-		full[v] = true
+	if endpoints {
+		if cex := check(in.CloneState(done)); cex != nil {
+			return cex
+		}
+		full := in.CloneState(done)
+		in.Mark(full, round...)
+		if cex := check(full); cex != nil {
+			return cex
+		}
 	}
-	if cex := check(done.Clone()); cex != nil {
-		return cex
-	}
-	if cex := check(full); cex != nil {
-		return cex
-	}
-	for i := 0; i < samples; i++ {
-		st := done.Clone()
+	for i := 0; i < count; i++ {
+		st := in.CloneState(done)
 		for _, v := range round {
 			if rng.Intn(2) == 0 {
-				st[v] = true
+				in.Mark(st, v)
 			}
 		}
 		if cex := check(st); cex != nil {
@@ -188,8 +292,41 @@ func SampleRound(in *core.Instance, done core.State, round []topo.NodeID, props 
 	return nil
 }
 
-// Guarantees verifies a schedule against its own declared guarantee
-// set — the contract check used throughout the tests and examples.
-func Guarantees(in *core.Instance, s *core.Schedule, opts Options) *Report {
-	return Schedule(in, s, s.Guarantees, opts)
+// SampleRound draws random subsets of round on top of done and returns
+// the first counterexample found, or nil. It always includes the empty
+// and full subsets. This is the serial primitive behind the engine's
+// chunked sampling fallback.
+func SampleRound(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, samples int, rng *rand.Rand) *core.CounterExample {
+	return sampleChunk(in, done, round, props, samples, rng, true)
+}
+
+// parallelFor runs f(0..n-1) over at most workers goroutines. Work is
+// handed out via an atomic counter; with workers <= 1 it degenerates to
+// a plain loop.
+func parallelFor(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

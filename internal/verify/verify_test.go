@@ -154,8 +154,100 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Budget != core.DefaultCheckBudget || o.Samples != 1024 {
 		t.Fatalf("defaults = %+v", o)
 	}
-	o = Options{Budget: 5, Samples: 7}.withDefaults()
-	if o.Budget != 5 || o.Samples != 7 {
+	if o.Workers < 1 {
+		t.Fatalf("Workers default = %d", o.Workers)
+	}
+	o = Options{Budget: 5, Samples: 7, Workers: 3}.withDefaults()
+	if o.Budget != 5 || o.Samples != 7 || o.Workers != 3 {
 		t.Fatalf("overrides lost: %+v", o)
+	}
+}
+
+// reportsEqual compares everything the engine computes: per-round
+// verdicts (including the concrete counterexample state and walk) and
+// the overall outcome.
+func reportsEqual(t *testing.T, a, b *Report) {
+	t.Helper()
+	if a.OK() != b.OK() || a.Exact() != b.Exact() || len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("reports differ: %v vs %v", a, b)
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if ra.Exact != rb.Exact || ra.Size != rb.Size || (ra.Violation == nil) != (rb.Violation == nil) {
+			t.Fatalf("round %d differs: %+v vs %+v", i, ra, rb)
+		}
+		if ra.Violation != nil {
+			if ra.Violation.Violated != rb.Violation.Violated || !ra.Violation.Walk.Equal(rb.Violation.Walk) {
+				t.Fatalf("round %d counterexamples differ: %v vs %v", i, ra.Violation, rb.Violation)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins the engine's determinism contract: the
+// report is identical for every worker count, on safe and unsafe
+// schedules, exact and sampled.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		ti := topo.RandomTwoPath(rng, 6+rng.Intn(24), true)
+		in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
+		props := core.NoBlackhole | core.WaypointEnforcement | core.RelaxedLoopFreedom
+		for _, s := range []*core.Schedule{core.OneShot(in), mustWayUp(t, in)} {
+			// A small budget forces the sampling fallback on larger draws,
+			// covering the chunked path too.
+			opts := Options{Budget: 1 << 10, Samples: 300, Seed: int64(trial)}
+			serial := Schedule(in, s, props, Options{Budget: opts.Budget, Samples: opts.Samples, Seed: opts.Seed, Workers: 1})
+			for _, workers := range []int{2, 4, 8} {
+				par := Schedule(in, s, props, Options{Budget: opts.Budget, Samples: opts.Samples, Seed: opts.Seed, Workers: workers})
+				reportsEqual(t, serial, par)
+			}
+		}
+	}
+}
+
+func mustWayUp(t *testing.T, in *core.Instance) *core.Schedule {
+	t.Helper()
+	s, err := core.WayUp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBatchMatchesIndividualSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var tasks []Task
+	for len(tasks) < 24 {
+		ti := topo.RandomTwoPath(rng, 4+rng.Intn(10), false)
+		in := core.MustInstance(ti.Old, ti.New, 0)
+		if in.NumPending() == 0 {
+			continue
+		}
+		p, err := core.Peacock(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks,
+			Task{Instance: in, Schedule: core.OneShot(in), Props: core.NoBlackhole | core.RelaxedLoopFreedom},
+			Task{Instance: in, Schedule: p, Props: core.NoBlackhole | core.RelaxedLoopFreedom})
+	}
+	opts := Options{Seed: 3}
+	batched := Batch(tasks, opts)
+	if len(batched) != len(tasks) {
+		t.Fatalf("Batch returned %d reports for %d tasks", len(batched), len(tasks))
+	}
+	for i, task := range tasks {
+		solo := Schedule(task.Instance, task.Schedule, task.Props, opts)
+		reportsEqual(t, solo, batched[i])
+		if batched[i].Algorithm != task.Schedule.Algorithm {
+			t.Fatalf("report %d algorithm %q, want %q", i, batched[i].Algorithm, task.Schedule.Algorithm)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	if got := Batch(nil, Options{}); len(got) != 0 {
+		t.Fatalf("Batch(nil) = %v", got)
 	}
 }
