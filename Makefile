@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet test bench build
+.PHONY: ci fmt vet test bench bench-smoke build
 
 ci: fmt vet test
 
@@ -17,7 +17,12 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test ./... -race
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run '^$$' .
+
+# One iteration of every benchmark in the repo: catches benchmark rot
+# without paying for a measurement run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

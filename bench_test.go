@@ -25,6 +25,20 @@ import (
 	"tsu/internal/verify"
 )
 
+// runEngineUpdate drives the update through the engine directly (no
+// HTTP): the timed benchmark regions measure barrier-confirmed update
+// execution alone, keeping the numbers comparable across revisions —
+// API-transport overhead is not part of the paper's metric.
+func runEngineUpdate(bed *experiments.Bed, in *core.Instance, sched *core.Schedule) error {
+	job, err := bed.Ctrl.Engine().Submit(in, sched, experiments.Match(), 0)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	return job.Wait(ctx)
+}
+
 // BenchmarkE1Fig1WayUp runs the paper's demo scenario per iteration:
 // full WayUp update on the live Figure 1 testbed with probes; reports
 // violations (always 0) and rounds.
@@ -54,7 +68,7 @@ func BenchmarkE1Fig1WayUp(b *testing.B) {
 			Interval: 100 * time.Microsecond,
 		})
 		stop := prober.Start(context.Background())
-		if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+		if err := runEngineUpdate(bed, in, sched); err != nil {
 			stop()
 			bed.Close()
 			b.Fatal(err)
@@ -95,7 +109,7 @@ func BenchmarkE2UpdateTime(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+				if err := runEngineUpdate(bed, in, sched); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()
@@ -216,7 +230,7 @@ func BenchmarkE6UpdateTimeVsN(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+				if err := runEngineUpdate(bed, in, sched); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()
@@ -252,7 +266,7 @@ func BenchmarkE7JitterDose(b *testing.B) {
 					Interval: 50 * time.Microsecond,
 				})
 				stop := prober.Start(context.Background())
-				if _, err := bed.RunUpdate(in, core.OneShot(in), 0); err != nil {
+				if err := runEngineUpdate(bed, in, core.OneShot(in)); err != nil {
 					stop()
 					bed.Close()
 					b.Fatal(err)

@@ -4,19 +4,29 @@
 // prints each algorithm's rounds, the verified guarantees, and any
 // counterexample for the one-shot baseline.
 //
+// With -submit the plan turns into action: the chosen update is sent
+// to a live controller through the typed /v1 client SDK and its
+// round-by-round progress streams back.
+//
 // Usage:
 //
 //	schedctl -old 1,2,3,4,5,6,12 -new 1,7,8,3,9,10,11,12 -wp 3
 //	schedctl -family reversal:32 -algorithm peacock
 //	schedctl -old 1,2,3 -new 1,3 -algorithm optimal -props relaxed-lf
+//	schedctl -old 1,2,3 -new 1,4,3 -algorithm peacock -submit \
+//	         -server http://127.0.0.1:8080 -nwdst 10.0.0.2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"tsu/internal/api"
+	"tsu/internal/client"
 	"tsu/internal/core"
 	"tsu/internal/topo"
 	"tsu/internal/verify"
@@ -37,6 +47,12 @@ func run() error {
 		family    = flag.String("family", "", "generate the instance from a family spec (reversal:N, staircase:N, nested:N) instead of -old/-new")
 		algorithm = flag.String("algorithm", "", "one of "+strings.Join(core.Names(), ", ")+" (default: all applicable)")
 		propsFlag = flag.String("props", "", "verify against these properties instead of the schedule's own guarantees (comma-separated: no-blackhole, waypoint, relaxed-lf, strong-lf)")
+		submit    = flag.Bool("submit", false, "submit the update to a live controller after the dry run (uses -algorithm, or the instance default when unset)")
+		server    = flag.String("server", "http://127.0.0.1:8080", "controller REST base URL for -submit")
+		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address for -submit")
+		interval  = flag.Duration("interval", 0, "pause between rounds for -submit")
+		cleanup   = flag.Bool("cleanup", false, "append a garbage-collection round for -submit")
+		timeout   = flag.Duration("timeout", 60*time.Second, "completion timeout for -submit")
 	)
 	flag.Parse()
 
@@ -90,6 +106,54 @@ func run() error {
 			fmt.Printf("            counterexample walk: %v\n", cex.Walk)
 		}
 	}
+
+	if *submit {
+		return submitUpdate(in, *algorithm, *propsFlag, *server, *nwDst, *interval, *cleanup, *timeout)
+	}
+	return nil
+}
+
+// submitUpdate sends the instance to a live controller through the
+// typed client SDK and streams round progress until the job finishes.
+// The -props selection travels with the request, so the server
+// schedules against the same properties the local dry run verified.
+func submitUpdate(in *core.Instance, algorithm, propsFlag, server, nwDst string, interval time.Duration, cleanup bool, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var propNames []string
+	if propsFlag != "" {
+		for _, p := range strings.Split(propsFlag, ",") {
+			propNames = append(propNames, strings.TrimSpace(p))
+		}
+	}
+	c := client.New(server, client.WithTimeout(timeout))
+	resp, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{{
+			OldPath:    api.FromPath(in.Old),
+			NewPath:    api.FromPath(in.New),
+			Waypoint:   uint64(in.Waypoint),
+			Algorithm:  algorithm,
+			NWDst:      nwDst,
+			Properties: propNames,
+		}},
+		Interval: int(interval.Milliseconds()),
+		Cleanup:  cleanup,
+	})
+	if err != nil {
+		return fmt.Errorf("submitting: %w", err)
+	}
+	acc := resp.Updates[0]
+	fmt.Printf("\nsubmitted as job %d: algorithm=%s guarantees=%s\n", acc.ID, acc.Algorithm, acc.Guarantees)
+	st, err := c.WaitRounds(ctx, acc.ID, func(r api.RoundStatus) {
+		fmt.Printf("  round %d: %dµs (switches %v)\n", r.Round, r.Micros, r.Switches)
+	})
+	if err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %d failed: %s", acc.ID, st.Error)
+	}
+	fmt.Printf("job %d done in %dµs\n", acc.ID, st.TotalMicros)
 	return nil
 }
 
@@ -119,20 +183,5 @@ func parseProps(s string) (core.Property, error) {
 	if s == "" {
 		return 0, nil
 	}
-	var p core.Property
-	for _, name := range strings.Split(s, ",") {
-		switch strings.TrimSpace(name) {
-		case "no-blackhole":
-			p |= core.NoBlackhole
-		case "waypoint":
-			p |= core.WaypointEnforcement
-		case "relaxed-lf":
-			p |= core.RelaxedLoopFreedom
-		case "strong-lf":
-			p |= core.StrongLoopFreedom
-		default:
-			return 0, fmt.Errorf("unknown property %q", name)
-		}
-	}
-	return p, nil
+	return core.ParseProperties(strings.Split(s, ","))
 }

@@ -1,6 +1,7 @@
-// Command updatectl submits policy updates to the controller's REST API
-// — the client side of the paper's update message — and follows the
-// job's round/barrier progress until completion.
+// Command updatectl submits policy updates to the controller's /v1
+// REST API through the typed client SDK — the client side of the
+// paper's update message, grown to batches — and streams the job's
+// round/barrier progress until completion.
 //
 // Usage:
 //
@@ -8,20 +9,24 @@
 //	          -old 1,2,3,4,5,6,12 -new 1,7,8,3,9,10,11,12 -wp 3 \
 //	          -algorithm wayup -nwdst 10.0.0.2 -interval 10ms
 //
+//	# several flows in one batch: entries separated by ';' as
+//	# old|new[|wp[|nwdst[|algorithm]]]
+//	updatectl -batch '1,2,3|1,4,3||10.0.0.2;5,6,7|5,8,7||10.0.0.9'
+//
 // The old policy must already be installed (see updatectl -install).
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
-	"tsu/internal/controller"
+	"tsu/internal/api"
+	"tsu/internal/client"
 	"tsu/internal/core"
 	"tsu/internal/topo"
 )
@@ -41,124 +46,160 @@ func run() error {
 		waypoint  = flag.Uint64("wp", 0, "waypoint datapath id (0 = none)")
 		algorithm = flag.String("algorithm", "", strings.Join(core.Names(), " | ")+" | two-phase (default: wayup with waypoint, else peacock)")
 		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address")
+		batch     = flag.String("batch", "", "batch entries 'old|new[|wp[|nwdst[|algorithm]]]' separated by ';' (overrides -old/-new)")
 		interval  = flag.Duration("interval", 0, "pause between rounds")
-		install   = flag.Bool("install", false, "install -old as the active policy first (POST /policy)")
+		install   = flag.Bool("install", false, "install each old path as the active policy first (POST /v1/policies)")
 		host      = flag.String("host", "", "destination host name for -install (e.g. h2)")
 		cleanup   = flag.Bool("cleanup", false, "append a garbage-collection round deleting stale rules")
+		dryRun    = flag.Bool("dry-run", false, "plan only: print schedules, submit nothing")
 		timeout   = flag.Duration("timeout", 60*time.Second, "completion timeout")
 	)
 	flag.Parse()
 
-	old, err := topo.ParsePath(*oldPath)
+	updates, err := parseUpdates(*batch, *oldPath, *newPath, *waypoint, *nwDst, *algorithm)
 	if err != nil {
-		return fmt.Errorf("-old: %w", err)
-	}
-	next, err := topo.ParsePath(*newPath)
-	if err != nil {
-		return fmt.Errorf("-new: %w", err)
+		return err
 	}
 
-	// Fail fast on unknown algorithms before touching the server; the
-	// registry is the single source of scheduler names ("two-phase" is
-	// the controller's tagging fallback, not a round scheduler).
-	if *algorithm != "" && *algorithm != "two-phase" {
-		if _, err := core.Lookup(*algorithm); err != nil {
-			return fmt.Errorf("-algorithm: %w", err)
-		}
-	}
+	// Algorithm names are validated by the server (structured 400 with
+	// CodeUnknownAlgorithm): its registry, not this binary's compiled-in
+	// copy, is the source of truth — a controller with extra schedulers
+	// registered stays drivable by a stock updatectl.
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*server, client.WithTimeout(*timeout))
 
 	if *install {
-		req := controller.PolicyRequest{Path: toUint64(old), NWDst: *nwDst, Host: *host}
-		if err := postJSON(*server+"/policy", req, nil); err != nil {
-			return fmt.Errorf("installing old policy: %w", err)
+		// -host names one delivery host; with several flows it would
+		// install the wrong egress port for all but one of them.
+		if *host != "" && len(updates) > 1 {
+			return fmt.Errorf("-host applies to a single flow; omit it when installing a multi-flow -batch")
 		}
-		fmt.Printf("installed old policy %v for %s\n", old, *nwDst)
-	}
-
-	req := controller.UpdateRequest{
-		OldPath:   toUint64(old),
-		NewPath:   toUint64(next),
-		Waypoint:  *waypoint,
-		Interval:  int(interval.Milliseconds()),
-		Algorithm: *algorithm,
-		NWDst:     *nwDst,
-		Cleanup:   *cleanup,
-	}
-	var resp controller.UpdateResponse
-	if err := postJSON(*server+"/update", req, &resp); err != nil {
-		return err
-	}
-	fmt.Printf("job %d accepted: algorithm=%s guarantees=%s rounds=%d\n",
-		resp.ID, resp.Algorithm, resp.Guarantees, len(resp.Rounds))
-	for i, r := range resp.Rounds {
-		fmt.Printf("  round %d: %v\n", i, r)
-	}
-	if resp.Compromise {
-		fmt.Println("  note: loop freedom compromised (waypoint enforcement kept)")
-	}
-
-	deadline := time.Now().Add(*timeout)
-	for {
-		var st controller.JobStatus
-		if err := getJSON(fmt.Sprintf("%s/update/%d", *server, resp.ID), &st); err != nil {
-			return err
+		// Fail fast before mutating any switch: a server-side dry run
+		// validates every entry (paths, waypoints, algorithm names)
+		// against the controller's own registry.
+		if _, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{Updates: updates, DryRun: true}); err != nil {
+			return fmt.Errorf("validating batch before -install: %w", err)
 		}
-		switch st.State {
-		case "done":
-			fmt.Printf("job %d done in %dµs\n", st.ID, st.TotalMicros)
-			for _, r := range st.Rounds {
-				fmt.Printf("  round %d: %dµs (%d switches)\n", r.Round, r.Micros, len(r.Switches))
+		for _, u := range updates {
+			req := api.PolicyRequest{Path: u.OldPath, NWDst: u.NWDst, Host: *host}
+			if err := c.InstallPolicy(ctx, req); err != nil {
+				return fmt.Errorf("installing old policy: %w", err)
 			}
-			return nil
-		case "failed":
-			return fmt.Errorf("job %d failed: %s", st.ID, st.Error)
+			fmt.Printf("installed old policy %v for %s\n", u.OldPath, u.NWDst)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("job %d still %s after %v", st.ID, st.State, *timeout)
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
-}
 
-func toUint64(p topo.Path) []uint64 {
-	out := make([]uint64, len(p))
-	for i, n := range p {
-		out[i] = uint64(n)
-	}
-	return out
-}
-
-func postJSON(url string, body, into any) error {
-	buf, err := json.Marshal(body)
+	resp, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{
+		Updates:  updates,
+		Interval: int(interval.Milliseconds()),
+		Cleanup:  *cleanup,
+		DryRun:   *dryRun,
+	})
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
+	for i, acc := range resp.Updates {
+		if *dryRun {
+			fmt.Printf("flow %s planned: algorithm=%s guarantees=%s rounds=%d\n",
+				updates[i].NWDst, acc.Algorithm, acc.Guarantees, len(acc.Rounds))
+		} else {
+			fmt.Printf("job %d accepted (%s): algorithm=%s guarantees=%s rounds=%d\n",
+				acc.ID, updates[i].NWDst, acc.Algorithm, acc.Guarantees, len(acc.Rounds))
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+		for r, round := range acc.Rounds {
+			fmt.Printf("  round %d: %v\n", r, round)
+		}
+		if acc.Compromise {
+			fmt.Println("  note: loop freedom compromised (waypoint enforcement kept)")
+		}
 	}
-	if into != nil {
-		return json.NewDecoder(resp.Body).Decode(into)
+	if *dryRun {
+		return nil
+	}
+
+	// Stream every job's progress; jobs of a batch execute concurrently
+	// when their flows are disjoint, so watch them all before judging.
+	failed := 0
+	for _, acc := range resp.Updates {
+		if err := watchJob(ctx, c, acc.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: job %d: %v\n", acc.ID, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, len(resp.Updates))
 	}
 	return nil
 }
 
-func getJSON(url string, into any) error {
-	resp, err := http.Get(url)
+// watchJob streams one job's rounds and returns an error when the job
+// fails.
+func watchJob(ctx context.Context, c *client.Client, id int) error {
+	st, err := c.WaitRounds(ctx, id, func(r api.RoundStatus) {
+		fmt.Printf("job %d round %d: %dµs (%d switches)\n", id, r.Round, r.Micros, len(r.Switches))
+	})
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("%s: %s", url, resp.Status)
+	if st.State != "done" {
+		return fmt.Errorf("failed: %s", st.Error)
 	}
-	return json.NewDecoder(resp.Body).Decode(into)
+	fmt.Printf("job %d done in %dµs\n", id, st.TotalMicros)
+	return nil
+}
+
+// parseUpdates builds the batch: either from -batch entries or from
+// the single-flow flags.
+func parseUpdates(batch, oldStr, newStr string, wp uint64, nwDst, algorithm string) ([]api.FlowUpdate, error) {
+	if batch == "" {
+		old, err := parseIDs(oldStr)
+		if err != nil {
+			return nil, fmt.Errorf("-old: %w", err)
+		}
+		next, err := parseIDs(newStr)
+		if err != nil {
+			return nil, fmt.Errorf("-new: %w", err)
+		}
+		return []api.FlowUpdate{{OldPath: old, NewPath: next, Waypoint: wp, NWDst: nwDst, Algorithm: algorithm}}, nil
+	}
+	var updates []api.FlowUpdate
+	for i, entry := range strings.Split(batch, ";") {
+		fields := strings.Split(entry, "|")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("-batch entry %d: want old|new[|wp[|nwdst[|algorithm]]], got %q", i, entry)
+		}
+		// Entries inherit every single-flow flag (-nwdst, -algorithm,
+		// -wp); fields 3-5 override per entry.
+		u := api.FlowUpdate{NWDst: nwDst, Algorithm: algorithm, Waypoint: wp}
+		var err error
+		if u.OldPath, err = parseIDs(fields[0]); err != nil {
+			return nil, fmt.Errorf("-batch entry %d old: %w", i, err)
+		}
+		if u.NewPath, err = parseIDs(fields[1]); err != nil {
+			return nil, fmt.Errorf("-batch entry %d new: %w", i, err)
+		}
+		if len(fields) > 2 && fields[2] != "" {
+			if u.Waypoint, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("-batch entry %d wp: %w", i, err)
+			}
+		}
+		if len(fields) > 3 && fields[3] != "" {
+			u.NWDst = fields[3]
+		}
+		if len(fields) > 4 && fields[4] != "" {
+			u.Algorithm = fields[4]
+		}
+		updates = append(updates, u)
+	}
+	return updates, nil
+}
+
+func parseIDs(s string) ([]uint64, error) {
+	p, err := topo.ParsePath(s)
+	if err != nil {
+		return nil, err
+	}
+	return api.FromPath(p), nil
 }

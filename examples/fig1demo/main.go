@@ -14,7 +14,6 @@ import (
 	"log"
 	"time"
 
-	"tsu/internal/controller"
 	"tsu/internal/core"
 	"tsu/internal/experiments"
 	"tsu/internal/netem"
@@ -59,33 +58,28 @@ func runOnce(algo string) error {
 	})
 	stop := prober.Start(context.Background())
 
-	var job *controller.Job
-	switch algo {
-	case "two-phase":
-		// The tagging fallback: per-packet consistency via a prepare
-		// round of VLAN-tagged rules and an atomic ingress flip.
-		job, err = bed.Ctrl.Engine().SubmitTwoPhase(in, experiments.Match(), controller.TwoPhaseTag, controller.SubmitOptions{})
-		if err == nil {
-			fmt.Printf("%s: %d round(s) [prepare tagged rules, commit ingress]\n", algo, job.NumRounds())
-			waitCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-			defer cancel()
-			err = job.Wait(waitCtx)
-		}
-	default:
+	// Everything flows through the /v1 API client, two-phase included
+	// (the tagging fallback: per-packet consistency via a prepare round
+	// of VLAN-tagged rules and an atomic ingress flip).
+	if algo == "two-phase" {
+		fmt.Printf("%s: prepare tagged rules, commit ingress\n", algo)
+	} else {
 		var sched *core.Schedule
 		sched, err = core.ScheduleByName(in, algo, 0)
-		if err == nil {
-			fmt.Printf("%s: %d round(s)\n", algo, sched.NumRounds())
-			job, err = bed.RunUpdate(in, sched, 0)
+		if err != nil {
+			stop()
+			return err
 		}
+		fmt.Printf("%s: %d round(s)\n", algo, sched.NumRounds())
 	}
+	job, err := bed.RunUpdateAlgorithm(in, algo, 0)
 	if err != nil {
 		stop()
 		return err
 	}
 	stats := stop()
 
-	for _, rt := range job.Timings() {
+	for _, rt := range job.Rounds {
 		fmt.Printf("  round %d: switches %v, %v (FlowMods sent, barriers confirmed)\n",
 			rt.Round, rt.Switches, rt.Duration().Round(10*time.Microsecond))
 	}

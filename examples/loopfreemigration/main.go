@@ -61,12 +61,12 @@ func main() {
 	if err := bed.InstallOldPolicy(ti.Old); err != nil {
 		log.Fatal(err)
 	}
-	job, err := bed.RunUpdate(in, sched, 0)
+	job, err := bed.RunUpdateAlgorithm(in, sched.Algorithm, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("live migration of %d switches (n=22) with %s:\n", in.NumPending(), sched.Algorithm)
-	for _, rt := range job.Timings() {
+	for _, rt := range job.Rounds {
 		fmt.Printf("  round %d: %2d switches in %v\n", rt.Round, len(rt.Switches), rt.Duration().Round(10*time.Microsecond))
 	}
 	fmt.Printf("  total: %v\n", job.TotalDuration().Round(10*time.Microsecond))

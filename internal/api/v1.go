@@ -1,0 +1,264 @@
+// Package api defines the wire schema of the controller's versioned
+// /v1 REST surface: batch flow-update submission, job status and
+// streaming watch events, dry-run verification, and the operational
+// probes. The server (internal/controller) and the typed SDK
+// (internal/client) share these types, so a request marshalled by the
+// client is by construction the request the server decodes.
+//
+// The legacy paper-schema routes (POST /update, GET /update/{id}, ...)
+// remain available as thin adapters over the same v1 core; their types
+// live with the server.
+package api
+
+import (
+	"time"
+
+	"tsu/internal/topo"
+)
+
+// Error is the structured error envelope every handler returns on
+// failure: a human-readable message plus a machine-readable code (one
+// of the Code* constants below), alongside the HTTP status.
+type Error struct {
+	Message string `json:"error"`
+	Code    int    `json:"code"`
+}
+
+// Machine-readable error codes carried in Error.Code.
+const (
+	// CodeInvalidJSON: the request body is not valid JSON.
+	CodeInvalidJSON = 1001
+	// CodeInvalidPath: a path is malformed (shorter than 2 nodes,
+	// repeated nodes, endpoint mismatch between old and new).
+	CodeInvalidPath = 1002
+	// CodeInvalidWaypoint: the waypoint is not strictly interior to
+	// both paths.
+	CodeInvalidWaypoint = 1003
+	// CodeInvalidMatch: the flow match (nw_dst) is not an IPv4 address.
+	CodeInvalidMatch = 1004
+	// CodeUnknownAlgorithm: the algorithm name is not registered.
+	CodeUnknownAlgorithm = 1005
+	// CodeInvalidInterval: the inter-round interval is negative.
+	CodeInvalidInterval = 1006
+	// CodeEmptyBatch: the batch contains no updates.
+	CodeEmptyBatch = 1007
+	// CodeScheduleFailed: the scheduler rejected the instance (e.g.
+	// wayup without a waypoint).
+	CodeScheduleFailed = 1008
+	// CodeUnknownJob: no job with the requested id.
+	CodeUnknownJob = 1009
+	// CodeBadRequest: other malformed request input (bad job id, bad
+	// dpid, unknown filter value, ...).
+	CodeBadRequest = 1010
+	// CodeQueueFull: the engine's admission limit is reached.
+	CodeQueueFull = 1011
+	// CodeUnknownProperty: a verify property name is not recognized.
+	CodeUnknownProperty = 1012
+	// CodeSwitchUnavailable: a referenced switch is not connected or
+	// not in the topology.
+	CodeSwitchUnavailable = 1013
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal = 1014
+)
+
+// FlowUpdate is one entry of a batch: migrate one flow from its old
+// path to its new path. Paths list datapath ids in forwarding order.
+type FlowUpdate struct {
+	OldPath []uint64 `json:"oldpath"`
+	NewPath []uint64 `json:"newpath"`
+	// Waypoint is an optional middlebox that must never be bypassed
+	// (0 = none); it must lie strictly inside both paths.
+	Waypoint uint64 `json:"wp,omitempty"`
+	// Algorithm selects the scheduler: any registered name (see
+	// core.Names) or "two-phase". Empty picks wayup when a waypoint is
+	// set, peacock otherwise.
+	Algorithm string `json:"algorithm,omitempty"`
+	// NWDst identifies the flow (IPv4 destination), e.g. "10.0.0.2".
+	NWDst string `json:"nw_dst"`
+	// Properties optionally names the transient-consistency
+	// properties the scheduler must preserve ("no-blackhole",
+	// "waypoint", "relaxed-lf", "strong-lf"); empty uses the
+	// scheduler's defaults. Schedulers that take a property target
+	// (sequential, optimal) honor it.
+	Properties []string `json:"properties,omitempty"`
+}
+
+// BatchUpdateRequest is the body of POST /v1/updates: a batch of flow
+// updates plus batch-level options. Both validation and admission are
+// atomic — if any entry is invalid or the engine cannot admit the
+// whole batch, nothing is submitted.
+type BatchUpdateRequest struct {
+	Updates []FlowUpdate `json:"updates"`
+	// Interval pauses between rounds, in milliseconds.
+	Interval int `json:"interval,omitempty"`
+	// Cleanup appends a garbage-collection round per flow deleting the
+	// old policy's stale rules.
+	Cleanup bool `json:"cleanup,omitempty"`
+	// DryRun computes and returns the schedules without submitting
+	// anything to the engine or the switches.
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// AcceptedUpdate reports one accepted (or dry-run planned) flow update.
+type AcceptedUpdate struct {
+	// ID is the job id to poll or watch (0 on dry-run).
+	ID         int        `json:"id,omitempty"`
+	Algorithm  string     `json:"algorithm"`
+	Rounds     [][]uint64 `json:"rounds,omitempty"`
+	Guarantees string     `json:"guarantees"`
+	Compromise bool       `json:"loop_freedom_compromised,omitempty"`
+}
+
+// BatchUpdateResponse is the body answering POST /v1/updates.
+type BatchUpdateResponse struct {
+	DryRun  bool             `json:"dry_run,omitempty"`
+	Updates []AcceptedUpdate `json:"updates"`
+}
+
+// RoundStatus reports one executed round.
+type RoundStatus struct {
+	Round    int      `json:"round"`
+	Switches []uint64 `json:"switches"`
+	Micros   int64    `json:"us"`
+	Cleanup  bool     `json:"cleanup,omitempty"`
+}
+
+// Duration returns the round's wall-clock time.
+func (r RoundStatus) Duration() time.Duration {
+	return time.Duration(r.Micros) * time.Microsecond
+}
+
+// JobStatus reports a job's progress (GET /v1/updates/{id}).
+type JobStatus struct {
+	ID          int           `json:"id"`
+	State       string        `json:"state"` // queued | running | done | failed
+	Algorithm   string        `json:"algorithm"`
+	Error       string        `json:"error,omitempty"`
+	TotalMicros int64         `json:"total_us"`
+	Rounds      []RoundStatus `json:"rounds"`
+}
+
+// TotalDuration returns the job's wall-clock time (zero while
+// unfinished).
+func (s JobStatus) TotalDuration() time.Duration {
+	return time.Duration(s.TotalMicros) * time.Microsecond
+}
+
+// Terminal reports whether the job has finished (done or failed).
+func (s JobStatus) Terminal() bool { return s.State == "done" || s.State == "failed" }
+
+// Watch event types (WatchEvent.Type).
+const (
+	// EventRound: one round completed (Round is set).
+	EventRound = "round"
+	// EventDone: the job finished successfully (terminal).
+	EventDone = "done"
+	// EventFailed: the job failed (terminal; Error is set).
+	EventFailed = "failed"
+)
+
+// WatchEvent is one Server-Sent Event of GET /v1/updates/{id}/watch.
+// A watch replays the rounds already executed, then streams live
+// progress, and always ends with a terminal done/failed event.
+type WatchEvent struct {
+	Type        string       `json:"type"`
+	Job         int          `json:"job"`
+	Round       *RoundStatus `json:"round,omitempty"`
+	Error       string       `json:"error,omitempty"`
+	TotalMicros int64        `json:"total_us,omitempty"`
+}
+
+// VerifyRequest is the body of POST /v1/verify: plan the batch and
+// verify every schedule against the requested transient-consistency
+// properties — a pure dry run, nothing reaches the switches.
+type VerifyRequest struct {
+	Updates []FlowUpdate `json:"updates"`
+	// Properties to check: "no-blackhole", "waypoint", "relaxed-lf",
+	// "strong-lf". Empty verifies each schedule's own guarantees (the
+	// one-shot baseline, which guarantees nothing, is checked against
+	// the consistent schedulers' properties so the dry run shows what
+	// would break).
+	Properties []string `json:"properties,omitempty"`
+	// Samples per round when the exact subset search exceeds its
+	// budget (0 = verifier default).
+	Samples int `json:"samples,omitempty"`
+	// Seed makes sampled verification reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Violation is a found counterexample: a reachable transient state
+// whose forwarding walk violates a property.
+type Violation struct {
+	Round    int      `json:"round"`
+	Property string   `json:"property"`
+	Walk     []uint64 `json:"walk"`
+	// Updated lists the in-flight switches of the violating subset.
+	Updated []uint64 `json:"updated,omitempty"`
+}
+
+// VerifyResult is one flow's verification verdict.
+type VerifyResult struct {
+	Algorithm  string     `json:"algorithm"`
+	Rounds     [][]uint64 `json:"rounds"`
+	Guarantees string     `json:"guarantees"`
+	Properties string     `json:"properties"` // what was actually checked
+	OK         bool       `json:"ok"`
+	Exact      bool       `json:"exact"` // exhaustive vs sampled
+	Violation  *Violation `json:"violation,omitempty"`
+}
+
+// VerifyResponse answers POST /v1/verify. OK is the conjunction over
+// all results.
+type VerifyResponse struct {
+	OK      bool           `json:"ok"`
+	Results []VerifyResult `json:"results"`
+}
+
+// PolicyRequest installs a complete routing policy along a path
+// (POST /v1/policies): every switch forwards the flow to its
+// successor; the final switch delivers to the named host when set.
+type PolicyRequest struct {
+	Path  []uint64 `json:"path"`
+	NWDst string   `json:"nw_dst"`
+	Host  string   `json:"host,omitempty"`
+}
+
+// FromPath converts a topology path to its wire form.
+func FromPath(p topo.Path) []uint64 {
+	out := make([]uint64, len(p))
+	for i, n := range p {
+		out[i] = uint64(n)
+	}
+	return out
+}
+
+// ToPath converts a wire path back to a topology path.
+func ToPath(ids []uint64) topo.Path {
+	p := make(topo.Path, len(ids))
+	for i, v := range ids {
+		p[i] = topo.NodeID(v)
+	}
+	return p
+}
+
+// FromRounds converts a schedule's rounds to their wire form.
+func FromRounds(rounds [][]topo.NodeID) [][]uint64 {
+	out := make([][]uint64, len(rounds))
+	for i, r := range rounds {
+		out[i] = FromPath(topo.Path(r))
+	}
+	return out
+}
+
+// Healthz answers GET /v1/healthz — the load-balancer/ops probe.
+type Healthz struct {
+	Status string `json:"status"` // always "ok" when the handler answers
+	// Switches is the number of connected datapaths.
+	Switches int `json:"switches"`
+	// QueueDepth counts jobs admitted but not yet executing.
+	QueueDepth int `json:"queue_depth"`
+	// Running counts jobs currently executing rounds.
+	Running int `json:"running"`
+	// Workers is the engine's concurrency limit.
+	Workers int `json:"workers"`
+}

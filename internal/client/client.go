@@ -1,0 +1,335 @@
+// Package client is the typed Go SDK for the controller's /v1 REST
+// surface (internal/api): batch update submission, dry-run
+// verification, job status, and a streaming watch of round-by-round
+// progress. Every binary and harness in this repository talks to the
+// controller through this package — none hand-roll HTTP.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	resp, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{
+//		Updates: []api.FlowUpdate{{OldPath: old, NewPath: new, NWDst: "10.0.0.2"}},
+//	})
+//	events, err := c.Watch(ctx, resp.Updates[0].ID)
+//	for ev := range events { ... } // rounds, then a terminal done/failed
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tsu/internal/api"
+)
+
+// Client talks to one controller.
+type Client struct {
+	base    string
+	hc      *http.Client // request-scoped calls (honors timeout)
+	stream  *http.Client // watch streams (no overall timeout)
+	retries int
+	backoff time.Duration
+
+	custom  *http.Client   // set by WithHTTPClient, never mutated
+	timeout *time.Duration // set by WithTimeout
+}
+
+// Option tunes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (proxies, TLS,
+// test doubles). The given client is copied, never mutated; the watch
+// stream uses the same configuration without the overall timeout.
+// Composes with WithTimeout in either order.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.custom = hc }
+}
+
+// WithTimeout bounds each non-streaming request (default 30s; zero
+// disables). Composes with WithHTTPClient in either order.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = &d }
+}
+
+// WithRetry retries idempotent (GET) requests up to n extra times on
+// transport errors and 5xx responses, sleeping backoff between
+// attempts.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = n, backoff }
+}
+
+// New creates a client for the controller at baseURL (scheme + host,
+// e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+	if c.custom != nil {
+		cp := *c.custom
+		hc = &cp
+	}
+	if c.timeout != nil {
+		hc.Timeout = *c.timeout
+	}
+	c.hc = hc
+	stream := *hc
+	stream.Timeout = 0
+	c.stream = &stream
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's structured
+// envelope.
+type APIError struct {
+	Status  int // HTTP status code
+	Code    int // machine-readable api.Code* value (0 when absent)
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != 0 {
+		return fmt.Sprintf("api error %d (code %d): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("api error %d: %s", e.Status, e.Message)
+}
+
+// do runs one request; GETs are retried per WithRetry.
+func (c *Client) do(ctx context.Context, method, path string, body, into any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.retries
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			select {
+			case <-time.After(c.backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 && method == http.MethodGet && try < attempts-1 {
+			lastErr = decodeAPIError(resp)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return decodeAPIError(resp)
+		}
+		if into != nil {
+			return json.NewDecoder(resp.Body).Decode(into)
+		}
+		return nil
+	}
+	return fmt.Errorf("client: %s %s: %w", method, path, lastErr)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	var envelope api.Error
+	if json.Unmarshal(body, &envelope) == nil && envelope.Message != "" {
+		apiErr.Message = envelope.Message
+		apiErr.Code = envelope.Code
+	}
+	return apiErr
+}
+
+// SubmitBatch submits a batch of flow updates (POST /v1/updates).
+// With req.DryRun the schedules are returned without executing
+// anything.
+func (c *Client) SubmitBatch(ctx context.Context, req api.BatchUpdateRequest) (*api.BatchUpdateResponse, error) {
+	var resp api.BatchUpdateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/updates", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Verify plans the batch and verifies every schedule against the
+// requested properties without touching the switches (POST /v1/verify).
+func (c *Client) Verify(ctx context.Context, req api.VerifyRequest) (*api.VerifyResponse, error) {
+	var resp api.VerifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/verify", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches one job's status (GET /v1/updates/{id}).
+func (c *Client) Job(ctx context.Context, id int) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/updates/%d", id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists jobs, optionally filtered by state ("queued", "running",
+// "done", "failed"; empty lists everything).
+func (c *Client) Jobs(ctx context.Context, state string) ([]api.JobStatus, error) {
+	path := "/v1/updates"
+	if state != "" {
+		path += "?state=" + state
+	}
+	var out []api.JobStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthz fetches the ops probe (GET /v1/healthz).
+func (c *Client) Healthz(ctx context.Context) (*api.Healthz, error) {
+	var h api.Healthz
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Switches lists the connected datapath ids (GET /v1/switches).
+func (c *Client) Switches(ctx context.Context) ([]uint64, error) {
+	var out []uint64
+	if err := c.do(ctx, http.MethodGet, "/v1/switches", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InstallPolicy installs a routing policy along a path
+// (POST /v1/policies).
+func (c *Client) InstallPolicy(ctx context.Context, req api.PolicyRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/policies", req, nil)
+}
+
+// Watch subscribes to a job's progress stream
+// (GET /v1/updates/{id}/watch). The returned channel replays rounds
+// already executed, then delivers live rounds, and ends with a
+// terminal done/failed event before closing. Cancel ctx to stop
+// watching; the channel also closes if the stream breaks (callers
+// needing a guaranteed verdict should fall back to Job, as Wait does).
+func (c *Client) Watch(ctx context.Context, id int) (<-chan api.WatchEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/updates/%d/watch", c.base, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	events := make(chan api.WatchEvent, 16)
+	go func() {
+		defer close(events)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		var data bytes.Buffer
+		flush := func() bool {
+			if data.Len() == 0 {
+				return true
+			}
+			var ev api.WatchEvent
+			err := json.Unmarshal(data.Bytes(), &ev)
+			data.Reset()
+			if err != nil {
+				return false
+			}
+			select {
+			case events <- ev:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if !flush() {
+					return
+				}
+			case strings.HasPrefix(line, "data:"):
+				data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+				// "event:" lines are redundant — the type rides in the data
+				// payload; other SSE fields (id, retry, comments) are ignored.
+			}
+		}
+		flush()
+	}()
+	return events, nil
+}
+
+// Wait blocks until the job finishes and returns its final status. It
+// follows the watch stream and falls back to polling if the stream
+// breaks before the terminal event. A failed job is reported in the
+// returned status, not as an error.
+func (c *Client) Wait(ctx context.Context, id int) (*api.JobStatus, error) {
+	return c.WaitRounds(ctx, id, nil)
+}
+
+// WaitRounds is Wait with a per-round callback: onRound (when non-nil)
+// is invoked for every round event the watch stream delivers, in
+// order, before the final status is returned.
+func (c *Client) WaitRounds(ctx context.Context, id int, onRound func(api.RoundStatus)) (*api.JobStatus, error) {
+	if events, err := c.Watch(ctx, id); err == nil {
+		for ev := range events {
+			if ev.Type == api.EventRound && ev.Round != nil && onRound != nil {
+				onRound(*ev.Round)
+			}
+		}
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsu/internal/api"
+	"tsu/internal/client"
+	"tsu/internal/experiments"
+	"tsu/internal/topo"
+)
+
+// flowA/flowB are disjoint updates on a 4x4 grid (rows 1-4/5-8/9-12/
+// 13-16): flow A rides rows 1-2, flow B rows 3-4.
+var (
+	flowA = api.FlowUpdate{
+		OldPath: []uint64{1, 2, 3, 4}, NewPath: []uint64{1, 5, 6, 7, 8, 4},
+		NWDst: "10.0.0.2", Algorithm: "peacock",
+	}
+	flowB = api.FlowUpdate{
+		OldPath: []uint64{9, 10, 11, 12}, NewPath: []uint64{9, 13, 14, 15, 16, 12},
+		NWDst: "10.0.0.9", Algorithm: "peacock",
+	}
+)
+
+// gridBed boots a full deployment (controller, REST server, switch
+// fleet) and returns its API client.
+func gridBed(t *testing.T) (*experiments.Bed, *client.Client) {
+	t.Helper()
+	bed, err := experiments.NewBed(topo.Grid(4, 4), experiments.BedConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bed.Close)
+	return bed, bed.Client
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, c := gridBed(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for _, f := range []api.FlowUpdate{flowA, flowB} {
+		if err := c.InstallPolicy(ctx, api.PolicyRequest{Path: f.OldPath, NWDst: f.NWDst}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dry-run verification first.
+	vr, err := c.Verify(ctx, api.VerifyRequest{
+		Updates:    []api.FlowUpdate{flowA, flowB},
+		Properties: []string{"no-blackhole", "relaxed-lf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.OK || len(vr.Results) != 2 {
+		t.Fatalf("verify = %+v", vr)
+	}
+
+	// Batch submit; interval keeps the jobs alive long enough for the
+	// watch to attach mid-flight.
+	resp, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{
+		Updates:  []api.FlowUpdate{flowA, flowB},
+		Interval: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Updates) != 2 {
+		t.Fatalf("accepted = %+v", resp.Updates)
+	}
+
+	// SSE watch: rounds arrive in order and the stream ends with the
+	// terminal event.
+	events, err := c.Watch(ctx, resp.Updates[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	terminal := ""
+	for ev := range events {
+		switch ev.Type {
+		case api.EventRound:
+			if terminal != "" {
+				t.Fatal("round event after terminal event")
+			}
+			rounds = append(rounds, ev.Round.Round)
+		case api.EventDone, api.EventFailed:
+			terminal = ev.Type
+		}
+	}
+	if terminal != api.EventDone {
+		t.Fatalf("terminal = %q", terminal)
+	}
+	if len(rounds) != len(resp.Updates[0].Rounds) {
+		t.Fatalf("rounds seen %v, want %d", rounds, len(resp.Updates[0].Rounds))
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("rounds out of order: %v", rounds)
+		}
+	}
+
+	// Wait on the second job, then list by state.
+	st, err := c.Wait(ctx, resp.Updates[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.TotalDuration() <= 0 {
+		t.Fatalf("job 2 = %+v", st)
+	}
+	done, err := c.Jobs(ctx, "done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("done jobs = %d", len(done))
+	}
+	running, err := c.Jobs(ctx, "running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(running) != 0 {
+		t.Fatalf("running jobs = %d", len(running))
+	}
+
+	// Ops probes.
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Switches != 16 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	sw, err := c.Switches(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw) != 16 {
+		t.Fatalf("switches = %v", sw)
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	_, c := gridBed(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	cases := []struct {
+		name       string
+		run        func() error
+		wantStatus int
+		wantCode   int
+	}{
+		{"bad-algorithm", func() error {
+			bad := flowA
+			bad.Algorithm = "magic"
+			_, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{Updates: []api.FlowUpdate{bad}})
+			return err
+		}, http.StatusBadRequest, api.CodeUnknownAlgorithm},
+		{"malformed-path", func() error {
+			bad := flowA
+			bad.NewPath = []uint64{1}
+			_, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{Updates: []api.FlowUpdate{bad}})
+			return err
+		}, http.StatusBadRequest, api.CodeInvalidPath},
+		{"empty-batch", func() error {
+			_, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{})
+			return err
+		}, http.StatusBadRequest, api.CodeEmptyBatch},
+		{"unknown-job", func() error {
+			_, err := c.Job(ctx, 999)
+			return err
+		}, http.StatusNotFound, api.CodeUnknownJob},
+		{"unknown-job-watch", func() error {
+			_, err := c.Watch(ctx, 999)
+			return err
+		}, http.StatusNotFound, api.CodeUnknownJob},
+		{"bad-state-filter", func() error {
+			_, err := c.Jobs(ctx, "bogus")
+			return err
+		}, http.StatusBadRequest, api.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error = %v (%T), want *client.APIError", err, err)
+			}
+			if apiErr.Status != tc.wantStatus || apiErr.Code != tc.wantCode {
+				t.Fatalf("apiErr = %+v, want status %d code %d", apiErr, tc.wantStatus, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestClientRetry pins the WithRetry contract: a transient 5xx on an
+// idempotent GET is retried, a 4xx is not.
+func TestClientRetry(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"transient","code":1014}`, http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","switches":3}`)) //nolint:errcheck // test write
+	}))
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New(srv.URL, client.WithRetry(2, time.Millisecond))
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Switches != 3 || calls.Load() != 2 {
+		t.Fatalf("healthz = %+v after %d calls", h, calls.Load())
+	}
+
+	// 4xx responses are terminal even with retries configured.
+	calls.Store(0)
+	srv404 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"nope","code":1009}`, http.StatusNotFound)
+	}))
+	defer srv404.Close()
+	c404 := client.New(srv404.URL, client.WithRetry(3, time.Millisecond))
+	if _, err := c404.Healthz(ctx); err == nil {
+		t.Fatal("404 retried into success?")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried %d times", calls.Load())
+	}
+}

@@ -48,6 +48,11 @@ type Config struct {
 	// RoundTimeout bounds one round's barrier collection (default 30s).
 	RoundTimeout time.Duration
 
+	// EngineWorkers bounds how many conflict-free update jobs execute
+	// concurrently (default 8); 1 restores the strictly serial engine
+	// of the paper's demo.
+	EngineWorkers int
+
 	// Logger receives lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -98,7 +103,7 @@ func New(cfg Config) (*Controller, error) {
 		logger:    cfg.Logger,
 		datapaths: make(map[uint64]*datapath),
 	}
-	c.engine = newEngine(c)
+	c.engine = newEngine(c, cfg.EngineWorkers)
 	return c, nil
 }
 

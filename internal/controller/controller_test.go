@@ -22,12 +22,12 @@ type testbed struct {
 	cancel context.CancelFunc
 }
 
-func newTestbed(t *testing.T, g *topo.Graph, swCfg func(topo.NodeID) switchsim.Config) *testbed {
+func newTestbed(t testing.TB, g *topo.Graph, swCfg func(topo.NodeID) switchsim.Config) *testbed {
 	t.Helper()
 	return newTestbedWithConfig(t, g, Config{Topology: g}, swCfg)
 }
 
-func newTestbedWithConfig(t *testing.T, g *topo.Graph, ctrlCfg Config, swCfg func(topo.NodeID) switchsim.Config) *testbed {
+func newTestbedWithConfig(t testing.TB, g *topo.Graph, ctrlCfg Config, swCfg func(topo.NodeID) switchsim.Config) *testbed {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	ctrl, err := New(ctrlCfg)

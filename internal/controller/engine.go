@@ -2,6 +2,7 @@ package controller
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,11 +13,16 @@ import (
 	"tsu/internal/topo"
 )
 
+// ErrQueueFull reports that the engine's admission limit is reached;
+// match with errors.Is.
+var ErrQueueFull = errors.New("controller: update queue full")
+
 // JobState is the lifecycle of an update job.
 type JobState int
 
 const (
-	// JobQueued: waiting in the engine's message queue.
+	// JobQueued: admitted, waiting on conflicting predecessors or a
+	// worker slot.
 	JobQueued JobState = iota
 	// JobRunning: rounds in flight.
 	JobRunning
@@ -40,6 +46,16 @@ func (s JobState) String() string {
 	return "unknown"
 }
 
+// ParseJobState maps a state name back to its JobState.
+func ParseJobState(s string) (JobState, bool) {
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
 // RoundTiming records one executed round: which switches were touched
 // and how long the round took from first FlowMod sent to last barrier
 // reply received — the paper's "update time of flow tables" metric,
@@ -55,6 +71,15 @@ type RoundTiming struct {
 
 // Duration returns the round's wall-clock time.
 func (rt RoundTiming) Duration() time.Duration { return rt.Finished.Sub(rt.Started) }
+
+// JobEvent is one progress notification delivered to Subscribe
+// channels: a completed round (Round non-nil, State JobRunning) or the
+// terminal state (Round nil, State JobDone/JobFailed).
+type JobEvent struct {
+	Round *RoundTiming
+	State JobState
+	Err   error // set on terminal failure
+}
 
 // targetedMod is one FlowMod addressed to one switch.
 type targetedMod struct {
@@ -91,6 +116,14 @@ type Job struct {
 
 	rounds []execRound
 
+	// Conflict footprint, immutable after construction: the switches
+	// this job touches and the flow matches it programs. Two jobs
+	// conflict when either set intersects; the dispatcher serializes
+	// conflicting jobs in submission order and runs disjoint jobs
+	// concurrently.
+	nodes   map[topo.NodeID]struct{}
+	matches map[openflow.Match]struct{}
+
 	mu       sync.Mutex
 	state    JobState
 	err      error
@@ -98,6 +131,7 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	done     chan struct{}
+	subs     []chan JobEvent
 }
 
 // NumRounds returns the number of rounds the job will execute
@@ -132,7 +166,7 @@ func (j *Job) Timings() []RoundTiming {
 func (j *Job) TotalDuration() time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.finished.IsZero() {
+	if j.started.IsZero() || j.finished.IsZero() {
 		return 0
 	}
 	return j.finished.Sub(j.started)
@@ -148,6 +182,136 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
+// Subscribe returns a channel of progress events: rounds already
+// executed are replayed first, then live rounds stream as they
+// complete, and the channel ends with a terminal JobDone/JobFailed
+// event before closing. The channel is buffered for the job's full
+// event count, so a slow reader never blocks the engine.
+func (j *Job) Subscribe() <-chan JobEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan JobEvent, len(j.rounds)+2)
+	for i := range j.timings {
+		t := j.timings[i]
+		ch <- JobEvent{Round: &t, State: JobRunning}
+	}
+	if j.state == JobDone || j.state == JobFailed {
+		ch <- JobEvent{State: j.state, Err: j.err}
+		close(ch)
+		return ch
+	}
+	j.subs = append(j.subs, ch)
+	return ch
+}
+
+// footprint fills the job's conflict sets from its rounds.
+func (j *Job) footprint() {
+	j.nodes = make(map[topo.NodeID]struct{})
+	j.matches = make(map[openflow.Match]struct{})
+	for _, r := range j.rounds {
+		for _, m := range r.mods {
+			j.nodes[m.node] = struct{}{}
+			j.matches[m.fm.Match] = struct{}{}
+		}
+	}
+}
+
+// conflictsWith reports whether the two jobs may not execute
+// concurrently: they touch a common switch or program a common flow.
+func (j *Job) conflictsWith(other *Job) bool {
+	a, b := j.nodes, other.nodes
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for n := range a {
+		if _, ok := b[n]; ok {
+			return true
+		}
+	}
+	ma, mb := j.matches, other.matches
+	if len(mb) < len(ma) {
+		ma, mb = mb, ma
+	}
+	for m := range ma {
+		if _, ok := mb[m]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// maxAdmitted bounds the number of unfinished jobs the engine accepts
+// (the successor of the seed's 128-slot FIFO queue).
+const maxAdmitted = 128
+
+// Engine is the controller's update dispatcher. The paper's demo
+// processes its message queue strictly FIFO; this engine keeps that
+// ordering exactly where it matters — jobs that touch a common switch
+// or program a common flow execute in submission order — and runs
+// conflict-free jobs concurrently on a bounded worker pool, so
+// independent flows no longer wait behind each other's barriers.
+type Engine struct {
+	c       *Controller
+	workers int
+	sem     chan struct{} // worker-pool slots
+
+	mu      sync.Mutex
+	ctx     context.Context // set by run; jobs launch once available
+	nextID  int
+	jobs    map[int]*Job
+	active  []*Job // unfinished jobs in submission order
+	pending []*launch
+	queued  int // admitted, not yet executing
+	running int // executing rounds
+}
+
+// launch pairs an admitted job with the done channels of the earlier
+// conflicting jobs it must wait for.
+type launch struct {
+	job  *Job
+	deps []<-chan struct{}
+}
+
+func newEngine(c *Controller, workers int) *Engine {
+	if workers <= 0 {
+		workers = defaultEngineWorkers
+	}
+	return &Engine{
+		c:       c,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		jobs:    make(map[int]*Job),
+	}
+}
+
+// defaultEngineWorkers is the engine's default concurrency: update
+// execution is barrier-bound (network waits), not CPU-bound, so the
+// default does not track GOMAXPROCS.
+const defaultEngineWorkers = 8
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// QueueDepth counts jobs admitted but not yet executing rounds.
+func (e *Engine) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queued
+}
+
+// RunningCount counts jobs currently executing rounds.
+func (e *Engine) RunningCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.running
+}
+
+// Submit enqueues a single-policy update job for the instance using
+// the given schedule; the flow is identified by match.
+func (e *Engine) Submit(in *core.Instance, s *core.Schedule, match openflow.Match, interval time.Duration) (*Job, error) {
+	return e.SubmitOpts(in, s, match, SubmitOptions{Interval: interval})
+}
+
 // SubmitOptions tunes job construction.
 type SubmitOptions struct {
 	// Interval pauses between rounds (the REST message's "interval").
@@ -161,30 +325,19 @@ type SubmitOptions struct {
 	Cleanup bool
 }
 
-// Engine is the controller's update message queue: jobs execute
-// strictly one at a time, each as a sequence of barrier-delimited
-// rounds (§2 of the paper).
-type Engine struct {
-	c *Controller
-
-	mu     sync.Mutex
-	nextID int
-	jobs   map[int]*Job
-	queue  chan *Job
-}
-
-func newEngine(c *Controller) *Engine {
-	return &Engine{c: c, jobs: make(map[int]*Job), queue: make(chan *Job, 128)}
-}
-
-// Submit enqueues a single-policy update job for the instance using
-// the given schedule; the flow is identified by match.
-func (e *Engine) Submit(in *core.Instance, s *core.Schedule, match openflow.Match, interval time.Duration) (*Job, error) {
-	return e.SubmitOpts(in, s, match, SubmitOptions{Interval: interval})
-}
-
 // SubmitOpts is Submit with full options.
 func (e *Engine) SubmitOpts(in *core.Instance, s *core.Schedule, match openflow.Match, opts SubmitOptions) (*Job, error) {
+	rounds, err := e.buildScheduleRounds(in, s, match, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.enqueue(s.Algorithm, rounds, opts.Interval)
+}
+
+// buildScheduleRounds materializes a schedule's rounds for one flow:
+// the per-switch FlowMods plus the optional cleanup round. Building is
+// pure — nothing is admitted.
+func (e *Engine) buildScheduleRounds(in *core.Instance, s *core.Schedule, match openflow.Match, opts SubmitOptions) ([]execRound, error) {
 	if err := s.Validate(in); err != nil {
 		return nil, fmt.Errorf("controller: schedule does not fit instance: %w", err)
 	}
@@ -205,7 +358,7 @@ func (e *Engine) SubmitOpts(in *core.Instance, s *core.Schedule, match openflow.
 			rounds = append(rounds, r)
 		}
 	}
-	return e.enqueue(s.Algorithm, rounds, opts.Interval)
+	return rounds, nil
 }
 
 // SubmitJoint enqueues several policies as one job: per joint round,
@@ -293,27 +446,72 @@ func cleanupRound(in *core.Instance, match openflow.Match) (execRound, bool) {
 	return r, true
 }
 
+// jobSpec is one prepared submission: rounds built, not yet admitted.
+type jobSpec struct {
+	algorithm string
+	rounds    []execRound
+	interval  time.Duration
+}
+
+// enqueue admits a single job (see enqueueAll).
 func (e *Engine) enqueue(algorithm string, rounds []execRound, interval time.Duration) (*Job, error) {
+	jobs, err := e.enqueueAll([]jobSpec{{algorithm: algorithm, rounds: rounds, interval: interval}})
+	if err != nil {
+		return nil, err
+	}
+	return jobs[0], nil
+}
+
+// enqueueAll admits several jobs atomically: either the whole group
+// fits under the admission limit and every job is admitted in order
+// (consecutive ids), or nothing is and ErrQueueFull is returned. Per
+// job it records the done channels of every earlier unfinished
+// conflicting job — including earlier members of the same group — and
+// hands the job to a dispatcher goroutine. Disjoint jobs proceed
+// immediately, bounded only by the worker pool.
+func (e *Engine) enqueueAll(specs []jobSpec) ([]*Job, error) {
+	jobs := make([]*Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = &Job{
+			Algorithm: s.algorithm,
+			Interval:  s.interval,
+			rounds:    s.rounds,
+			done:      make(chan struct{}),
+		}
+		jobs[i].footprint()
+	}
 	e.mu.Lock()
-	e.nextID++
-	job := &Job{
-		ID:        e.nextID,
-		Algorithm: algorithm,
-		Interval:  interval,
-		rounds:    rounds,
-		done:      make(chan struct{}),
-	}
-	e.jobs[job.ID] = job
-	e.mu.Unlock()
-	select {
-	case e.queue <- job:
-		return job, nil
-	default:
-		e.mu.Lock()
-		delete(e.jobs, job.ID)
+	if len(e.active)+len(jobs) > maxAdmitted {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("controller: update queue full")
+		return nil, fmt.Errorf("%w: %d active + %d submitted > %d",
+			ErrQueueFull, len(e.active), len(jobs), maxAdmitted)
 	}
+	launches := make([]*launch, len(jobs))
+	for i, job := range jobs {
+		e.nextID++
+		job.ID = e.nextID
+		e.jobs[job.ID] = job
+		var deps []<-chan struct{}
+		for _, prev := range e.active {
+			if prev.conflictsWith(job) {
+				deps = append(deps, prev.done)
+			}
+		}
+		e.active = append(e.active, job)
+		e.queued++
+		launches[i] = &launch{job: job, deps: deps}
+	}
+	ctx := e.ctx
+	if ctx == nil {
+		e.pending = append(e.pending, launches...)
+		e.mu.Unlock()
+		return jobs, nil
+	}
+	e.mu.Unlock()
+	for _, l := range launches {
+		go e.runJob(ctx, l.job, l.deps)
+	}
+	return jobs, nil
 }
 
 // Job looks a job up by ID.
@@ -337,16 +535,97 @@ func (e *Engine) Jobs() []*Job {
 	return out
 }
 
-// run processes the queue until ctx is cancelled.
+// run starts the dispatcher: jobs admitted before the controller
+// started are launched now; later submissions launch directly from
+// enqueue.
 func (e *Engine) run(ctx context.Context) {
-	for {
+	e.mu.Lock()
+	e.ctx = ctx
+	pending := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	for _, l := range pending {
+		go e.runJob(ctx, l.job, l.deps)
+	}
+}
+
+// runJob drives one job: wait for conflicting predecessors, claim a
+// worker slot, execute the rounds, release.
+func (e *Engine) runJob(ctx context.Context, job *Job, deps []<-chan struct{}) {
+	for _, d := range deps {
 		select {
-		case job := <-e.queue:
-			e.execute(ctx, job)
+		case <-d:
 		case <-ctx.Done():
+			e.fail(job, ctx.Err())
+			e.retire(job, false)
 			return
 		}
 	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.fail(job, ctx.Err())
+		e.retire(job, false)
+		return
+	}
+	e.mu.Lock()
+	e.queued--
+	e.running++
+	e.mu.Unlock()
+	e.execute(ctx, job)
+	<-e.sem
+	e.retire(job, true)
+}
+
+// retire removes a finished job from the active set and fixes the
+// queue counters. started reports whether the job consumed a worker
+// slot (reached execute).
+func (e *Engine) retire(job *Job, started bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, j := range e.active {
+		if j == job {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+	// The job stays queryable in e.jobs, but it can no longer be a
+	// conflict predecessor — drop the footprint so long-lived
+	// controllers don't accumulate it for every job ever submitted.
+	job.nodes, job.matches = nil, nil
+	if started {
+		e.running--
+	} else {
+		e.queued--
+	}
+}
+
+// publish delivers an event to every subscriber; on terminal events
+// the subscriber channels are closed and dropped. Caller must hold
+// j.mu.
+func publishLocked(j *Job, ev JobEvent) {
+	terminal := ev.State == JobDone || ev.State == JobFailed
+	for _, ch := range j.subs {
+		ch <- ev // buffered for the full event count, never blocks
+		if terminal {
+			close(ch)
+		}
+	}
+	if terminal {
+		j.subs = nil
+	}
+}
+
+// fail marks the job failed and notifies waiters and subscribers.
+func (e *Engine) fail(job *Job, err error) {
+	job.mu.Lock()
+	job.state = JobFailed
+	job.err = err
+	job.finished = time.Now()
+	publishLocked(job, JobEvent{State: JobFailed, Err: err})
+	job.mu.Unlock()
+	close(job.done)
+	e.c.logger.Warn("update job failed", "job", job.ID, "err", err)
 }
 
 // execute runs one job's rounds. For every round it sends each
@@ -361,16 +640,6 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 	job.started = time.Now()
 	job.mu.Unlock()
 
-	fail := func(err error) {
-		job.mu.Lock()
-		job.state = JobFailed
-		job.err = err
-		job.finished = time.Now()
-		job.mu.Unlock()
-		close(job.done)
-		e.c.logger.Warn("update job failed", "job", job.ID, "err", err)
-	}
-
 	for roundIdx, round := range job.rounds {
 		switches := round.switches()
 		timing := RoundTiming{
@@ -383,7 +652,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 		// 1. Send every FlowMod of the round.
 		for _, tm := range round.mods {
 			if err := e.c.SendFlowMod(uint64(tm.node), tm.fm); err != nil {
-				fail(fmt.Errorf("round %d: sending flowmod to %d: %w", roundIdx, tm.node, err))
+				e.fail(job, fmt.Errorf("round %d: sending flowmod to %d: %w", roundIdx, tm.node, err))
 				return
 			}
 			timing.FlowMods++
@@ -395,7 +664,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 		for _, node := range switches {
 			done, err := e.c.BarrierAsync(uint64(node))
 			if err != nil {
-				fail(fmt.Errorf("round %d: barrier to %d: %w", roundIdx, node, err))
+				e.fail(job, fmt.Errorf("round %d: barrier to %d: %w", roundIdx, node, err))
 				return
 			}
 			waits[node] = done
@@ -406,7 +675,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 			case <-done:
 			case <-roundCtx.Done():
 				cancel()
-				fail(fmt.Errorf("round %d: barrier reply from %d: %w", roundIdx, node, roundCtx.Err()))
+				e.fail(job, fmt.Errorf("round %d: barrier reply from %d: %w", roundIdx, node, roundCtx.Err()))
 				return
 			}
 		}
@@ -415,13 +684,14 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 
 		job.mu.Lock()
 		job.timings = append(job.timings, timing)
+		publishLocked(job, JobEvent{Round: &timing, State: JobRunning})
 		job.mu.Unlock()
 
 		if job.Interval > 0 && roundIdx+1 < len(job.rounds) {
 			select {
 			case <-time.After(job.Interval):
 			case <-ctx.Done():
-				fail(ctx.Err())
+				e.fail(job, ctx.Err())
 				return
 			}
 		}
@@ -430,6 +700,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 	job.mu.Lock()
 	job.state = JobDone
 	job.finished = time.Now()
+	publishLocked(job, JobEvent{State: JobDone})
 	job.mu.Unlock()
 	close(job.done)
 	e.c.logger.Info("update job done", "job", job.ID, "rounds", len(job.rounds))

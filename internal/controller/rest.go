@@ -2,15 +2,14 @@ package controller
 
 import (
 	"encoding/json"
-	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
 
+	"tsu/internal/api"
 	"tsu/internal/core"
 	"tsu/internal/openflow"
-	"tsu/internal/topo"
 )
 
 // UpdateRequest is the REST message of the paper (§2): header fields
@@ -19,6 +18,10 @@ import (
 // (destination address) this reproduction adds explicitly. Paths list
 // datapath numbers "in the way they are passed by the network packets
 // along the route".
+//
+// This legacy route survives as a thin adapter over the v1 surface:
+// POST /update is a one-entry POST /v1/updates (see restv1.go and
+// internal/api).
 type UpdateRequest struct {
 	OldPath  []uint64 `json:"oldpath"`
 	NewPath  []uint64 `json:"newpath"`
@@ -81,47 +84,36 @@ type FlowEntryRequest struct {
 // switch forwards the flow to its successor, and the final switch
 // delivers to the named host (optional). This is how the old policy is
 // brought up before an update (the controller owns the topology's port
-// map, so clients need not).
+// map, so clients need not). Wire-identical to api.PolicyRequest; the
+// legacy route and POST /v1/policies share one handler.
 type PolicyRequest struct {
 	Path  []uint64 `json:"path"`
 	NWDst string   `json:"nw_dst"`
 	Host  string   `json:"host,omitempty"`
 }
 
-// RESTHandler serves the controller's HTTP API.
+// RESTHandler serves the controller's HTTP API: the versioned /v1
+// surface plus the legacy paper-schema routes as adapters over it.
 func (c *Controller) RESTHandler() http.Handler {
 	mux := http.NewServeMux()
+	// v1 (restv1.go).
+	mux.HandleFunc("POST /v1/updates", c.handleV1SubmitBatch)
+	mux.HandleFunc("GET /v1/updates", c.handleV1Jobs)
+	mux.HandleFunc("GET /v1/updates/{id}", c.handleV1JobStatus)
+	mux.HandleFunc("GET /v1/updates/{id}/watch", c.handleV1Watch)
+	mux.HandleFunc("POST /v1/verify", c.handleV1Verify)
+	mux.HandleFunc("POST /v1/policies", c.handleV1Policies)
+	mux.HandleFunc("GET /v1/healthz", c.handleV1Healthz)
+	mux.HandleFunc("GET /v1/switches", c.handleSwitches)
+	// Legacy paper-schema adapters.
 	mux.HandleFunc("POST /update", c.handleUpdate)
 	mux.HandleFunc("GET /update/{id}", c.handleJobStatus)
 	mux.HandleFunc("GET /updates", c.handleJobs)
 	mux.HandleFunc("GET /switches", c.handleSwitches)
-	mux.HandleFunc("POST /policy", c.handlePolicy)
+	mux.HandleFunc("POST /policy", c.handleV1Policies)
 	mux.HandleFunc("POST /stats/flowentry/{op}", c.handleFlowEntry)
 	mux.HandleFunc("GET /stats/flow/{dpid}", c.handleFlowStats)
 	return mux
-}
-
-func (c *Controller) handlePolicy(w http.ResponseWriter, r *http.Request) {
-	var req PolicyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
-	ip := net.ParseIP(req.NWDst)
-	if ip == nil || ip.To4() == nil {
-		httpError(w, http.StatusBadRequest, "nw_dst %q is not an IPv4 address", req.NWDst)
-		return
-	}
-	path := toNodePath(req.Path)
-	if err := path.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid path: %v", err)
-		return
-	}
-	if err := c.InstallPath(r.Context(), path, openflow.ExactNWDst(ip), req.Host); err != nil {
-		httpError(w, http.StatusBadGateway, "installing policy: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"result": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -132,29 +124,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // response writer errors are the client's problem
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func toNodePath(ids []uint64) topo.Path {
-	p := make(topo.Path, len(ids))
-	for i, v := range ids {
-		p[i] = topo.NodeID(v)
-	}
-	return p
-}
-
-func fromNodeRounds(rounds [][]topo.NodeID) [][]uint64 {
-	out := make([][]uint64, len(rounds))
-	for i, r := range rounds {
-		out[i] = make([]uint64, len(r))
-		for j, n := range r {
-			out[i][j] = uint64(n)
-		}
-	}
-	return out
-}
-
 // ScheduleFor builds the schedule for an instance using the named
 // algorithm via the core scheduler registry ("" picks wayup when a
 // waypoint is present, else peacock).
@@ -162,54 +131,43 @@ func ScheduleFor(in *core.Instance, algorithm string) (*core.Schedule, error) {
 	return core.ScheduleByName(in, algorithm, 0)
 }
 
+// handleUpdate adapts the paper's single-flow update message onto the
+// v1 planning/submission core: one entry, same validation, same
+// engine.
 func (c *Controller) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidJSON, "invalid JSON: %v", err))
 		return
 	}
-	ip := net.ParseIP(req.NWDst)
-	if ip == nil || ip.To4() == nil {
-		httpError(w, http.StatusBadRequest, "nw_dst %q is not an IPv4 address", req.NWDst)
+	if req.Interval < 0 {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidInterval, "interval %d ms is negative", req.Interval))
 		return
 	}
-	in, err := core.NewInstance(toNodePath(req.OldPath), toNodePath(req.NewPath), topo.NodeID(req.Waypoint))
+	p, err := planUpdate(api.FlowUpdate{
+		OldPath:   req.OldPath,
+		NewPath:   req.NewPath,
+		Waypoint:  req.Waypoint,
+		Algorithm: req.Algorithm,
+		NWDst:     req.NWDst,
+	}, false)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "invalid update: %v", err)
+		writeErr(w, err)
 		return
 	}
 	opts := SubmitOptions{Interval: time.Duration(req.Interval) * time.Millisecond, Cleanup: req.Cleanup}
-
-	if req.Algorithm == "two-phase" {
-		job, err := c.engine.SubmitTwoPhase(in, openflow.ExactNWDst(ip), TwoPhaseTag, opts)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, UpdateResponse{
-			ID:         job.ID,
-			Algorithm:  "two-phase",
-			Guarantees: "PerPacketConsistency",
-		})
-		return
-	}
-
-	sched, err := ScheduleFor(in, req.Algorithm)
+	jobs, err := c.submitPlanned([]*plannedUpdate{p}, opts)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "scheduling failed: %v", err)
+		writeErr(w, err)
 		return
 	}
-	job, err := c.engine.SubmitOpts(in, sched, openflow.ExactNWDst(ip), opts)
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
+	acc := accepted(p, jobs[0])
 	writeJSON(w, http.StatusAccepted, UpdateResponse{
-		ID:         job.ID,
-		Algorithm:  sched.Algorithm,
-		Rounds:     fromNodeRounds(sched.Rounds),
-		Guarantees: sched.Guarantees.String(),
-		Compromise: sched.LoopFreedomCompromised,
+		ID:         acc.ID,
+		Algorithm:  acc.Algorithm,
+		Rounds:     acc.Rounds,
+		Guarantees: acc.Guarantees,
+		Compromise: acc.Compromise,
 	})
 }
 
@@ -238,14 +196,9 @@ func jobStatus(job *Job) JobStatus {
 }
 
 func (c *Controller) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
+	job, err := c.jobFromPath(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
-		return
-	}
-	job, ok := c.engine.Job(id)
-	if !ok {
-		httpError(w, http.StatusNotFound, "job %d unknown", id)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobStatus(job))
@@ -275,17 +228,17 @@ func (c *Controller) handleFlowEntry(w http.ResponseWriter, r *http.Request) {
 	case "delete":
 		cmd = openflow.FlowDelete
 	default:
-		httpError(w, http.StatusNotFound, "unknown flowentry op %q", op)
+		writeErr(w, errf(http.StatusNotFound, api.CodeBadRequest, "unknown flowentry op %q", op))
 		return
 	}
 	var req FlowEntryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidJSON, "invalid JSON: %v", err))
 		return
 	}
 	ip := net.ParseIP(req.Match.NWDst)
 	if ip == nil || ip.To4() == nil {
-		httpError(w, http.StatusBadRequest, "match.nw_dst %q is not an IPv4 address", req.Match.NWDst)
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidMatch, "match.nw_dst %q is not an IPv4 address", req.Match.NWDst))
 		return
 	}
 	fm := &openflow.FlowMod{
@@ -300,17 +253,17 @@ func (c *Controller) handleFlowEntry(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, a := range req.Actions {
 		if a.Type != "OUTPUT" {
-			httpError(w, http.StatusBadRequest, "unsupported action type %q", a.Type)
+			writeErr(w, errf(http.StatusBadRequest, api.CodeBadRequest, "unsupported action type %q", a.Type))
 			return
 		}
 		fm.Actions = append(fm.Actions, openflow.ActionOutput{Port: a.Port})
 	}
 	if err := c.SendFlowMod(req.Dpid, fm); err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		writeErr(w, errf(http.StatusNotFound, api.CodeSwitchUnavailable, "%v", err))
 		return
 	}
 	if err := c.Barrier(r.Context(), req.Dpid); err != nil {
-		httpError(w, http.StatusGatewayTimeout, "%v", err)
+		writeErr(w, errf(http.StatusGatewayTimeout, api.CodeSwitchUnavailable, "%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"result": "ok"})
@@ -319,12 +272,12 @@ func (c *Controller) handleFlowEntry(w http.ResponseWriter, r *http.Request) {
 func (c *Controller) handleFlowStats(w http.ResponseWriter, r *http.Request) {
 	dpid, err := strconv.ParseUint(r.PathValue("dpid"), 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad dpid %q", r.PathValue("dpid"))
+		writeErr(w, errf(http.StatusBadRequest, api.CodeBadRequest, "bad dpid %q", r.PathValue("dpid")))
 		return
 	}
 	flows, err := c.FlowStats(r.Context(), dpid)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		writeErr(w, errf(http.StatusNotFound, api.CodeSwitchUnavailable, "%v", err))
 		return
 	}
 	type entry struct {

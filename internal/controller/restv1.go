@@ -1,0 +1,466 @@
+package controller
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tsu/internal/api"
+	"tsu/internal/core"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+	"tsu/internal/verify"
+)
+
+// This file implements the versioned /v1 REST surface (see
+// internal/api for the wire schema):
+//
+//	POST /v1/updates          batch flow-update submission (+ dry-run)
+//	GET  /v1/updates          job list, ?state= filtering
+//	GET  /v1/updates/{id}     job status
+//	GET  /v1/updates/{id}/watch  round-by-round progress as SSE
+//	POST /v1/verify           schedule + verify without touching switches
+//	POST /v1/policies         install a routing policy along a path
+//	GET  /v1/healthz          ops probe (switches, queue depth)
+//	GET  /v1/switches         connected datapath ids
+//
+// The legacy paper-schema routes in rest.go are thin adapters over the
+// same planning/submission core.
+
+// handlerError carries the HTTP status and machine-readable code a
+// failed request maps to.
+type handlerError struct {
+	status int
+	code   int
+	msg    string
+}
+
+func (e *handlerError) Error() string { return e.msg }
+
+func errf(status, code int, format string, args ...any) *handlerError {
+	return &handlerError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeErr renders any error as the structured envelope; plain errors
+// become 500/CodeInternal.
+func writeErr(w http.ResponseWriter, err error) {
+	if he, ok := err.(*handlerError); ok {
+		writeJSON(w, he.status, api.Error{Message: he.msg, Code: he.code})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, api.Error{Message: err.Error(), Code: api.CodeInternal})
+}
+
+// plannedUpdate is one validated batch entry with its computed
+// schedule. Algo is "two-phase" (Sched nil) or a registry name; Props
+// is the entry's requested property set (0 when unset).
+type plannedUpdate struct {
+	In    *core.Instance
+	Match openflow.Match
+	Algo  string
+	Sched *core.Schedule
+	Props core.Property
+}
+
+// planUpdate validates one FlowUpdate and computes its schedule. All
+// request validation the engine used to discover mid-job lives here:
+// malformed paths, off-path waypoints, bad matches and unknown
+// algorithms are rejected before anything is admitted.
+//
+// forVerify relaxes the property contract: on the execution path a
+// scheduler that cannot guarantee the requested properties is a 400,
+// but on the dry-run verify path those properties are exactly what the
+// caller wants checked (reporting what a baseline would break is the
+// endpoint's purpose).
+func planUpdate(u api.FlowUpdate, forVerify bool) (*plannedUpdate, error) {
+	ip := net.ParseIP(u.NWDst)
+	if ip == nil || ip.To4() == nil {
+		return nil, errf(http.StatusBadRequest, api.CodeInvalidMatch, "nw_dst %q is not an IPv4 address", u.NWDst)
+	}
+	in, err := core.NewInstance(api.ToPath(u.OldPath), api.ToPath(u.NewPath), topo.NodeID(u.Waypoint))
+	if err != nil {
+		code := api.CodeInvalidPath
+		if errors.Is(err, core.ErrWaypoint) {
+			code = api.CodeInvalidWaypoint
+		}
+		return nil, errf(http.StatusBadRequest, code, "invalid update: %v", err)
+	}
+	props, err := core.ParseProperties(u.Properties)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, api.CodeUnknownProperty, "%v", err)
+	}
+	p := &plannedUpdate{In: in, Match: openflow.ExactNWDst(ip), Algo: u.Algorithm, Props: props}
+	if u.Algorithm == "two-phase" {
+		// Per-packet consistency: every packet rides exactly one
+		// policy end to end, which subsumes all four per-flow
+		// transient properties — any request is satisfied.
+		return p, nil
+	}
+	if u.Algorithm != "" {
+		if _, err := core.Lookup(u.Algorithm); err != nil {
+			return nil, errf(http.StatusBadRequest, api.CodeUnknownAlgorithm, "%v", err)
+		}
+	}
+	sched, err := core.ScheduleByName(in, u.Algorithm, props)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, api.CodeScheduleFailed, "scheduling failed: %v", err)
+	}
+	// On the execution path, requested properties are a contract, not
+	// a hint: schedulers with fixed guarantees (peacock, oneshot, ...)
+	// ignore the props argument, so reject rather than execute an
+	// update that does not preserve what the client demanded.
+	if !forVerify && props != 0 && !sched.Guarantees.Has(props) {
+		return nil, errf(http.StatusBadRequest, api.CodeScheduleFailed,
+			"scheduler %q guarantees %s, which does not cover the requested %s",
+			sched.Algorithm, sched.Guarantees, props)
+	}
+	p.Algo = sched.Algorithm
+	p.Sched = sched
+	return p, nil
+}
+
+// planBatch validates a whole batch atomically: the first invalid
+// entry rejects the batch and nothing is submitted.
+func planBatch(req api.BatchUpdateRequest, forVerify bool) ([]*plannedUpdate, error) {
+	if req.Interval < 0 {
+		return nil, errf(http.StatusBadRequest, api.CodeInvalidInterval, "interval %d ms is negative", req.Interval)
+	}
+	if len(req.Updates) == 0 {
+		return nil, errf(http.StatusBadRequest, api.CodeEmptyBatch, "batch contains no updates")
+	}
+	plans := make([]*plannedUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		p, err := planUpdate(u, forVerify)
+		if err != nil {
+			if he, ok := err.(*handlerError); ok {
+				return nil, errf(he.status, he.code, "updates[%d]: %s", i, he.msg)
+			}
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}
+
+// accepted converts a plan (and its job, nil on dry-run) to the wire
+// shape.
+func accepted(p *plannedUpdate, job *Job) api.AcceptedUpdate {
+	out := api.AcceptedUpdate{Algorithm: p.Algo}
+	if job != nil {
+		out.ID = job.ID
+	}
+	if p.Sched != nil {
+		out.Rounds = api.FromRounds(p.Sched.Rounds)
+		out.Guarantees = p.Sched.Guarantees.String()
+		out.Compromise = p.Sched.LoopFreedomCompromised
+	} else {
+		out.Guarantees = "PerPacketConsistency"
+	}
+	return out
+}
+
+// prepareSpec builds one planned update's rounds (no admission).
+func (c *Controller) prepareSpec(p *plannedUpdate, opts SubmitOptions) (jobSpec, error) {
+	var rounds []execRound
+	var err error
+	algo := p.Algo
+	if p.Sched == nil {
+		algo = "two-phase"
+		rounds, err = c.engine.buildTwoPhaseRounds(p.In, p.Match, TwoPhaseTag, opts)
+	} else {
+		rounds, err = c.engine.buildScheduleRounds(p.In, p.Sched, p.Match, opts)
+	}
+	if err != nil {
+		return jobSpec{}, errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+	return jobSpec{algorithm: algo, rounds: rounds, interval: opts.Interval}, nil
+}
+
+// submitPlanned builds and admits a group of planned updates
+// atomically: either every update becomes a job or none does.
+func (c *Controller) submitPlanned(plans []*plannedUpdate, opts SubmitOptions) ([]*Job, error) {
+	specs := make([]jobSpec, len(plans))
+	for i, p := range plans {
+		spec, err := c.prepareSpec(p, opts)
+		if err != nil {
+			if he, ok := err.(*handlerError); ok && len(plans) > 1 {
+				return nil, errf(he.status, he.code, "updates[%d]: %s", i, he.msg)
+			}
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	jobs, err := c.engine.enqueueAll(specs)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			return nil, errf(http.StatusServiceUnavailable, api.CodeQueueFull, "%v", err)
+		}
+		return nil, errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+	return jobs, nil
+}
+
+func (c *Controller) handleV1SubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchUpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidJSON, "invalid JSON: %v", err))
+		return
+	}
+	plans, err := planBatch(req, false)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := api.BatchUpdateResponse{DryRun: req.DryRun, Updates: make([]api.AcceptedUpdate, 0, len(plans))}
+	if req.DryRun {
+		for _, p := range plans {
+			resp.Updates = append(resp.Updates, accepted(p, nil))
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	opts := SubmitOptions{Interval: time.Duration(req.Interval) * time.Millisecond, Cleanup: req.Cleanup}
+	jobs, err := c.submitPlanned(plans, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	for i, p := range plans {
+		resp.Updates = append(resp.Updates, accepted(p, jobs[i]))
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// v1JobStatus converts a Job to the wire shape.
+func v1JobStatus(job *Job) api.JobStatus {
+	st := api.JobStatus{
+		ID:          job.ID,
+		State:       job.State().String(),
+		Algorithm:   job.Algorithm,
+		TotalMicros: job.TotalDuration().Microseconds(),
+		Rounds:      []api.RoundStatus{},
+	}
+	if err := job.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	for _, t := range job.Timings() {
+		st.Rounds = append(st.Rounds, v1RoundStatus(t))
+	}
+	return st
+}
+
+func v1RoundStatus(t RoundTiming) api.RoundStatus {
+	sw := make([]uint64, len(t.Switches))
+	for i, n := range t.Switches {
+		sw[i] = uint64(n)
+	}
+	return api.RoundStatus{Round: t.Round, Switches: sw, Micros: t.Duration().Microseconds(), Cleanup: t.Cleanup}
+}
+
+func (c *Controller) handleV1JobStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := c.jobFromPath(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v1JobStatus(job))
+}
+
+func (c *Controller) jobFromPath(r *http.Request) (*Job, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, api.CodeBadRequest, "bad job id %q", r.PathValue("id"))
+	}
+	job, ok := c.engine.Job(id)
+	if !ok {
+		return nil, errf(http.StatusNotFound, api.CodeUnknownJob, "job %d unknown", id)
+	}
+	return job, nil
+}
+
+func (c *Controller) handleV1Jobs(w http.ResponseWriter, r *http.Request) {
+	stateFilter := r.URL.Query().Get("state")
+	if stateFilter != "" {
+		if _, ok := ParseJobState(stateFilter); !ok {
+			writeErr(w, errf(http.StatusBadRequest, api.CodeBadRequest,
+				"unknown state %q (want queued, running, done or failed)", stateFilter))
+			return
+		}
+	}
+	out := []api.JobStatus{}
+	for _, j := range c.engine.Jobs() {
+		if stateFilter != "" && j.State().String() != stateFilter {
+			continue
+		}
+		out = append(out, v1JobStatus(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleV1Watch streams a job's progress as Server-Sent Events:
+// already-executed rounds replay first, live rounds follow, and the
+// stream always ends with a terminal done/failed event.
+func (c *Controller) handleV1Watch(w http.ResponseWriter, r *http.Request) {
+	job, err := c.jobFromPath(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, errf(http.StatusInternalServerError, api.CodeInternal, "response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	events := job.Subscribe()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			we := api.WatchEvent{Job: job.ID}
+			switch {
+			case ev.Round != nil:
+				we.Type = api.EventRound
+				rs := v1RoundStatus(*ev.Round)
+				we.Round = &rs
+			case ev.State == JobDone:
+				we.Type = api.EventDone
+				we.TotalMicros = job.TotalDuration().Microseconds()
+			default:
+				we.Type = api.EventFailed
+				if ev.Err != nil {
+					we.Error = ev.Err.Error()
+				}
+			}
+			data, err := json.Marshal(we)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", we.Type, data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleV1Verify plans the batch and verifies every schedule against
+// the requested properties — a pure dry run, nothing reaches the
+// engine or the switches.
+func (c *Controller) handleV1Verify(w http.ResponseWriter, r *http.Request) {
+	var req api.VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidJSON, "invalid JSON: %v", err))
+		return
+	}
+	plans, err := planBatch(api.BatchUpdateRequest{Updates: req.Updates}, true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	reqProps, err := core.ParseProperties(req.Properties)
+	if err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeUnknownProperty, "%v", err))
+		return
+	}
+	tasks := make([]verify.Task, 0, len(plans))
+	for i, p := range plans {
+		if p.Sched == nil {
+			writeErr(w, errf(http.StatusBadRequest, api.CodeScheduleFailed,
+				"updates[%d]: two-phase has no round schedule to verify", i))
+			return
+		}
+		// Check-target precedence: the entry's own properties, then the
+		// request-level set, then the schedule's guarantees.
+		props := p.Props
+		if props == 0 {
+			props = reqProps
+		}
+		if props == 0 {
+			props = p.Sched.Guarantees
+		}
+		if props == 0 {
+			// One-shot guarantees nothing; check it against what the
+			// consistent schedulers provide, so the dry run shows what
+			// would break.
+			props = core.NoBlackhole | core.RelaxedLoopFreedom
+			if p.In.Waypoint != 0 {
+				props |= core.WaypointEnforcement
+			}
+		}
+		tasks = append(tasks, verify.Task{Instance: p.In, Schedule: p.Sched, Props: props})
+	}
+	reports := verify.Batch(tasks, verify.Options{Samples: req.Samples, Seed: req.Seed})
+	resp := api.VerifyResponse{OK: true, Results: make([]api.VerifyResult, 0, len(reports))}
+	for i, rep := range reports {
+		res := api.VerifyResult{
+			Algorithm:  plans[i].Algo,
+			Rounds:     api.FromRounds(plans[i].Sched.Rounds),
+			Guarantees: plans[i].Sched.Guarantees.String(),
+			Properties: tasks[i].Props.String(),
+			OK:         rep.OK(),
+			Exact:      rep.Exact(),
+		}
+		if !res.OK {
+			resp.OK = false
+		}
+		for _, rr := range rep.Rounds {
+			if rr.Violation != nil {
+				res.Violation = &api.Violation{
+					Round:    rr.Round,
+					Property: rr.Violation.Violated.String(),
+					Walk:     api.FromPath(rr.Violation.Walk),
+					Updated:  api.FromPath(plans[i].In.StateNodes(rr.Violation.Updated)),
+				}
+				break
+			}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Controller) handleV1Policies(w http.ResponseWriter, r *http.Request) {
+	var req api.PolicyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidJSON, "invalid JSON: %v", err))
+		return
+	}
+	ip := net.ParseIP(req.NWDst)
+	if ip == nil || ip.To4() == nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidMatch, "nw_dst %q is not an IPv4 address", req.NWDst))
+		return
+	}
+	path := api.ToPath(req.Path)
+	if err := path.Validate(); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidPath, "invalid path: %v", err))
+		return
+	}
+	if err := c.InstallPath(r.Context(), path, openflow.ExactNWDst(ip), req.Host); err != nil {
+		writeErr(w, errf(http.StatusBadGateway, api.CodeSwitchUnavailable, "installing policy: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"result": "ok"})
+}
+
+func (c *Controller) handleV1Healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.Healthz{
+		Status:     "ok",
+		Switches:   len(c.Datapaths()),
+		QueueDepth: c.engine.QueueDepth(),
+		Running:    c.engine.RunningCount(),
+		Workers:    c.engine.Workers(),
+	})
+}

@@ -1,0 +1,412 @@
+package controller
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tsu/internal/api"
+	"tsu/internal/topo"
+)
+
+func fig1Update(algorithm string) api.FlowUpdate {
+	return api.FlowUpdate{
+		OldPath:   []uint64{1, 2, 3, 4, 5, 6, 12},
+		NewPath:   []uint64{1, 7, 8, 3, 9, 10, 11, 12},
+		Waypoint:  3,
+		Algorithm: algorithm,
+		NWDst:     "10.0.0.2",
+	}
+}
+
+func decodeInto(t *testing.T, body []byte, into any) {
+	t.Helper()
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}
+
+func TestV1BatchSubmitListAndHealthz(t *testing.T) {
+	tb, srv := restTestbed(t)
+
+	// Two flows over Fig.1, moving in opposite directions.
+	if resp, body := postJSON(t, srv.URL+"/v1/policies", api.PolicyRequest{
+		Path: []uint64{1, 2, 3, 4, 5, 6, 12}, NWDst: "10.0.0.2", Host: "h2",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, srv.URL+"/v1/policies", api.PolicyRequest{
+		Path: []uint64{1, 7, 8, 3, 9, 10, 11, 12}, NWDst: "10.0.0.9", Host: "h2",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy: %d %s", resp.StatusCode, body)
+	}
+	second := api.FlowUpdate{
+		OldPath:  []uint64{1, 7, 8, 3, 9, 10, 11, 12},
+		NewPath:  []uint64{1, 2, 3, 4, 5, 6, 12},
+		Waypoint: 3,
+		NWDst:    "10.0.0.9",
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/updates", api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{fig1Update(""), second},
+		Cleanup: true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var br api.BatchUpdateResponse
+	decodeInto(t, body, &br)
+	if len(br.Updates) != 2 {
+		t.Fatalf("accepted %d updates", len(br.Updates))
+	}
+	for _, acc := range br.Updates {
+		if acc.ID == 0 || acc.Algorithm != "wayup" {
+			t.Fatalf("accepted = %+v", acc)
+		}
+	}
+
+	// Both jobs complete; per-job status carries rounds incl. cleanup.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, acc := range br.Updates {
+		for {
+			var st api.JobStatus
+			if code := getJSON(t, fmt.Sprintf("%s/v1/updates/%d", srv.URL, acc.ID), &st); code != http.StatusOK {
+				t.Fatalf("status code %d", code)
+			}
+			if st.State == "done" {
+				if len(st.Rounds) != len(acc.Rounds)+1 {
+					t.Fatalf("job %d rounds %d, want %d + cleanup", acc.ID, len(st.Rounds), len(acc.Rounds))
+				}
+				if !st.Rounds[len(st.Rounds)-1].Cleanup {
+					t.Fatalf("job %d last round not flagged cleanup", acc.ID)
+				}
+				break
+			}
+			if st.State == "failed" || time.Now().After(deadline) {
+				t.Fatalf("job %d state %q (%s)", acc.ID, st.State, st.Error)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Forwarding flipped for both flows.
+	if res := tb.fabric.Inject(1, nwDstOf("10.0.0.2"), 64); !res.Visited.Equal(topo.Fig1NewPath) {
+		t.Fatalf("flow A path %v", res.Visited)
+	}
+	if res := tb.fabric.Inject(1, nwDstOf("10.0.0.9"), 64); !res.Visited.Equal(topo.Fig1OldPath) {
+		t.Fatalf("flow B path %v", res.Visited)
+	}
+
+	// List filtering.
+	var done []api.JobStatus
+	if code := getJSON(t, srv.URL+"/v1/updates?state=done", &done); code != http.StatusOK || len(done) != 2 {
+		t.Fatalf("state=done: code %d, %d jobs", code, len(done))
+	}
+	var running []api.JobStatus
+	if code := getJSON(t, srv.URL+"/v1/updates?state=running", &running); code != http.StatusOK || len(running) != 0 {
+		t.Fatalf("state=running: code %d, %d jobs", code, len(running))
+	}
+	if code := getJSON(t, srv.URL+"/v1/updates?state=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("state=bogus code %d", code)
+	}
+
+	// Healthz.
+	var h api.Healthz
+	if code := getJSON(t, srv.URL+"/v1/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz code %d", code)
+	}
+	if h.Status != "ok" || h.Switches != 12 || h.QueueDepth != 0 || h.Workers != defaultEngineWorkers {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestV1DryRunSubmitsNothing(t *testing.T) {
+	_, srv := restTestbed(t)
+	resp, body := postJSON(t, srv.URL+"/v1/updates", api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{fig1Update("")},
+		DryRun:  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dry-run: %d %s", resp.StatusCode, body)
+	}
+	var br api.BatchUpdateResponse
+	decodeInto(t, body, &br)
+	if !br.DryRun || len(br.Updates) != 1 {
+		t.Fatalf("response = %+v", br)
+	}
+	acc := br.Updates[0]
+	if acc.ID != 0 || acc.Algorithm != "wayup" || len(acc.Rounds) == 0 {
+		t.Fatalf("accepted = %+v", acc)
+	}
+	var jobs []api.JobStatus
+	if code := getJSON(t, srv.URL+"/v1/updates", &jobs); code != http.StatusOK || len(jobs) != 0 {
+		t.Fatalf("dry run created jobs: %v", jobs)
+	}
+}
+
+func TestV1Verify(t *testing.T) {
+	_, srv := restTestbed(t)
+
+	// WayUp verifies clean against its own guarantees.
+	resp, body := postJSON(t, srv.URL+"/v1/verify", api.VerifyRequest{
+		Updates: []api.FlowUpdate{fig1Update("wayup")},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: %d %s", resp.StatusCode, body)
+	}
+	var vr api.VerifyResponse
+	decodeInto(t, body, &vr)
+	if !vr.OK || len(vr.Results) != 1 || !vr.Results[0].OK || vr.Results[0].Violation != nil {
+		t.Fatalf("wayup verify = %+v", vr)
+	}
+
+	// One-shot on a waypoint instance must surface a violation with a
+	// concrete counterexample walk.
+	resp, body = postJSON(t, srv.URL+"/v1/verify", api.VerifyRequest{
+		Updates: []api.FlowUpdate{fig1Update("oneshot")},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify oneshot: %d %s", resp.StatusCode, body)
+	}
+	decodeInto(t, body, &vr)
+	if vr.OK || len(vr.Results) != 1 {
+		t.Fatalf("oneshot verify = %+v", vr)
+	}
+	res := vr.Results[0]
+	if res.OK || res.Violation == nil || len(res.Violation.Walk) == 0 || res.Violation.Property == "" {
+		t.Fatalf("oneshot result = %+v", res)
+	}
+
+	// Per-update properties are check targets on this endpoint, not an
+	// execution contract: asking what one-shot would break w.r.t.
+	// waypoint enforcement must answer, not 400.
+	perUpdate := fig1Update("oneshot")
+	perUpdate.Properties = []string{"no-blackhole", "waypoint"}
+	resp, body = postJSON(t, srv.URL+"/v1/verify", api.VerifyRequest{
+		Updates: []api.FlowUpdate{perUpdate},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify per-update props: %d %s", resp.StatusCode, body)
+	}
+	decodeInto(t, body, &vr)
+	if vr.OK || vr.Results[0].Violation == nil {
+		t.Fatalf("per-update props verify = %+v", vr)
+	}
+	if got := vr.Results[0].Properties; got != "NoBlackhole|WaypointEnforcement" {
+		t.Fatalf("checked properties = %q", got)
+	}
+
+	// Explicit properties override the schedule's own guarantees.
+	resp, body = postJSON(t, srv.URL+"/v1/verify", api.VerifyRequest{
+		Updates:    []api.FlowUpdate{fig1Update("wayup")},
+		Properties: []string{"no-blackhole", "waypoint"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify props: %d %s", resp.StatusCode, body)
+	}
+	decodeInto(t, body, &vr)
+	if got := vr.Results[0].Properties; got != "NoBlackhole|WaypointEnforcement" {
+		t.Fatalf("checked properties = %q", got)
+	}
+}
+
+func TestV1ErrorTable(t *testing.T) {
+	_, srv := restTestbed(t)
+	good := fig1Update("")
+	cases := []struct {
+		name       string
+		url        string
+		body       any
+		wantStatus int
+		wantCode   int
+	}{
+		{"bad-json", "/v1/updates", "{", http.StatusBadRequest, api.CodeInvalidJSON},
+		{"empty-batch", "/v1/updates", api.BatchUpdateRequest{}, http.StatusBadRequest, api.CodeEmptyBatch},
+		{"negative-interval", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{good}, Interval: -5,
+		}, http.StatusBadRequest, api.CodeInvalidInterval},
+		{"bad-ip", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: good.OldPath, NewPath: good.NewPath, NWDst: "nope"}},
+		}, http.StatusBadRequest, api.CodeInvalidMatch},
+		{"short-path", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: []uint64{1}, NewPath: []uint64{1, 2}, NWDst: "10.0.0.2"}},
+		}, http.StatusBadRequest, api.CodeInvalidPath},
+		{"waypoint-off-path", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: good.OldPath, NewPath: good.NewPath, Waypoint: 99, NWDst: "10.0.0.2"}},
+		}, http.StatusBadRequest, api.CodeInvalidWaypoint},
+		{"unknown-algorithm", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: good.OldPath, NewPath: good.NewPath, Algorithm: "magic", NWDst: "10.0.0.2"}},
+		}, http.StatusBadRequest, api.CodeUnknownAlgorithm},
+		{"wayup-needs-wp", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: []uint64{1, 2, 3}, NewPath: []uint64{1, 7, 8, 3}, Algorithm: "wayup", NWDst: "10.0.0.2"}},
+		}, http.StatusBadRequest, api.CodeScheduleFailed},
+		{"second-entry-invalid", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{good, {OldPath: []uint64{1}, NewPath: []uint64{1, 2}, NWDst: "10.0.0.2"}},
+		}, http.StatusBadRequest, api.CodeInvalidPath},
+		{"props-not-guaranteed", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: good.OldPath, NewPath: good.NewPath, Waypoint: 3, NWDst: "10.0.0.2",
+				Algorithm: "peacock", Properties: []string{"waypoint"}}},
+		}, http.StatusBadRequest, api.CodeScheduleFailed},
+		{"bad-update-property", "/v1/updates", api.BatchUpdateRequest{
+			Updates: []api.FlowUpdate{{OldPath: good.OldPath, NewPath: good.NewPath, NWDst: "10.0.0.2", Properties: []string{"magic"}}},
+		}, http.StatusBadRequest, api.CodeUnknownProperty},
+		{"verify-bad-property", "/v1/verify", api.VerifyRequest{
+			Updates: []api.FlowUpdate{good}, Properties: []string{"magic"},
+		}, http.StatusBadRequest, api.CodeUnknownProperty},
+		{"verify-two-phase", "/v1/verify", api.VerifyRequest{
+			Updates: []api.FlowUpdate{fig1Update("two-phase")},
+		}, http.StatusBadRequest, api.CodeScheduleFailed},
+		{"policy-bad-path", "/v1/policies", api.PolicyRequest{Path: []uint64{1}, NWDst: "10.0.0.2"}, http.StatusBadRequest, api.CodeInvalidPath},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if raw, isRaw := c.body.(string); isRaw {
+				r, err := http.Post(srv.URL+c.url, "application/json", strings.NewReader(raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				buf.ReadFrom(r.Body) //nolint:errcheck // test read
+				r.Body.Close()
+				resp, body = r, buf.Bytes()
+			} else {
+				resp, body = postJSON(t, srv.URL+c.url, c.body)
+			}
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status = %d (%s), want %d", resp.StatusCode, body, c.wantStatus)
+			}
+			var envelope api.Error
+			decodeInto(t, body, &envelope)
+			if envelope.Code != c.wantCode || envelope.Message == "" {
+				t.Fatalf("envelope = %+v, want code %d", envelope, c.wantCode)
+			}
+		})
+	}
+
+	// Atomic validation: the second-entry-invalid case must not have
+	// submitted its valid first entry.
+	var jobs []api.JobStatus
+	if code := getJSON(t, srv.URL+"/v1/updates", &jobs); code != http.StatusOK || len(jobs) != 0 {
+		t.Fatalf("invalid batch leaked jobs: %v", jobs)
+	}
+
+	// Job lookup errors.
+	if code := getJSON(t, srv.URL+"/v1/updates/999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/updates/abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad job id code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/updates/999/watch", nil); code != http.StatusNotFound {
+		t.Fatalf("watch unknown job code %d", code)
+	}
+}
+
+// TestV1BatchAdmissionAtomic pins the admission contract: a batch
+// larger than the engine's remaining capacity is rejected whole — no
+// prefix of it leaks into execution.
+func TestV1BatchAdmissionAtomic(t *testing.T) {
+	_, srv := restTestbed(t)
+	big := make([]api.FlowUpdate, 200) // maxAdmitted is 128
+	for i := range big {
+		big[i] = fig1Update("")
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/updates", api.BatchUpdateRequest{Updates: big})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("oversized batch: %d %s", resp.StatusCode, body)
+	}
+	var envelope api.Error
+	decodeInto(t, body, &envelope)
+	if envelope.Code != api.CodeQueueFull {
+		t.Fatalf("code = %d, want %d", envelope.Code, api.CodeQueueFull)
+	}
+	var jobs []api.JobStatus
+	if code := getJSON(t, srv.URL+"/v1/updates", &jobs); code != http.StatusOK || len(jobs) != 0 {
+		t.Fatalf("rejected batch leaked %d jobs", len(jobs))
+	}
+}
+
+// TestV1UpdateProperties pins that a per-update property selection
+// reaches the scheduler: sequential scheduled for strong loop freedom
+// reports it in its guarantees.
+func TestV1UpdateProperties(t *testing.T) {
+	_, srv := restTestbed(t)
+	u := fig1Update("sequential")
+	u.Properties = []string{"no-blackhole", "strong-lf"}
+	resp, body := postJSON(t, srv.URL+"/v1/updates", api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{u},
+		DryRun:  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dry-run: %d %s", resp.StatusCode, body)
+	}
+	var br api.BatchUpdateResponse
+	decodeInto(t, body, &br)
+	if g := br.Updates[0].Guarantees; !strings.Contains(g, "StrongLoopFreedom") {
+		t.Fatalf("guarantees = %q, want StrongLoopFreedom included", g)
+	}
+}
+
+// TestV1WatchStreamsRounds reads the raw SSE stream: every round
+// event arrives in order, each as an `event:` line plus a `data:`
+// JSON payload, and the stream terminates with a done event.
+func TestV1WatchStreamsRounds(t *testing.T) {
+	_, srv := restTestbed(t)
+	resp, body := postJSON(t, srv.URL+"/v1/updates", api.BatchUpdateRequest{
+		Updates:  []api.FlowUpdate{fig1Update("")},
+		Interval: 10, // ms between rounds: keeps the job alive while we attach
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var br api.BatchUpdateResponse
+	decodeInto(t, body, &br)
+	id := br.Updates[0].ID
+
+	res, err := http.Get(fmt.Sprintf("%s/v1/updates/%d/watch", srv.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("watch status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var rounds []int
+	var terminal string
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var ev api.WatchEvent
+		decodeInto(t, []byte(strings.TrimPrefix(line, "data:")), &ev)
+		switch ev.Type {
+		case api.EventRound:
+			rounds = append(rounds, ev.Round.Round)
+		case api.EventDone, api.EventFailed:
+			terminal = ev.Type
+		}
+	}
+	if terminal != api.EventDone {
+		t.Fatalf("terminal event = %q (rounds %v)", terminal, rounds)
+	}
+	if len(rounds) != len(br.Updates[0].Rounds) {
+		t.Fatalf("saw %d round events, want %d", len(rounds), len(br.Updates[0].Rounds))
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("rounds out of order: %v", rounds)
+		}
+	}
+}

@@ -30,6 +30,16 @@ import (
 // the trade the update literature attributes to Reitblatt et al.'s
 // two-phase mechanism.
 func (e *Engine) SubmitTwoPhase(in *core.Instance, match openflow.Match, tag uint16, opts SubmitOptions) (*Job, error) {
+	rounds, err := e.buildTwoPhaseRounds(in, match, tag, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.enqueue("two-phase", rounds, opts.Interval)
+}
+
+// buildTwoPhaseRounds materializes the prepare/commit(/cleanup) rounds
+// without admitting anything.
+func (e *Engine) buildTwoPhaseRounds(in *core.Instance, match openflow.Match, tag uint16, opts SubmitOptions) ([]execRound, error) {
 	if tag == openflow.VLANNone {
 		return nil, fmt.Errorf("controller: tag 0x%04x is reserved for untagged traffic", openflow.VLANNone)
 	}
@@ -81,5 +91,5 @@ func (e *Engine) SubmitTwoPhase(in *core.Instance, match openflow.Match, tag uin
 			rounds = append(rounds, r)
 		}
 	}
-	return e.enqueue("two-phase", rounds, opts.Interval)
+	return rounds, nil
 }

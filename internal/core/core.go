@@ -22,7 +22,10 @@
 // instances.
 package core
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // Property is a bit set of transient-consistency properties. Properties
 // are checked on every reachable intermediate state of a schedule.
@@ -71,4 +74,33 @@ func (p Property) String() string {
 		}
 	}
 	return strings.Join(parts, "|")
+}
+
+// ParseProperty maps a wire/CLI property name ("no-blackhole",
+// "waypoint", "relaxed-lf", "strong-lf") to its Property bit.
+func ParseProperty(name string) (Property, error) {
+	switch strings.TrimSpace(name) {
+	case "no-blackhole":
+		return NoBlackhole, nil
+	case "waypoint":
+		return WaypointEnforcement, nil
+	case "relaxed-lf":
+		return RelaxedLoopFreedom, nil
+	case "strong-lf":
+		return StrongLoopFreedom, nil
+	}
+	return 0, fmt.Errorf("core: unknown property %q", name)
+}
+
+// ParseProperties folds a list of property names into one bit set.
+func ParseProperties(names []string) (Property, error) {
+	var p Property
+	for _, n := range names {
+		bit, err := ParseProperty(n)
+		if err != nil {
+			return 0, err
+		}
+		p |= bit
+	}
+	return p, nil
 }

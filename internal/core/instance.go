@@ -1,11 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"tsu/internal/topo"
 )
+
+// ErrWaypoint marks waypoint-placement failures: the requested
+// waypoint is not strictly interior to both paths. API layers match it
+// with errors.Is to classify the rejection.
+var ErrWaypoint = errors.New("waypoint not strictly interior")
 
 // Instance is a single-policy update problem: replace the old path with
 // the new path, both simple paths from the same source to the same
@@ -63,7 +69,7 @@ func NewInstance(old, newPath topo.Path, waypoint topo.NodeID) (*Instance, error
 		for _, p := range []topo.Path{old, newPath} {
 			i := p.Index(waypoint)
 			if i <= 0 || i >= len(p)-1 {
-				return nil, fmt.Errorf("core: waypoint %d not strictly interior to path %v", waypoint, p)
+				return nil, fmt.Errorf("core: waypoint %d not strictly interior to path %v: %w", waypoint, p, ErrWaypoint)
 			}
 		}
 	}

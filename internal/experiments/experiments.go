@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"time"
 
+	"tsu/internal/api"
+	"tsu/internal/client"
 	"tsu/internal/controller"
 	"tsu/internal/core"
 	"tsu/internal/metrics"
@@ -35,11 +38,15 @@ const FlowIP = "10.0.0.2"
 // FlowNWDst is FlowIP as a wire-order integer.
 const FlowNWDst uint32 = 0x0a000002
 
-// Bed is a live deployment: controller plus a full fleet of simulated
-// switches over loopback TCP.
+// Bed is a live deployment: controller (OpenFlow listener plus the
+// /v1 REST API over loopback TCP), a full fleet of simulated switches,
+// and a typed API client. All update traffic runs through Client, the
+// same way external operators drive the system.
 type Bed struct {
 	Ctrl   *controller.Controller
 	Fabric *switchsim.Fabric
+	Client *client.Client
+	rest   *http.Server
 	cancel context.CancelFunc
 	graph  *topo.Graph
 }
@@ -91,11 +98,26 @@ func NewBed(g *topo.Graph, cfg BedConfig) (*Bed, error) {
 		cancel()
 		return nil, err
 	}
-	return &Bed{Ctrl: ctrl, Fabric: fabric, cancel: cancel, graph: g}, nil
+	ln, err := new(net.ListenConfig).Listen(ctx, "tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	rest := &http.Server{Handler: ctrl.RESTHandler()}
+	go rest.Serve(ln) //nolint:errcheck // closed by Bed.Close
+	return &Bed{
+		Ctrl:   ctrl,
+		Fabric: fabric,
+		Client: client.New("http://" + ln.Addr().String()),
+		rest:   rest,
+		cancel: cancel,
+		graph:  g,
+	}, nil
 }
 
 // Close tears the deployment down.
 func (b *Bed) Close() {
+	b.rest.Close() //nolint:errcheck // shutdown path
 	b.cancel()
 	for _, n := range b.graph.Nodes() {
 		if sw := b.Fabric.Switch(n); sw != nil {
@@ -107,8 +129,8 @@ func (b *Bed) Close() {
 // Match returns the demo flow's match.
 func Match() openflow.Match { return openflow.ExactNWDst(net.ParseIP(FlowIP)) }
 
-// InstallOldPolicy programs the old path (delivering to host when the
-// destination switch has one attached).
+// InstallOldPolicy programs the old path through the REST API
+// (delivering to host when the destination switch has one attached).
 func (b *Bed) InstallOldPolicy(path topo.Path) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -119,21 +141,38 @@ func (b *Bed) InstallOldPolicy(path topo.Path) error {
 			break
 		}
 	}
-	return b.Ctrl.InstallPath(ctx, path, Match(), host)
+	return b.Client.InstallPolicy(ctx, api.PolicyRequest{Path: api.FromPath(path), NWDst: FlowIP, Host: host})
 }
 
-// RunUpdate executes the schedule and waits for completion.
-func (b *Bed) RunUpdate(in *core.Instance, sched *core.Schedule, interval time.Duration) (*controller.Job, error) {
-	job, err := b.Ctrl.Engine().Submit(in, sched, Match(), interval)
+// RunUpdateAlgorithm submits the update through the API client by
+// algorithm name (any registry name or "two-phase", the way an
+// external client names it — the server computes the schedule) and
+// waits for completion. The returned status carries the
+// server-measured per-round and total barrier timings.
+func (b *Bed) RunUpdateAlgorithm(in *core.Instance, algorithm string, interval time.Duration) (*api.JobStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	resp, err := b.Client.SubmitBatch(ctx, api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{{
+			OldPath:   api.FromPath(in.Old),
+			NewPath:   api.FromPath(in.New),
+			Waypoint:  uint64(in.Waypoint),
+			Algorithm: algorithm,
+			NWDst:     FlowIP,
+		}},
+		Interval: int(interval.Milliseconds()),
+	})
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
-	defer cancel()
-	if err := job.Wait(ctx); err != nil {
+	st, err := b.Client.Wait(ctx, resp.Updates[0].ID)
+	if err != nil {
 		return nil, err
 	}
-	return job, nil
+	if st.State != "done" {
+		return nil, fmt.Errorf("experiments: job %d failed: %s", st.ID, st.Error)
+	}
+	return st, nil
 }
 
 // fig1Bed builds a bed on the Figure 1 topology with the old policy
@@ -184,7 +223,7 @@ func E1Fig1(seed int64) (*metrics.Table, error) {
 			Interval: 50 * time.Microsecond,
 		})
 		stop := prober.Start(context.Background())
-		job, err := bed.RunUpdate(in, sched, 0)
+		job, err := bed.RunUpdateAlgorithm(in, sched.Algorithm, 0)
 		if err != nil {
 			stop()
 			bed.Close()
@@ -235,13 +274,13 @@ func E2UpdateTime(reps int, seed int64) (*metrics.Table, error) {
 					return nil, err
 				}
 				rounds = sched.NumRounds()
-				job, err := bed.RunUpdate(in, sched, 0)
+				job, err := bed.RunUpdateAlgorithm(in, sched.Algorithm, 0)
 				if err != nil {
 					bed.Close()
 					return nil, err
 				}
 				total.Record(job.TotalDuration())
-				for _, rt := range job.Timings() {
+				for _, rt := range job.Rounds {
 					perRound.Record(rt.Duration())
 				}
 				bed.Close()
@@ -392,7 +431,7 @@ func E6UpdateTimeVsN(seed int64) (*metrics.Table, error) {
 			bed.Close()
 			return nil, err
 		}
-		job, err := bed.RunUpdate(in, sched, 0)
+		job, err := bed.RunUpdateAlgorithm(in, sched.Algorithm, 0)
 		if err != nil {
 			bed.Close()
 			return nil, err
@@ -439,7 +478,7 @@ func E7JitterDose(seed int64) (*metrics.Table, error) {
 					Interval: 50 * time.Microsecond,
 				})
 				stop := prober.Start(context.Background())
-				if _, err := bed.RunUpdate(in, sched, 0); err != nil {
+				if _, err := bed.RunUpdateAlgorithm(in, sched.Algorithm, 0); err != nil {
 					stop()
 					bed.Close()
 					return nil, err

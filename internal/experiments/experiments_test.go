@@ -42,7 +42,7 @@ func TestBedLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := bed.RunUpdate(in, sched, 0)
+	job, err := bed.RunUpdateAlgorithm(in, sched.Algorithm, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
