@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet test bench bench-smoke build
+.PHONY: ci fmt vet test test-determinism bench bench-smoke fuzz-smoke build
 
-ci: fmt vet test
+ci: fmt vet test test-determinism
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,18 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=10x -run '^$$' .
 
+# Same seed => same explorer verdicts and event logs; -count=2 defeats
+# test caching so the explorer-determinism tests actually run twice.
+test-determinism:
+	$(GO) test -run Explore -count=2 ./...
+
 # One iteration of every benchmark in the repo: catches benchmark rot
 # without paying for a measurement run.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Ten seconds of coverage-guided fuzzing per fuzz target: the OpenFlow
+# wire decoder and the explorer's trace replay/minimization.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/openflow
+	$(GO) test -run '^$$' -fuzz '^FuzzExploreTrace$$' -fuzztime=10s ./internal/explore

@@ -354,6 +354,27 @@ func BenchmarkE9MultiPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkE10VirtualFatTree runs the 10k-switch fat-tree update
+// scenario (200 random reroutes, peacock vs one-shot, per-event
+// transient-security checks) entirely under the virtual clock. The
+// acceptance bar is < 5s wall-clock per run with a reproducible event
+// count — the scale the discrete-event simulator unlocks over the TCP
+// testbed.
+func BenchmarkE10VirtualFatTree(b *testing.B) {
+	events := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E10VirtualFatTree(90, 200, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if events != 0 && events != res.Events {
+			b.Fatalf("event count not reproducible: %d vs %d", events, res.Events)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
 // BenchmarkWalkBitset measures the forwarding walk on the dense bitset
 // state core against an equivalent map-based walker (the seed's State
 // representation), with half the pending switches flipped. The bitset

@@ -9,15 +9,21 @@
 // The library lives under internal/:
 //
 //   - internal/core      — update model and schedulers (the paper's contribution)
-//   - internal/verify    — exact transient-state verification
+//   - internal/verify    — exact transient-state verification (fast safe/unsafe verdicts)
+//   - internal/explore   — adversarial interleaving explorer: exhaustive/sampled
+//     FlowMod delivery orders, per-event checks, minimized counterexample
+//     traces, timed virtual-clock replay
+//   - internal/simclock  — virtual time base: Clock interface, Sim discrete-event
+//     scheduler with deterministic (time, seq) ordering and AutoAdvance
 //   - internal/topo      — topologies, update families, the Figure 1 scenario
 //   - internal/openflow  — OpenFlow 1.0-subset wire protocol
 //   - internal/ofconn    — framing, handshake, xid management
-//   - internal/switchsim — simulated switches and data-plane fabric
-//   - internal/netem     — control-channel asynchrony models
-//   - internal/controller— the controller: rounds, barriers, REST API
-//   - internal/trace     — live probe/violation measurement
-//   - internal/experiments — the experiment harness (E1..E9)
+//   - internal/switchsim — simulated switches and data-plane fabric (clock-parameterized)
+//   - internal/netem     — control-channel asynchrony models on a pluggable clock
+//   - internal/controller— the controller: rounds, barriers, REST API (/v1/verify
+//     and /v1/explore are the dry-run surfaces)
+//   - internal/trace     — live probe/violation measurement (wall or virtual clock)
+//   - internal/experiments — the experiment harness (E1..E10)
 //
 // See README.md for the package tour and quickstart. The benchmarks in
 // bench_test.go regenerate every experiment table.

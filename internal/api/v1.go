@@ -214,6 +214,74 @@ type VerifyResponse struct {
 	Results []VerifyResult `json:"results"`
 }
 
+// ExploreRequest is the body of POST /v1/explore: plan the batch and
+// run the adversarial interleaving explorer against every schedule —
+// a pure dry run, nothing reaches the switches. Where /v1/verify
+// answers "is this schedule safe?", /v1/explore answers "show me the
+// FlowMod delivery trace that breaks it": it enumerates every
+// delivery interleaving of small rounds (exhaustively, a proof) and
+// samples seeded uniform plus heavy-tail-biased delivery orders for
+// large ones, checking transient security after every single event.
+type ExploreRequest struct {
+	Updates []FlowUpdate `json:"updates"`
+	// Properties to check after every event: "no-blackhole",
+	// "waypoint", "relaxed-lf", "strong-lf". The same precedence as
+	// /v1/verify applies: per-update properties, then this set, then
+	// the schedule's own guarantees (one-shot gets the consistent
+	// schedulers' properties, so the dry run shows what breaks).
+	Properties []string `json:"properties,omitempty"`
+	// MaxExhaustive bounds the round size explored exhaustively
+	// (0 = explorer default, 12; capped at 20).
+	MaxExhaustive int `json:"max_exhaustive,omitempty"`
+	// Samples is the number of delivery orders replayed per
+	// larger-than-exhaustive round (0 = explorer default, 256).
+	Samples int `json:"samples,omitempty"`
+	// Seed makes sampled exploration reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// TraceEvent is one FlowMod taking effect at one switch.
+type TraceEvent struct {
+	Round  int    `json:"round"`
+	Switch uint64 `json:"switch"`
+}
+
+// TraceViolation is a found counterexample: a minimized FlowMod
+// delivery trace whose replay violates a property.
+type TraceViolation struct {
+	Round    int    `json:"round"`
+	Property string `json:"property"`
+	// Trace is the minimized delivery sequence: replaying exactly
+	// these events after the earlier rounds still violates, and
+	// dropping any single event makes it pass.
+	Trace []TraceEvent `json:"trace"`
+	Walk  []uint64     `json:"walk"`
+	// Updated lists the violating state's in-flight switches.
+	Updated []uint64 `json:"updated,omitempty"`
+}
+
+// ExploreResult is one flow's exploration verdict.
+type ExploreResult struct {
+	Algorithm  string     `json:"algorithm"`
+	Rounds     [][]uint64 `json:"rounds"`
+	Guarantees string     `json:"guarantees"`
+	Properties string     `json:"properties"` // what was actually checked
+	OK         bool       `json:"ok"`
+	// Exhaustive: every round's full interleaving space was covered
+	// (the verdict is a proof); otherwise sampled orders were replayed.
+	Exhaustive bool `json:"exhaustive"`
+	// Events counts per-event property checks performed.
+	Events    int             `json:"events"`
+	Violation *TraceViolation `json:"violation,omitempty"`
+}
+
+// ExploreResponse answers POST /v1/explore. OK is the conjunction
+// over all results.
+type ExploreResponse struct {
+	OK      bool            `json:"ok"`
+	Results []ExploreResult `json:"results"`
+}
+
 // PolicyRequest installs a complete routing policy along a path
 // (POST /v1/policies): every switch forwards the flow to its
 // successor; the final switch delivers to the named host when set.

@@ -190,6 +190,22 @@ func (c *Client) Verify(ctx context.Context, req api.VerifyRequest) (*api.Verify
 	return &resp, nil
 }
 
+// Explore plans the batch and runs the adversarial interleaving
+// explorer against every schedule without touching the switches
+// (POST /v1/explore): every FlowMod delivery interleaving of small
+// rounds is checked exhaustively, large rounds are sampled with
+// seeded uniform and heavy-tail-biased delivery orders, and
+// violations come back as minimized event traces. Use Verify for a
+// fast safe/unsafe verdict; use Explore when you need the concrete
+// delivery order that breaks a schedule.
+func (c *Client) Explore(ctx context.Context, req api.ExploreRequest) (*api.ExploreResponse, error) {
+	var resp api.ExploreResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/explore", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Job fetches one job's status (GET /v1/updates/{id}).
 func (c *Client) Job(ctx context.Context, id int) (*api.JobStatus, error) {
 	var st api.JobStatus

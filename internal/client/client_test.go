@@ -147,6 +147,61 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientExplore round-trips the adversarial interleaving explorer
+// through the wire: the one-shot baseline on a path-reversal instance
+// must come back with the transient loop as a minimized delivery
+// trace, while the safe peacock schedule on the same instance is clean
+// — both verdicts proved exhaustively, both reproducible via the seed.
+func TestClientExplore(t *testing.T) {
+	_, c := gridBed(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	reversal := api.FlowUpdate{
+		OldPath: []uint64{1, 2, 3, 4, 5, 6},
+		NewPath: []uint64{1, 5, 4, 3, 2, 6},
+		NWDst:   "10.0.0.6",
+	}
+	unsafe, safe := reversal, reversal
+	unsafe.Algorithm = "oneshot"
+	safe.Algorithm = "peacock"
+
+	resp, err := c.Explore(ctx, api.ExploreRequest{
+		Updates:    []api.FlowUpdate{unsafe, safe},
+		Properties: []string{"relaxed-lf", "no-blackhole"},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || len(resp.Results) != 2 {
+		t.Fatalf("explore = %+v", resp)
+	}
+	one := resp.Results[0]
+	if one.OK || !one.Exhaustive || one.Violation == nil {
+		t.Fatalf("one-shot result = %+v", one)
+	}
+	if len(one.Violation.Trace) != 1 || one.Violation.Trace[0].Switch != 5 {
+		t.Fatalf("minimized trace = %+v, want the single event at switch 5", one.Violation.Trace)
+	}
+	if one.Violation.Property != "RelaxedLoopFreedom" {
+		t.Fatalf("violated property = %q", one.Violation.Property)
+	}
+	if peacock := resp.Results[1]; !peacock.OK || !peacock.Exhaustive || peacock.Events == 0 {
+		t.Fatalf("peacock result = %+v", peacock)
+	}
+
+	// Unknown property names surface as the structured error.
+	_, err = c.Explore(ctx, api.ExploreRequest{
+		Updates:    []api.FlowUpdate{safe},
+		Properties: []string{"nonsense"},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnknownProperty {
+		t.Fatalf("explore with bad property = %v, want CodeUnknownProperty", err)
+	}
+}
+
 func TestClientErrorPaths(t *testing.T) {
 	_, c := gridBed(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -33,6 +33,7 @@ import (
 
 	"tsu/internal/ofconn"
 	"tsu/internal/openflow"
+	"tsu/internal/simclock"
 	"tsu/internal/topo"
 )
 
@@ -53,6 +54,14 @@ type Config struct {
 	// of the paper's demo.
 	EngineWorkers int
 
+	// Clock is the time base for round timings and inter-round pauses.
+	// Nil selects the wall clock; a simclock.Sim (driven by
+	// Sim.AutoAdvance, with the switches on the same clock) runs
+	// updates in virtual time — barriers still synchronize on real
+	// message acks, but every modelled latency and every reported
+	// RoundTiming elapses on the virtual clock.
+	Clock simclock.Clock
+
 	// Logger receives lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -61,6 +70,7 @@ type Config struct {
 type Controller struct {
 	cfg    Config
 	ports  *topo.PortMap
+	clock  simclock.Clock
 	logger *slog.Logger
 
 	mu        sync.Mutex
@@ -100,6 +110,7 @@ func New(cfg Config) (*Controller, error) {
 	c := &Controller{
 		cfg:       cfg,
 		ports:     topo.NewPortMap(cfg.Topology),
+		clock:     simclock.Or(cfg.Clock),
 		logger:    cfg.Logger,
 		datapaths: make(map[uint64]*datapath),
 	}

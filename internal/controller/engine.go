@@ -621,7 +621,7 @@ func (e *Engine) fail(job *Job, err error) {
 	job.mu.Lock()
 	job.state = JobFailed
 	job.err = err
-	job.finished = time.Now()
+	job.finished = e.c.clock.Now()
 	publishLocked(job, JobEvent{State: JobFailed, Err: err})
 	job.mu.Unlock()
 	close(job.done)
@@ -637,7 +637,7 @@ func (e *Engine) fail(job *Job, err error) {
 func (e *Engine) execute(ctx context.Context, job *Job) {
 	job.mu.Lock()
 	job.state = JobRunning
-	job.started = time.Now()
+	job.started = e.c.clock.Now()
 	job.mu.Unlock()
 
 	for roundIdx, round := range job.rounds {
@@ -646,7 +646,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 			Round:    roundIdx,
 			Switches: switches,
 			Cleanup:  round.cleanup,
-			Started:  time.Now(),
+			Started:  e.c.clock.Now(),
 		}
 
 		// 1. Send every FlowMod of the round.
@@ -680,7 +680,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 			}
 		}
 		cancel()
-		timing.Finished = time.Now()
+		timing.Finished = e.c.clock.Now()
 
 		job.mu.Lock()
 		job.timings = append(job.timings, timing)
@@ -689,7 +689,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 
 		if job.Interval > 0 && roundIdx+1 < len(job.rounds) {
 			select {
-			case <-time.After(job.Interval):
+			case <-e.c.clock.After(job.Interval):
 			case <-ctx.Done():
 				e.fail(job, ctx.Err())
 				return
@@ -699,7 +699,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 
 	job.mu.Lock()
 	job.state = JobDone
-	job.finished = time.Now()
+	job.finished = e.c.clock.Now()
 	publishLocked(job, JobEvent{State: JobDone})
 	job.mu.Unlock()
 	close(job.done)

@@ -102,6 +102,7 @@ func (c *Controller) RESTHandler() http.Handler {
 	mux.HandleFunc("GET /v1/updates/{id}", c.handleV1JobStatus)
 	mux.HandleFunc("GET /v1/updates/{id}/watch", c.handleV1Watch)
 	mux.HandleFunc("POST /v1/verify", c.handleV1Verify)
+	mux.HandleFunc("POST /v1/explore", c.handleV1Explore)
 	mux.HandleFunc("POST /v1/policies", c.handleV1Policies)
 	mux.HandleFunc("GET /v1/healthz", c.handleV1Healthz)
 	mux.HandleFunc("GET /v1/switches", c.handleSwitches)

@@ -6,11 +6,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tsu/internal/api"
 	"tsu/internal/core"
+	"tsu/internal/explore"
 	"tsu/internal/openflow"
 	"tsu/internal/topo"
 	"tsu/internal/verify"
@@ -24,6 +28,7 @@ import (
 //	GET  /v1/updates/{id}     job status
 //	GET  /v1/updates/{id}/watch  round-by-round progress as SSE
 //	POST /v1/verify           schedule + verify without touching switches
+//	POST /v1/explore          schedule + adversarial interleaving explorer
 //	POST /v1/policies         install a routing policy along a path
 //	GET  /v1/healthz          ops probe (switches, queue depth)
 //	GET  /v1/switches         connected datapath ids
@@ -382,25 +387,7 @@ func (c *Controller) handleV1Verify(w http.ResponseWriter, r *http.Request) {
 				"updates[%d]: two-phase has no round schedule to verify", i))
 			return
 		}
-		// Check-target precedence: the entry's own properties, then the
-		// request-level set, then the schedule's guarantees.
-		props := p.Props
-		if props == 0 {
-			props = reqProps
-		}
-		if props == 0 {
-			props = p.Sched.Guarantees
-		}
-		if props == 0 {
-			// One-shot guarantees nothing; check it against what the
-			// consistent schedulers provide, so the dry run shows what
-			// would break.
-			props = core.NoBlackhole | core.RelaxedLoopFreedom
-			if p.In.Waypoint != 0 {
-				props |= core.WaypointEnforcement
-			}
-		}
-		tasks = append(tasks, verify.Task{Instance: p.In, Schedule: p.Sched, Props: props})
+		tasks = append(tasks, verify.Task{Instance: p.In, Schedule: p.Sched, Props: checkProps(p, reqProps)})
 	}
 	reports := verify.Batch(tasks, verify.Options{Samples: req.Samples, Seed: req.Seed})
 	resp := api.VerifyResponse{OK: true, Results: make([]api.VerifyResult, 0, len(reports))}
@@ -426,6 +413,126 @@ func (c *Controller) handleV1Verify(w http.ResponseWriter, r *http.Request) {
 				}
 				break
 			}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkProps resolves the property set a dry-run endpoint checks for
+// one planned update. Precedence: the entry's own properties, then the
+// request-level set, then the schedule's guarantees; schedules that
+// guarantee nothing (one-shot) are checked against what the consistent
+// schedulers provide, so the dry run shows what would break.
+func checkProps(p *plannedUpdate, reqProps core.Property) core.Property {
+	props := p.Props
+	if props == 0 {
+		props = reqProps
+	}
+	if props == 0 {
+		props = p.Sched.Guarantees
+	}
+	if props == 0 {
+		props = core.NoBlackhole | core.RelaxedLoopFreedom
+		if p.In.Waypoint != 0 {
+			props |= core.WaypointEnforcement
+		}
+	}
+	return props
+}
+
+// handleV1Explore plans the batch and runs the adversarial
+// interleaving explorer against every schedule — like /v1/verify a
+// pure dry run, but answering with minimized FlowMod delivery traces
+// instead of a bare verdict (see internal/explore for the
+// order/state duality that makes the exhaustive mode a proof).
+func (c *Controller) handleV1Explore(w http.ResponseWriter, r *http.Request) {
+	var req api.ExploreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeInvalidJSON, "invalid JSON: %v", err))
+		return
+	}
+	plans, err := planBatch(api.BatchUpdateRequest{Updates: req.Updates}, true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	reqProps, err := core.ParseProperties(req.Properties)
+	if err != nil {
+		writeErr(w, errf(http.StatusBadRequest, api.CodeUnknownProperty, "%v", err))
+		return
+	}
+	for i, p := range plans {
+		if p.Sched == nil {
+			writeErr(w, errf(http.StatusBadRequest, api.CodeScheduleFailed,
+				"updates[%d]: two-phase has no round schedule to explore", i))
+			return
+		}
+	}
+	// Fan the per-update explorations over the CPUs (like verify.Batch
+	// does for the sibling endpoint); each exploration is independent
+	// and deterministic, so results merge back in index order.
+	reps := make([]*explore.Report, len(plans))
+	errs := make([]error, len(plans))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for range workers {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plans) {
+					return
+				}
+				p := plans[i]
+				reps[i], errs[i] = explore.Schedule(p.In, p.Sched, explore.Options{
+					Props:         checkProps(p, reqProps),
+					MaxExhaustive: req.MaxExhaustive,
+					Samples:       req.Samples,
+					Seed:          req.Seed,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// The schedule came from the server's own planner; a
+			// structural mismatch here is a server bug, not bad input.
+			writeErr(w, errf(http.StatusInternalServerError, api.CodeInternal, "updates[%d]: %v", i, err))
+			return
+		}
+	}
+	resp := api.ExploreResponse{OK: true, Results: make([]api.ExploreResult, 0, len(plans))}
+	for i, p := range plans {
+		rep := reps[i]
+		res := api.ExploreResult{
+			Algorithm:  p.Algo,
+			Rounds:     api.FromRounds(p.Sched.Rounds),
+			Guarantees: p.Sched.Guarantees.String(),
+			Properties: rep.Properties.String(),
+			OK:         rep.OK(),
+			Exhaustive: rep.Exhaustive(),
+			Events:     rep.Events(),
+		}
+		if v := rep.FirstViolation(); v != nil {
+			resp.OK = false
+			tv := &api.TraceViolation{
+				Round:    v.Round,
+				Property: v.Violated.String(),
+				Trace:    make([]api.TraceEvent, 0, len(v.Trace)),
+				Walk:     api.FromPath(v.Walk),
+				Updated:  api.FromPath(topo.Path(v.Updated)),
+			}
+			for _, e := range v.Trace {
+				tv.Trace = append(tv.Trace, api.TraceEvent{Round: e.Round, Switch: uint64(e.Switch)})
+			}
+			res.Violation = tv
 		}
 		resp.Results = append(resp.Results, res)
 	}

@@ -191,6 +191,44 @@ func TestE6UpdateTimeVsNSmall(t *testing.T) {
 	}
 }
 
+// TestE10VirtualFatTreeExploreReproducible runs the 10k-switch
+// virtual-time scenario twice with the same seed and requires the
+// identical event count — the reproducibility contract of the virtual
+// clock (and the reason E10 can exist at all: the same scenario over
+// TCP would take hours). The shape assertions pin the experiment's
+// point: one-shot crosses violating transient states at datacenter
+// scale, peacock never does.
+func TestE10VirtualFatTreeExploreReproducible(t *testing.T) {
+	const (
+		k        = 90 // 10125 switches
+		policies = 64
+		seed     = 11
+	)
+	r1, err := E10VirtualFatTree(k, policies, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := E10VirtualFatTree(k, policies, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Switches != 10125 {
+		t.Fatalf("FatTree(90) has %d switches, want 10125", r1.Switches)
+	}
+	if r1.Events != r2.Events || r1.Events == 0 {
+		t.Fatalf("event count not reproducible: %d vs %d", r1.Events, r2.Events)
+	}
+	if rows := tableRows(t, r1.Table.String()); len(rows) != 2 {
+		t.Fatalf("rows = %v, want 2 (peacock, oneshot)", rows)
+	}
+	if v := r1.Violations[core.AlgoPeacock]; v != 0 {
+		t.Fatalf("peacock crossed %d violating transient states", v)
+	}
+	if v := r1.Violations[core.AlgoOneShot]; v == 0 {
+		t.Fatal("one-shot crossed zero violating transient states across 64 reroutes — the adversary vanished")
+	}
+}
+
 func TestMatchAndConstants(t *testing.T) {
 	m := Match()
 	if m.NWDstIP().String() != FlowIP {

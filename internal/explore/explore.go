@@ -1,0 +1,453 @@
+// Package explore is the adversarial interleaving explorer: for a
+// schedule and instance it plays the paper's adversary — the
+// asynchronous control channel that delivers a round's FlowMods in any
+// order — and checks transient security (loop freedom, waypoint
+// enforcement, blackhole freedom) after every single delivery event,
+// reporting minimized counterexample event traces.
+//
+// # Order/state duality
+//
+// Within one round, barriers constrain nothing: the adversary picks an
+// arbitrary delivery order, and a property is violated iff some
+// *prefix* of some order produces a violating rule state. The rule
+// state after a prefix is exactly the set of switches delivered so
+// far, so the states reachable by all orders of a round R on top of
+// the completed set D are exactly {D ∪ S : S ⊆ R}. Exhaustively
+// checking every subset therefore covers every delivery order of the
+// round — n! orders collapse to 2^n states. The explorer enumerates
+// those subsets in ascending size for small rounds (the first hit is a
+// minimum-size counterexample) and falls back to sampling delivery
+// orders for large ones: seeded uniform permutations plus
+// heavy-tail-biased orders, where per-switch delivery times are drawn
+// from a bounded Pareto distribution (the PAM'15 rule-install stall
+// model) and the order is their sort — the adversary the paper's
+// measurements say hardware actually implements.
+//
+// explore complements internal/verify: verify answers "is this
+// schedule safe?" as fast as possible (branching walk search, subset
+// sampling); explore answers "show me the event trace that breaks it"
+// — it produces ordered, minimized delivery traces suitable for
+// replay, plus per-event coverage counters, and its timed mode replays
+// a schedule on a simclock.Sim under sampled latency distributions so
+// a 10k-switch scenario runs in virtual time with a reproducible event
+// count.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/netem"
+	"tsu/internal/topo"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Props is the property set checked after every event. Zero
+	// selects the schedule's own guarantees; for schedules that
+	// guarantee nothing (one-shot) it selects blackhole + relaxed loop
+	// freedom, plus waypoint enforcement when the instance has a
+	// waypoint — the explorer's purpose being to show what the
+	// baseline breaks.
+	Props core.Property
+
+	// MaxExhaustive bounds the round size explored exhaustively (all
+	// 2^n reachable states, ascending by size). Larger rounds are
+	// sampled. Default 12; capped at 20.
+	MaxExhaustive int
+
+	// Samples is the number of delivery orders drawn per sampled
+	// round. Default 256.
+	Samples int
+
+	// HeavyTailBias is the fraction of sampled orders whose delivery
+	// times are drawn from the heavy-tailed install-latency model
+	// (sorted by time) rather than uniform permutations. Default 0.5.
+	HeavyTailBias float64
+
+	// Seed pins the sampling RNG; exploration is deterministic in
+	// (Seed, Options).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxExhaustive <= 0 {
+		o.MaxExhaustive = 12
+	}
+	if o.MaxExhaustive > 20 {
+		o.MaxExhaustive = 20
+	}
+	if o.Samples <= 0 {
+		o.Samples = 256
+	}
+	if o.HeavyTailBias <= 0 {
+		o.HeavyTailBias = 0.5
+	}
+	if o.HeavyTailBias > 1 {
+		o.HeavyTailBias = 1
+	}
+	return o
+}
+
+// defaultProps resolves the checked property set (see Options.Props).
+func defaultProps(in *core.Instance, s *core.Schedule, props core.Property) core.Property {
+	if props != 0 {
+		return props
+	}
+	if s.Guarantees != 0 {
+		return s.Guarantees
+	}
+	p := core.NoBlackhole | core.RelaxedLoopFreedom
+	if in.Waypoint != 0 {
+		p |= core.WaypointEnforcement
+	}
+	return p
+}
+
+// Event is one FlowMod taking effect: switch Switch's rule flips from
+// old to new during round Round.
+type Event struct {
+	Round  int
+	Switch topo.NodeID
+}
+
+// Trace is an ordered sequence of delivery events.
+type Trace []Event
+
+// Switches lists the trace's switches in delivery order.
+func (t Trace) Switches() []topo.NodeID {
+	out := make([]topo.NodeID, len(t))
+	for i, e := range t {
+		out[i] = e.Switch
+	}
+	return out
+}
+
+func (t Trace) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range t {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "r%d:%d", e.Round, e.Switch)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Violation is a found counterexample: a minimized delivery trace
+// whose replay (on top of the completed earlier rounds) produces a
+// rule state violating Violated.
+type Violation struct {
+	// Round is the in-flight round the adversary attacked.
+	Round int
+	// Violated is the property set broken by the minimized trace's
+	// final state.
+	Violated core.Property
+	// Trace is the minimized delivery sequence: replaying exactly
+	// these events after rounds < Round still violates, and dropping
+	// any single event does not (1-minimality).
+	Trace Trace
+	// Walk is the offending forwarding walk in the violating state.
+	Walk topo.Path
+	// Updated lists the violating state's in-flight switches
+	// (ascending) — the set view of Trace.
+	Updated []topo.NodeID
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("violation{round %d, %s, trace %s, walk %v}", v.Round, v.Violated, v.Trace, v.Walk)
+}
+
+// RoundReport is the exploration verdict for one round.
+type RoundReport struct {
+	Round int
+	Size  int
+	// Exhaustive: every reachable intra-round state was checked (the
+	// verdict is a proof); otherwise Orders sampled orders were
+	// replayed event by event.
+	Exhaustive bool
+	// States counts distinct rule states checked (exhaustive mode).
+	States int
+	// Orders counts delivery orders replayed (sampled mode).
+	Orders int
+	// Events counts per-event property checks performed in this round.
+	Events int
+	// Violation is the minimized counterexample, nil when none found.
+	Violation *Violation
+}
+
+// Report is the outcome of exploring a schedule.
+type Report struct {
+	Algorithm  string
+	Properties core.Property
+	Rounds     []RoundReport
+}
+
+// OK reports whether no interleaving violated the checked properties.
+func (r *Report) OK() bool {
+	for _, rr := range r.Rounds {
+		if rr.Violation != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Exhaustive reports whether every round was explored exhaustively.
+func (r *Report) Exhaustive() bool {
+	for _, rr := range r.Rounds {
+		if !rr.Exhaustive {
+			return false
+		}
+	}
+	return true
+}
+
+// Events returns the total number of per-event property checks.
+func (r *Report) Events() int {
+	n := 0
+	for _, rr := range r.Rounds {
+		n += rr.Events
+	}
+	return n
+}
+
+// FirstViolation returns the earliest round's counterexample, or nil.
+func (r *Report) FirstViolation() *Violation {
+	for _, rr := range r.Rounds {
+		if rr.Violation != nil {
+			return rr.Violation
+		}
+	}
+	return nil
+}
+
+// Fingerprint renders the full verdict — per-round mode, coverage
+// counters and minimized traces — as one canonical string. Two
+// explorations with equal fingerprints made identical decisions; the
+// determinism tests compare these across runs.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s props=%s\n", r.Algorithm, r.Properties)
+	for _, rr := range r.Rounds {
+		fmt.Fprintf(&b, "round=%d size=%d exhaustive=%t states=%d orders=%d events=%d",
+			rr.Round, rr.Size, rr.Exhaustive, rr.States, rr.Orders, rr.Events)
+		if v := rr.Violation; v != nil {
+			fmt.Fprintf(&b, " violation=%s trace=%s walk=%v", v.Violated, v.Trace, v.Walk)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *Report) String() string {
+	if r.OK() {
+		mode := "sampled"
+		if r.Exhaustive() {
+			mode = "exhaustive"
+		}
+		return fmt.Sprintf("explore %s %s: ok (%s, %d rounds, %d events)",
+			r.Algorithm, r.Properties, mode, len(r.Rounds), r.Events())
+	}
+	return fmt.Sprintf("explore %s %s: FAIL (%v)", r.Algorithm, r.Properties, r.FirstViolation())
+}
+
+// Schedule explores every round of s against the adversary and
+// returns the per-round verdicts. The schedule must fit the instance.
+func Schedule(in *core.Instance, s *core.Schedule, opts Options) (*Report, error) {
+	if err := s.Validate(in); err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	opts = opts.withDefaults()
+	props := defaultProps(in, s, opts.Props)
+	rep := &Report{Algorithm: s.Algorithm, Properties: props, Rounds: make([]RoundReport, 0, len(s.Rounds))}
+	done := in.NewState()
+	for i, round := range s.Rounds {
+		rr := exploreRound(in, done, i, round, props, opts)
+		rep.Rounds = append(rep.Rounds, rr)
+		in.Mark(done, round...)
+	}
+	return rep, nil
+}
+
+// exploreRound attacks one round: exhaustive subset enumeration when
+// it fits the budget, sampled delivery orders otherwise.
+func exploreRound(in *core.Instance, done core.State, roundIdx int, round []topo.NodeID, props core.Property, opts Options) RoundReport {
+	rr := RoundReport{Round: roundIdx, Size: len(round)}
+	if len(round) <= opts.MaxExhaustive {
+		rr.Exhaustive = true
+		exploreExhaustive(in, done, roundIdx, round, props, &rr)
+		return rr
+	}
+	exploreSampled(in, done, roundIdx, round, props, opts, &rr)
+	return rr
+}
+
+// exploreExhaustive checks every subset of round in ascending size
+// (then ascending bitmask) order, so the first violating subset found
+// has minimum size — a minimized counterexample by construction. The
+// reported trace delivers that subset in round order.
+func exploreExhaustive(in *core.Instance, done core.State, roundIdx int, round []topo.NodeID, props core.Property, rr *RoundReport) {
+	n := len(round)
+	check := func(m uint32) bool {
+		st := in.CloneState(done)
+		var trace Trace
+		for i, v := range round {
+			if m&(1<<i) != 0 {
+				in.Mark(st, v)
+				trace = append(trace, Event{Round: roundIdx, Switch: v})
+			}
+		}
+		rr.States++
+		rr.Events++
+		if violated := in.CheckState(st, props); violated != 0 {
+			walk, _ := in.Walk(st)
+			rr.Violation = &Violation{
+				Round:    roundIdx,
+				Violated: violated,
+				Trace:    trace,
+				Walk:     walk,
+				Updated:  in.StateNodes(in.StateOf(trace.Switches()...)),
+			}
+			return true
+		}
+		return false
+	}
+	// Per subset size, walk the k-subsets in ascending mask order via
+	// Gosper's hack — the same (size, mask) order a sort would give,
+	// with no materialized mask slice.
+	for k := 0; k <= n; k++ {
+		if k == 0 {
+			if check(0) {
+				return
+			}
+			continue
+		}
+		last := uint32(1<<n) - uint32(1<<(n-k)) // highest k-bit mask below 2^n
+		for m := uint32(1<<k) - 1; ; {
+			if check(m) {
+				return
+			}
+			if m == last {
+				break
+			}
+			c := m & -m
+			r := m + c
+			m = (((r ^ m) >> 2) / c) | r
+		}
+	}
+}
+
+// exploreSampled replays sampled delivery orders of round event by
+// event. The first opts.Samples×HeavyTailBias orders are
+// heavy-tail-biased (delivery time per switch from a bounded Pareto,
+// order = time sort), the rest uniform permutations; all orders derive
+// from opts.Seed and the round index alone. The first violating prefix
+// is minimized before reporting.
+func exploreSampled(in *core.Instance, done core.State, roundIdx int, round []topo.NodeID, props core.Property, opts Options, rr *RoundReport) {
+	rng := rand.New(rand.NewSource(opts.Seed ^ (int64(roundIdx)+1)*0x5851F42D4C957F2D))
+	heavy := int(float64(opts.Samples) * opts.HeavyTailBias)
+	tail := netem.Pareto{Scale: time.Millisecond, Alpha: 1.1, Cap: 500 * time.Millisecond}
+	order := make([]topo.NodeID, len(round))
+	// The empty prefix (no event delivered yet) is common to every
+	// order; check it once.
+	rr.Events++
+	if violated := in.CheckState(done, props); violated != 0 {
+		walk, _ := in.Walk(done)
+		rr.Violation = &Violation{Round: roundIdx, Violated: violated, Trace: Trace{}, Walk: walk}
+		return
+	}
+	for s := 0; s < opts.Samples; s++ {
+		copy(order, round)
+		if s < heavy {
+			// Heavy-tail adversary: one stalled switch delivers long
+			// after the rest — the orders real switches produce.
+			type delivery struct {
+				node topo.NodeID
+				at   time.Duration
+			}
+			ds := make([]delivery, len(order))
+			for i, v := range order {
+				ds[i] = delivery{node: v, at: tail.Sample(rng)}
+			}
+			sort.SliceStable(ds, func(a, b int) bool { return ds[a].at < ds[b].at })
+			for i, d := range ds {
+				order[i] = d.node
+			}
+		} else {
+			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		}
+		rr.Orders++
+		st := in.CloneState(done)
+		trace := make(Trace, 0, len(order))
+		for _, v := range order {
+			in.Mark(st, v)
+			trace = append(trace, Event{Round: roundIdx, Switch: v})
+			rr.Events++
+			if violated := in.CheckState(st, props); violated != 0 {
+				min, minViolated := Minimize(in, done, trace, props)
+				walk := violatingWalk(in, done, min)
+				rr.Violation = &Violation{
+					Round:    roundIdx,
+					Violated: minViolated,
+					Trace:    min,
+					Walk:     walk,
+					Updated:  in.StateNodes(in.StateOf(min.Switches()...)),
+				}
+				return
+			}
+		}
+	}
+}
+
+// violatingWalk returns the forwarding walk in the state reached by
+// replaying trace on top of done.
+func violatingWalk(in *core.Instance, done core.State, trace Trace) topo.Path {
+	st := in.CloneState(done)
+	for _, e := range trace {
+		in.Mark(st, e.Switch)
+	}
+	walk, _ := in.Walk(st)
+	return walk
+}
+
+// Minimize shrinks a violating trace to a 1-minimal one: replaying the
+// result on top of done still violates props, and removing any single
+// event makes it pass. It returns the minimized trace and the property
+// set its replay violates (which may differ from the original trace's
+// — shrinking a loop can surface a blackhole first). The input trace
+// must violate; Minimize returns it unchanged (with its violation set)
+// when it somehow does not.
+func Minimize(in *core.Instance, done core.State, trace Trace, props core.Property) (Trace, core.Property) {
+	replay := func(tr Trace) core.Property {
+		st := in.CloneState(done)
+		for _, e := range tr {
+			in.Mark(st, e.Switch)
+		}
+		return in.CheckState(st, props)
+	}
+	cur := append(Trace(nil), trace...)
+	violated := replay(cur)
+	if violated == 0 {
+		return cur, 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make(Trace, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if v := replay(cand); v != 0 {
+				cur, violated, changed = cand, v, true
+				break
+			}
+		}
+	}
+	return cur, violated
+}

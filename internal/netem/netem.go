@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"tsu/internal/simclock"
 )
 
 // Latency is a samplable delay distribution.
@@ -117,15 +119,25 @@ func (p Pareto) String() string {
 }
 
 // Source is a mutex-guarded seeded random source usable from many
-// goroutines (switches sample concurrently).
+// goroutines (switches sample concurrently). Delays elapse on the
+// source's clock: the wall clock by default, or a simclock.Sim so that
+// sampled latencies cost virtual instead of wall-clock time.
 type Source struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu    sync.Mutex
+	rng   *rand.Rand
+	clock simclock.Clock
 }
 
-// NewSource returns a deterministic source for the seed.
+// NewSource returns a deterministic source for the seed, sleeping on
+// the wall clock.
 func NewSource(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	return NewSourceClock(seed, nil)
+}
+
+// NewSourceClock returns a deterministic source whose Sleep elapses on
+// the given clock (nil selects the wall clock).
+func NewSourceClock(seed int64, c simclock.Clock) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed)), clock: simclock.Or(c)}
 }
 
 // Sample draws from dist using the guarded RNG.
@@ -145,11 +157,12 @@ func (s *Source) Int63n(n int64) int64 {
 	return s.rng.Int63n(n)
 }
 
-// Sleep samples dist and sleeps that long (no-op for zero delays).
+// Sleep samples dist and sleeps that long on the source's clock (no-op
+// for zero delays).
 func (s *Source) Sleep(dist Latency) time.Duration {
 	d := s.Sample(dist)
 	if d > 0 {
-		time.Sleep(d)
+		s.clock.Sleep(d)
 	}
 	return d
 }

@@ -5,18 +5,26 @@ import (
 	"fmt"
 )
 
-// Hello opens the connection; both sides send it first.
+// Hello opens the connection; both sides send it first. OpenFlow 1.0
+// peers may append hello elements; they are preserved verbatim so a
+// decoded hello re-encodes to its exact wire form (this subset never
+// interprets them).
 type Hello struct {
 	xid
+	Elements []byte
 }
 
 // MsgType returns TypeHello.
-func (*Hello) MsgType() MsgType        { return TypeHello }
-func (*Hello) bodyLen() int            { return 0 }
-func (*Hello) encodeBody([]byte) error { return nil }
-func (*Hello) decodeBody(b []byte) error {
-	// OpenFlow 1.0 peers may append hello elements; tolerate and
-	// ignore any trailing body.
+func (*Hello) MsgType() MsgType { return TypeHello }
+func (h *Hello) bodyLen() int   { return len(h.Elements) }
+func (h *Hello) encodeBody(b []byte) error {
+	copy(b, h.Elements)
+	return nil
+}
+func (h *Hello) decodeBody(b []byte) error {
+	if len(b) > 0 {
+		h.Elements = append([]byte(nil), b...)
+	}
 	return nil
 }
 

@@ -46,6 +46,25 @@ type FlowEntry struct {
 type FlowTable struct {
 	mu      sync.RWMutex
 	entries []*FlowEntry
+	nowFn   func() time.Time // nil = time.Now (wall clock)
+}
+
+// SetNow points the table's entry timestamps (install time, last hit)
+// at a different time source — a simclock's Now for virtual-time
+// simulations. Call before the table is in use.
+func (t *FlowTable) SetNow(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nowFn = now
+}
+
+// now reads the table's time source. Caller must hold t.mu (read or
+// write).
+func (t *FlowTable) now() time.Time {
+	if t.nowFn != nil {
+		return t.nowFn()
+	}
+	return time.Now()
 }
 
 // Len returns the number of installed entries.
@@ -99,7 +118,7 @@ func (t *FlowTable) Apply(fm *openflow.FlowMod) *openflow.Error {
 }
 
 func (t *FlowTable) insertLocked(fm *openflow.FlowMod) {
-	now := time.Now()
+	now := t.now()
 	t.entries = append(t.entries, &FlowEntry{
 		Match:       fm.Match,
 		Priority:    fm.Priority,
@@ -143,7 +162,7 @@ func (t *FlowTable) LookupKey(k openflow.PacketKey, packetBytes uint64) (actions
 		if e.Match.CoversKey(k) {
 			e.PacketCount++
 			e.ByteCount += packetBytes
-			e.lastHit = time.Now()
+			e.lastHit = t.now()
 			return e.Actions, true
 		}
 	}
@@ -187,7 +206,7 @@ func (e *FlowEntry) Age(now time.Time) time.Duration { return now.Sub(e.installe
 func (t *FlowTable) Stats() []openflow.FlowStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	now := time.Now()
+	now := t.now()
 	out := make([]openflow.FlowStats, 0, len(t.entries))
 	for _, e := range t.entries {
 		age := e.Age(now)

@@ -14,6 +14,7 @@ import (
 	"tsu/internal/netem"
 	"tsu/internal/ofconn"
 	"tsu/internal/openflow"
+	"tsu/internal/simclock"
 	"tsu/internal/topo"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// selects one second.
 	TimeoutUnit time.Duration
 
+	// Clock is the time base for latencies, flow-entry timestamps and
+	// timeout expiry. Nil selects the wall clock; a simclock.Sim puts
+	// the whole switch on virtual time (its latencies then elapse only
+	// when the simulation advances). When Source is also set, the
+	// source's own clock wins for latency sleeps.
+	Clock simclock.Clock
+
 	// Logger receives connection lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -70,6 +78,7 @@ type Switch struct {
 	fabric *Fabric
 	table  *FlowTable
 	src    *netem.Source
+	clock  simclock.Clock
 	logger *slog.Logger
 
 	flowModsApplied atomic.Uint64
@@ -84,19 +93,23 @@ type Switch struct {
 
 // NewSwitch creates a switch and registers it on the fabric.
 func NewSwitch(f *Fabric, cfg Config) (*Switch, error) {
+	clock := simclock.Or(cfg.Clock)
 	src := cfg.Source
 	if src == nil {
-		src = netem.NewSource(int64(cfg.Node))
+		src = netem.NewSourceClock(int64(cfg.Node), clock)
 	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	table := &FlowTable{}
+	table.SetNow(clock.Now)
 	s := &Switch{
 		cfg:    cfg,
 		fabric: f,
-		table:  &FlowTable{},
+		table:  table,
 		src:    src,
+		clock:  clock,
 		logger: logger.With("dpid", uint64(cfg.Node)),
 	}
 	if err := f.register(s); err != nil {
@@ -207,13 +220,14 @@ func (s *Switch) expiryLoop(ctx context.Context, conn *ofconn.Conn) {
 	if period > time.Second {
 		period = time.Second
 	}
-	ticker := time.NewTicker(period)
-	defer ticker.Stop()
+	// The sweep paces itself on the switch's clock: on the wall clock
+	// this behaves like the former ticker; on a simclock.Sim the sweep
+	// fires as virtual time crosses each period boundary.
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case now := <-ticker.C:
+		case now := <-s.clock.After(period):
 			expired, reasons := s.table.ExpireEntries(now, unit)
 			for i, e := range expired {
 				if e.Flags&openflow.FlagSendFlowRem == 0 {

@@ -120,39 +120,43 @@ func fatTreeRoute(rng *rand.Rand, g *Graph, src, dst NodeID) (Path, error) {
 		a := shared[rng.Intn(len(shared))]
 		return Path{src, a, dst}, nil
 	}
-	for tries := 0; tries < 64; tries++ {
-		up := srcAggs[rng.Intn(len(srcAggs))]
-		down := dstAggs[rng.Intn(len(dstAggs))]
-		cores := intersect(coresOf(g, up), coresOf(g, down))
-		if len(cores) == 0 {
-			continue
+	// Pick the upward aggregation switch and one of its cores, then
+	// derive the unique downward aggregation switch attached to that
+	// core in the destination pod — every (up, core) pair yields a
+	// valid route, so no rejection sampling is needed (at k=90 two
+	// independently drawn aggs share a core group only 1 time in 45).
+	up := srcAggs[rng.Intn(len(srcAggs))]
+	cores := coresOf(g, up)
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("topo: aggregation switch %d has no core uplinks", up)
+	}
+	c := cores[rng.Intn(len(cores))]
+	dstSet := make(map[NodeID]bool, len(dstAggs))
+	for _, a := range dstAggs {
+		dstSet[a] = true
+	}
+	for _, down := range g.Neighbors(c) {
+		if dstSet[down] {
+			return Path{src, up, c, down, dst}, nil
 		}
-		c := cores[rng.Intn(len(cores))]
-		return Path{src, up, c, down, dst}, nil
 	}
 	return nil, fmt.Errorf("topo: no valley-free route %d→%d", src, dst)
 }
 
 // coresOf returns an aggregation switch's core uplinks. An aggregation
-// switch neighbors only cores and its pod's edge switches; cores carry
-// no hosts (and, under this package's numbering, have smaller IDs).
+// switch neighbors only cores and its own pod's edge switches, and
+// under this package's numbering every core ID is smaller than every
+// aggregation ID while every same-pod edge ID is larger — so the ID
+// comparison alone separates them (no host scan; this runs on
+// 10k-switch fabrics).
 func coresOf(g *Graph, aggSwitch NodeID) []NodeID {
 	var out []NodeID
 	for _, n := range g.Neighbors(aggSwitch) {
-		if n < aggSwitch && !hasHost(g, n) {
+		if n < aggSwitch {
 			out = append(out, n)
 		}
 	}
 	return out
-}
-
-func hasHost(g *Graph, n NodeID) bool {
-	for _, h := range g.Hosts() {
-		if h.Attach == n {
-			return true
-		}
-	}
-	return false
 }
 
 func intersect(a, b []NodeID) []NodeID {

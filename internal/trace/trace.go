@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"tsu/internal/simclock"
 	"tsu/internal/switchsim"
 	"tsu/internal/topo"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	Interval time.Duration
 	// TTL is the hop budget per probe (default 4× topology size).
 	TTL int
+	// Clock paces the probes. Nil selects the wall clock; a
+	// simclock.Sim makes probing elapse in virtual time (pair Run with
+	// another goroutine advancing the clock, or use ScheduleOn for the
+	// fully deterministic event-driven form).
+	Clock simclock.Clock
 }
 
 // Stats aggregates probe outcomes. Bypasses counts probes that reached
@@ -69,6 +75,7 @@ func NewProber(f *switchsim.Fabric, cfg Config) *Prober {
 	if cfg.TTL <= 0 {
 		cfg.TTL = 4 * f.Graph().NumNodes()
 	}
+	cfg.Clock = simclock.Or(cfg.Clock)
 	return &Prober{fabric: f, cfg: cfg}
 }
 
@@ -101,14 +108,18 @@ func (p *Prober) Probe() switchsim.ProbeResult {
 }
 
 // Run injects probes every Interval until ctx is done and returns the
-// accumulated stats. Tickers and time.Sleep both coalesce to the
+// accumulated stats, pacing itself on the prober's clock. On a virtual
+// clock every interval is slept exactly (the simulation advances it).
+// On the wall clock, tickers and time.Sleep both coalesce to the
 // runtime/kernel timer resolution (about a millisecond), which would
-// starve sub-millisecond probe rates of samples; short intervals are
-// therefore paced by yielding the processor between probes while
+// starve sub-millisecond probe rates of samples; short real intervals
+// are therefore paced by yielding the processor between probes while
 // watching the wall clock.
 func (p *Prober) Run(ctx context.Context) Stats {
 	const sleepFloor = 200 * time.Microsecond
-	next := time.Now()
+	clock := p.cfg.Clock
+	_, virtual := clock.(*simclock.Sim)
+	next := clock.Now()
 	for {
 		select {
 		case <-ctx.Done():
@@ -117,14 +128,42 @@ func (p *Prober) Run(ctx context.Context) Stats {
 		}
 		p.Probe()
 		next = next.Add(p.cfg.Interval)
-		if p.cfg.Interval >= sleepFloor {
-			time.Sleep(time.Until(next))
+		if virtual || p.cfg.Interval >= sleepFloor {
+			// Wait through the clock but stay cancellable: on a
+			// virtual clock a bare Sleep would park until somebody
+			// advances the sim, which may never happen once the
+			// driver shuts down.
+			if d := next.Sub(clock.Now()); d > 0 {
+				select {
+				case <-ctx.Done():
+					return p.Stats()
+				case <-clock.After(d):
+				}
+			}
 			continue
 		}
-		for time.Now().Before(next) {
+		for clock.Now().Before(next) {
 			runtime.Gosched()
 		}
 	}
+}
+
+// ScheduleOn runs the prober in event-driven form on a virtual clock:
+// one probe event every Interval, from the sim's current instant until
+// `until` (inclusive start, exclusive end). The probes fire inside the
+// sim's event loop in deterministic (time, seq) order against every
+// other scheduled event — this is the form the reproducibility tests
+// and the virtual experiment harness use. ScheduleOn returns
+// immediately; drive the sim and then read Stats.
+func (p *Prober) ScheduleOn(sim *simclock.Sim, until time.Time) {
+	var tick func()
+	tick = func() {
+		p.Probe()
+		if sim.Now().Add(p.cfg.Interval).Before(until) {
+			sim.Schedule(p.cfg.Interval, tick)
+		}
+	}
+	sim.Schedule(0, tick)
 }
 
 // Start launches Run in a goroutine; the returned stop function halts
