@@ -1,6 +1,7 @@
 GO ?= go
+BENCHTIME ?= 3x
 
-.PHONY: ci fmt vet test test-determinism bench bench-smoke fuzz-smoke build
+.PHONY: ci fmt vet test test-determinism bench bench-json bench-smoke fuzz-smoke build
 
 ci: fmt vet test test-determinism
 
@@ -24,8 +25,23 @@ bench:
 
 # Same seed => same explorer verdicts and event logs; -count=2 defeats
 # test caching so the explorer-determinism tests actually run twice.
+# The second pass runs under the race detector: the parallel explorer
+# (Workers > 1) must stay bit-identical and race-free.
 test-determinism:
 	$(GO) test -run Explore -count=2 ./...
+	$(GO) test -run Explore -count=2 -race ./...
+
+# Machine-readable benchmark trajectory: run every benchmark with
+# -benchmem and emit BENCH_4.json (name -> ns/op, allocs/op, domain
+# metrics) for future PRs to diff against. No pipe on the `go test`
+# line: a benchmark failure must fail the target, not vanish into
+# tee's exit status (bench.out is left behind for debugging).
+bench-json:
+	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_4.json < bench.out
+	@rm -f bench.out
+	@echo "wrote BENCH_4.json"
 
 # One iteration of every benchmark in the repo: catches benchmark rot
 # without paying for a measurement run.

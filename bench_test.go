@@ -299,6 +299,18 @@ func BenchmarkE8Codec(b *testing.B) {
 			}
 		}
 	})
+	b.Run("encode-pooled", func(b *testing.B) {
+		// The live deployment path: AppendTo into a cycled buffer
+		// (ofconn's wire pool) — zero allocations in steady state.
+		b.ReportAllocs()
+		buf := make([]byte, 0, 256)
+		for i := 0; i < b.N; i++ {
+			var err error
+			if buf, err = openflow.AppendTo(buf[:0], fm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	wire, err := openflow.Encode(fm)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into the repository's BENCH_*.json trajectory format: one
+// entry per benchmark mapping its name to ns/op, B/op, allocs/op, and
+// every domain metric the benchmark reported via b.ReportMetric
+// (violations/op, rounds, events, states, ...). Future PRs diff these
+// files to see the perf trajectory.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -out BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. B/op and allocs/op
+// are pointers so a recorded zero — the zero-alloc steady states this
+// repository pins — is distinguishable from -benchmem being absent.
+type Result struct {
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     *float64           `json:"b_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted JSON document.
+type File struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	f := File{
+		Schema:     "tsu-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]Result{},
+	}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, res, err := parseBenchLine(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+			continue
+		}
+		res.Package = pkg
+		key := name
+		if _, dup := f.Benchmarks[key]; dup && pkg != "" {
+			key = pkg + ":" + name
+		}
+		f.Benchmarks[key] = res
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(f, "", "  ") // map keys marshal sorted: stable diffs
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc) //nolint:errcheck // stdout
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 …`
+// line into its name and measurements. The trailing `-P` GOMAXPROCS
+// suffix is stripped from the name: keys must match across machines
+// with different core counts, or trajectory diffs would silently
+// compare nothing.
+func parseBenchLine(line string) (string, Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", Result{}, fmt.Errorf("want 'name iters (value unit)+', got %d fields", len(fields))
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BPerOp = ptr(v)
+		case "allocs/op":
+			res.AllocsOp = ptr(v)
+		case "MB/s":
+			// throughput: keep under its own metric name
+			metric(&res, "mb_per_s", v)
+		default:
+			metric(&res, unit, v)
+		}
+	}
+	return name, res, nil
+}
+
+func metric(r *Result, name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+}
+
+func ptr(v float64) *float64 { return &v }

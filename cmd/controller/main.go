@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,10 +33,11 @@ func main() {
 
 func run() error {
 	var (
-		topoSpec = flag.String("topo", "fig1", "topology spec (fig1, linear:N, ring:N, grid:RxC, reversal:N, staircase:N, nested:N)")
-		listen   = flag.String("listen", "127.0.0.1:6633", "OpenFlow listen address")
-		httpAddr = flag.String("http", "127.0.0.1:8080", "REST API listen address")
-		verbose  = flag.Bool("v", false, "verbose logging")
+		topoSpec  = flag.String("topo", "fig1", "topology spec (fig1, linear:N, ring:N, grid:RxC, reversal:N, staircase:N, nested:N)")
+		listen    = flag.String("listen", "127.0.0.1:6633", "OpenFlow listen address")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "REST API listen address")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
@@ -62,6 +64,28 @@ func run() error {
 		return err
 	}
 	fmt.Printf("controller: OpenFlow on %s, topology %s (%d switches)\n", ofAddr, *topoSpec, g.NumNodes())
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated (usually loopback-only)
+		// address: profiling never rides on the public REST listener.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: mux}
+		go func() {
+			<-ctx.Done()
+			psrv.Close() //nolint:errcheck // shutdown path
+		}()
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "controller: pprof:", err)
+			}
+		}()
+		fmt.Printf("controller: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	srv := &http.Server{Addr: *httpAddr, Handler: ctrl.RESTHandler()}
 	go func() {

@@ -8,12 +8,18 @@
 //	experiments            # run everything
 //	experiments -run E4    # one experiment
 //	experiments -seed 7    # change the deterministic seed
+//
+// Hot-path regressions are diagnosable in-repo: -cpuprofile / -memprofile
+// write pprof profiles of the run (go tool pprof <file>), and the
+// controller binary exposes /debug/pprof behind its -pprof flag.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -34,12 +40,50 @@ var descriptions = map[string]string{
 }
 
 func main() {
+	// realMain keeps the profile-flushing defers ahead of os.Exit,
+	// which would otherwise skip them.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		run  = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		seed = flag.Int64("seed", 1, "deterministic seed")
-		reps = flag.Int("reps", 3, "repetitions for timing experiments")
+		run        = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		reps       = flag.Int("reps", 3, "repetitions for timing experiments")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close() //nolint:errcheck // profile already flushed
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close() //nolint:errcheck // best-effort profile
+			runtime.GC()    // materialize the post-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	runners := map[string]func() (*metrics.Table, error){
 		"E1": func() (*metrics.Table, error) { return experiments.E1Fig1(*seed) },
@@ -63,7 +107,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			if _, ok := runners[id]; !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9; E8 is the codec benchmark: go test -bench=E8)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -83,6 +127,7 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

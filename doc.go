@@ -8,11 +8,15 @@
 //
 // The library lives under internal/:
 //
-//   - internal/core      — update model and schedulers (the paper's contribution)
+//   - internal/core      — update model and schedulers (the paper's contribution);
+//     core.Walker is the incremental, allocation-free state-check primitive
+//     under the explorer and verifier
 //   - internal/verify    — exact transient-state verification (fast safe/unsafe verdicts)
-//   - internal/explore   — adversarial interleaving explorer: exhaustive/sampled
-//     FlowMod delivery orders, per-event checks, minimized counterexample
-//     traces, timed virtual-clock replay
+//   - internal/explore   — adversarial interleaving explorer: exhaustive
+//     Gray-code enumeration with incremental walks and a transposition
+//     table, sampled FlowMod delivery orders, per-event checks, minimized
+//     counterexample traces, parallel rounds with deterministic merge,
+//     timed virtual-clock replay
 //   - internal/simclock  — virtual time base: Clock interface, Sim discrete-event
 //     scheduler with deterministic (time, seq) ordering and AutoAdvance
 //   - internal/topo      — topologies, update families, the Figure 1 scenario
@@ -25,6 +29,9 @@
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
 //   - internal/experiments — the experiment harness (E1..E10)
 //
-// See README.md for the package tour and quickstart. The benchmarks in
+// See README.md for the package tour, quickstart, and the Performance
+// section (incremental-walk design, Gray-code/order-state duality,
+// memo-table memory bounds, and how to read the BENCH_*.json
+// trajectory emitted by `make bench-json`). The benchmarks in
 // bench_test.go regenerate every experiment table.
 package tsu

@@ -231,7 +231,7 @@ type ExploreRequest struct {
 	// schedulers' properties, so the dry run shows what breaks).
 	Properties []string `json:"properties,omitempty"`
 	// MaxExhaustive bounds the round size explored exhaustively
-	// (0 = explorer default, 12; capped at 20).
+	// (0 = explorer default, 18; capped at 20).
 	MaxExhaustive int `json:"max_exhaustive,omitempty"`
 	// Samples is the number of delivery orders replayed per
 	// larger-than-exhaustive round (0 = explorer default, 256).

@@ -490,11 +490,15 @@ func (c *Controller) handleV1Explore(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				p := plans[i]
+				// Workers: 1 — this loop already fans out across
+				// updates; nesting explore's own round pool would
+				// oversubscribe the CPUs.
 				reps[i], errs[i] = explore.Schedule(p.In, p.Sched, explore.Options{
 					Props:         checkProps(p, reqProps),
 					MaxExhaustive: req.MaxExhaustive,
 					Samples:       req.Samples,
 					Seed:          req.Seed,
+					Workers:       1,
 				})
 			}
 		}()

@@ -1,0 +1,52 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"tsu/internal/topo"
+)
+
+// TestWalkAllocs pins the forwarding-walk allocation budget:
+// Instance.Walk allocates exactly the returned path (≤ 1 alloc), and
+// the Walker's incremental Flip/Check cycle allocates nothing — the
+// hot loops of the explorer and verifier run allocation-free.
+func TestWalkAllocs(t *testing.T) {
+	ti := topo.Reversal(64)
+	in := MustInstance(ti.Old, ti.New, 0)
+	pending := in.Pending()
+	st := in.StateOf(pending[:len(pending)/2]...)
+
+	if got := testing.AllocsPerRun(200, func() {
+		in.Walk(st)
+	}); got > 1 {
+		t.Fatalf("Instance.Walk = %.1f allocs/op, want <= 1 (the returned path)", got)
+	}
+
+	props := NoBlackhole | RelaxedLoopFreedom | StrongLoopFreedom
+	w := in.NewWalker()
+	w.Reset(nil)
+	i := in.NodeIndex(pending[len(pending)/2])
+	if got := testing.AllocsPerRun(200, func() {
+		w.Flip(i)
+		w.Check(props)
+		w.Flip(i)
+		w.Check(props)
+	}); got != 0 {
+		t.Fatalf("Walker Flip+Check = %.1f allocs/op, want 0", got)
+	}
+
+	rc := NewRoundChecker()
+	s, err := Peacock(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := in.NewState()
+	rc.Check(in, done, s.Rounds[0], NoBlackhole|RelaxedLoopFreedom, 0) // warm the buffers
+	if got := testing.AllocsPerRun(200, func() {
+		rc.Check(in, done, s.Rounds[0], NoBlackhole|RelaxedLoopFreedom, 0)
+	}); got != 0 {
+		t.Fatalf("RoundChecker.Check (safe round) = %.1f allocs/op, want 0", got)
+	}
+}

@@ -117,8 +117,29 @@ func (in *Instance) RoundSafeStrongLF(done State, round []topo.NodeID) bool {
 // exhausted before the search completed (no violation found so far).
 //
 // CheckRound is read-only on the instance and safe to call from
-// concurrent goroutines (the parallel verifier does).
+// concurrent goroutines (the parallel verifier does). It allocates
+// fresh scratch per call; loops that check many rounds should reuse a
+// RoundChecker instead.
 func (in *Instance) CheckRound(done State, round []topo.NodeID, props Property, budget int) (cex *CounterExample, exact bool) {
+	return NewRoundChecker().Check(in, done, round, props, budget)
+}
+
+// RoundChecker is reusable scratch for CheckRound's branching subset
+// search: the four per-search bitsets and the walk stack live in one
+// backing array that grows to the largest instance seen and is zeroed —
+// not reallocated — between calls. One RoundChecker per worker
+// goroutine; it is not safe for concurrent use.
+type RoundChecker struct {
+	c   roundChecker
+	buf State // backing array for the four scratch bitsets
+}
+
+// NewRoundChecker returns an empty checker; buffers are sized on first
+// use.
+func NewRoundChecker() *RoundChecker { return &RoundChecker{} }
+
+// Check is CheckRound on this checker's scratch buffers.
+func (rc *RoundChecker) Check(in *Instance, done State, round []topo.NodeID, props Property, budget int) (cex *CounterExample, exact bool) {
 	if budget <= 0 {
 		budget = DefaultCheckBudget
 	}
@@ -133,17 +154,25 @@ func (in *Instance) CheckRound(done State, round []topo.NodeID, props Property, 
 		return nil, true
 	}
 	w := in.words
-	buf := make(State, 4*w) // one backing array for all four scratch bitsets
-	c := &roundChecker{
+	if cap(rc.buf) < 4*w {
+		rc.buf = make(State, 4*w)
+	}
+	rc.buf = rc.buf[:4*w]
+	for i := range rc.buf {
+		rc.buf[i] = 0
+	}
+	rc.c = roundChecker{
 		in:           in,
 		done:         done,
-		inRound:      buf[0*w : 1*w],
+		inRound:      rc.buf[0*w : 1*w],
 		props:        walkProps,
 		budget:       budget,
-		assignedMask: buf[1*w : 2*w],
-		assignedVal:  buf[2*w : 3*w],
-		onWalk:       buf[3*w : 4*w],
+		assignedMask: rc.buf[1*w : 2*w],
+		assignedVal:  rc.buf[2*w : 3*w],
+		onWalk:       rc.buf[3*w : 4*w],
+		walk:         rc.c.walk[:0], // reuse the walk stack's capacity
 	}
+	c := &rc.c
 	for _, v := range round {
 		if i, ok := in.idxOf[v]; ok && in.pendingBits.Has(int(i)) && !done.Has(int(i)) {
 			c.inRound.Set(int(i))

@@ -14,14 +14,21 @@
 // far, so the states reachable by all orders of a round R on top of
 // the completed set D are exactly {D ∪ S : S ⊆ R}. Exhaustively
 // checking every subset therefore covers every delivery order of the
-// round — n! orders collapse to 2^n states. The explorer enumerates
-// those subsets in ascending size for small rounds (the first hit is a
-// minimum-size counterexample) and falls back to sampling delivery
-// orders for large ones: seeded uniform permutations plus
-// heavy-tail-biased orders, where per-switch delivery times are drawn
-// from a bounded Pareto distribution (the PAM'15 rule-install stall
-// model) and the order is their sort — the adversary the paper's
-// measurements say hardware actually implements.
+// round — n! orders collapse to 2^n states. The explorer walks those
+// subsets in binary-reflected Gray-code order, in which successive
+// subsets differ by exactly one switch: each check is then an
+// incremental one-flip re-walk (core.Walker) instead of a fresh walk
+// from the source, and an ascending-(size, mask) post-pass over the
+// violating subsets recovers the same minimum-size counterexample the
+// old ascending-size enumeration reported first. Rounds larger than
+// MaxExhaustive fall back to sampling delivery orders: seeded uniform
+// permutations plus heavy-tail-biased orders, where per-switch
+// delivery times are drawn from a bounded Pareto distribution (the
+// PAM'15 rule-install stall model) and the order is their sort — the
+// adversary the paper's measurements say hardware actually implements.
+// A per-worker transposition table short-circuits states already
+// checked by another order, prefix, or round, and rounds themselves
+// fan out over Options.Workers with a deterministic merge.
 //
 // explore complements internal/verify: verify answers "is this
 // schedule safe?" as fast as possible (branching walk search, subset
@@ -35,9 +42,13 @@ package explore
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tsu/internal/core"
@@ -56,8 +67,9 @@ type Options struct {
 	Props core.Property
 
 	// MaxExhaustive bounds the round size explored exhaustively (all
-	// 2^n reachable states, ascending by size). Larger rounds are
-	// sampled. Default 12; capped at 20.
+	// 2^n reachable states, enumerated in Gray-code order so each
+	// check is an incremental one-switch re-walk). Larger rounds are
+	// sampled. Default 18; capped at 20.
 	MaxExhaustive int
 
 	// Samples is the number of delivery orders drawn per sampled
@@ -72,11 +84,19 @@ type Options struct {
 	// Seed pins the sampling RNG; exploration is deterministic in
 	// (Seed, Options).
 	Seed int64
+
+	// Workers bounds the round-exploration worker pool. Rounds are
+	// independent work items (each round's pre-state is a function of
+	// the schedule alone), so they fan out and merge back by index;
+	// the report — including its Fingerprint — is identical for every
+	// worker count. Zero selects runtime.GOMAXPROCS(0); 1 forces
+	// serial execution.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxExhaustive <= 0 {
-		o.MaxExhaustive = 12
+		o.MaxExhaustive = 18
 	}
 	if o.MaxExhaustive > 20 {
 		o.MaxExhaustive = 20
@@ -89,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HeavyTailBias > 1 {
 		o.HeavyTailBias = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -187,6 +210,13 @@ type Report struct {
 	Algorithm  string
 	Properties core.Property
 	Rounds     []RoundReport
+
+	// MemoHits counts state checks answered from the transposition
+	// tables instead of recomputed. Verdicts are pure per state, so
+	// hits never change any result — but the count depends on how
+	// rounds were partitioned across workers, so it is diagnostic
+	// only and deliberately excluded from Fingerprint.
+	MemoHits int64
 }
 
 // OK reports whether no interleaving violated the checked properties.
@@ -260,107 +290,222 @@ func (r *Report) String() string {
 
 // Schedule explores every round of s against the adversary and
 // returns the per-round verdicts. The schedule must fit the instance.
+//
+// Rounds fan out over Options.Workers goroutines: a round's pre-state
+// is determined by the schedule alone, so rounds are independent work
+// items and their reports merge back by index — the report (and its
+// Fingerprint) is bit-identical for every worker count.
 func Schedule(in *core.Instance, s *core.Schedule, opts Options) (*Report, error) {
 	if err := s.Validate(in); err != nil {
 		return nil, fmt.Errorf("explore: %w", err)
 	}
 	opts = opts.withDefaults()
 	props := defaultProps(in, s, opts.Props)
-	rep := &Report{Algorithm: s.Algorithm, Properties: props, Rounds: make([]RoundReport, 0, len(s.Rounds))}
+	rep := &Report{Algorithm: s.Algorithm, Properties: props, Rounds: make([]RoundReport, len(s.Rounds))}
+
+	// Materialize each round's (deterministic) pre-round state.
+	dones := make([]core.State, len(s.Rounds))
 	done := in.NewState()
 	for i, round := range s.Rounds {
-		rr := exploreRound(in, done, i, round, props, opts)
-		rep.Rounds = append(rep.Rounds, rr)
+		dones[i] = in.CloneState(done)
 		in.Mark(done, round...)
 	}
+
+	workers := opts.Workers
+	if workers > len(s.Rounds) {
+		workers = len(s.Rounds)
+	}
+	var memoHits atomic.Int64
+	runWorker := func(next *atomic.Int64) {
+		sc := newScratch(in)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(s.Rounds) {
+				break
+			}
+			rep.Rounds[i] = sc.exploreRound(dones[i], i, s.Rounds[i], props, opts)
+		}
+		memoHits.Add(sc.mt.hits)
+	}
+	var next atomic.Int64
+	if workers <= 1 {
+		runWorker(&next)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				runWorker(&next)
+			}()
+		}
+		wg.Wait()
+	}
+	rep.MemoHits = memoHits.Load()
 	return rep, nil
 }
 
-// exploreRound attacks one round: exhaustive subset enumeration when
-// it fits the budget, sampled delivery orders otherwise.
-func exploreRound(in *core.Instance, done core.State, roundIdx int, round []topo.NodeID, props core.Property, opts Options) RoundReport {
+// scratch is one worker's reusable exploration context: an incremental
+// walker, a transposition table shared across all rounds the worker
+// handles, and the per-round buffers. Nothing in it escapes to the
+// report except freshly allocated violation records.
+type scratch struct {
+	in    *core.Instance
+	w     *core.Walker
+	mt    *memo
+	idx   []int         // dense node index per round element
+	order []topo.NodeID // delivery-order buffer (sampled mode)
+	ds    []delivery    // heavy-tail delivery-time buffer
+	trace Trace         // running event trace (sampled mode)
+}
+
+type delivery struct {
+	node topo.NodeID
+	at   time.Duration
+}
+
+func newScratch(in *core.Instance) *scratch {
+	return &scratch{in: in, w: in.NewWalker(), mt: newMemo(in)}
+}
+
+// check evaluates props in the walker's current state, through the
+// transposition table: a state seen before — by another order, another
+// prefix, or another round — is answered from the table.
+func (sc *scratch) check(props core.Property) core.Property {
+	if v, ok := sc.mt.lookup(sc.w.State()); ok {
+		return v
+	}
+	v := sc.w.Check(props)
+	sc.mt.store(sc.w.State(), v)
+	return v
+}
+
+// memoExhaustiveMax bounds the round size whose exhaustive scan feeds
+// the transposition table. Within one Gray-code scan every state is
+// distinct — the enumeration itself is the transposition across the
+// round's n! delivery orders — so the table only pays off across
+// rounds and sampled replays; populating it with 2^n entries from a
+// large round would cost more in inserts and memory than cross-round
+// hits recover. Small rounds (the common case for the consistent
+// schedulers) stay in the table; large ones check directly.
+const memoExhaustiveMax = 12
+
+// exploreRound attacks one round: exhaustive Gray-code enumeration
+// when it fits the budget, sampled delivery orders otherwise.
+func (sc *scratch) exploreRound(done core.State, roundIdx int, round []topo.NodeID, props core.Property, opts Options) RoundReport {
 	rr := RoundReport{Round: roundIdx, Size: len(round)}
 	if len(round) <= opts.MaxExhaustive {
 		rr.Exhaustive = true
-		exploreExhaustive(in, done, roundIdx, round, props, &rr)
+		sc.exploreExhaustive(done, roundIdx, round, props, &rr)
 		return rr
 	}
-	exploreSampled(in, done, roundIdx, round, props, opts, &rr)
+	sc.exploreSampled(done, roundIdx, round, props, opts, &rr)
 	return rr
 }
 
-// exploreExhaustive checks every subset of round in ascending size
-// (then ascending bitmask) order, so the first violating subset found
-// has minimum size — a minimized counterexample by construction. The
-// reported trace delivers that subset in round order.
-func exploreExhaustive(in *core.Instance, done core.State, roundIdx int, round []topo.NodeID, props core.Property, rr *RoundReport) {
+// grayVisit enumerates all 2^n n-bit masks in binary-reflected
+// Gray-code order: gray(k) = k XOR k>>1, and successive masks differ
+// in exactly one bit — bit trailingZeros(k) on step k. visit receives
+// each mask together with the flipped bit (-1 for the initial empty
+// mask). n must be at most 30.
+func grayVisit(n int, visit func(mask uint32, flipped int)) {
+	visit(0, -1)
+	for k := uint32(1); k < 1<<uint(n); k++ {
+		visit(k^(k>>1), bits.TrailingZeros32(k))
+	}
+}
+
+// exploreExhaustive checks every subset of round exactly once, walking
+// the subset lattice in Gray-code order so each successive state
+// differs from the previous by a single switch — which the incremental
+// walker repairs in O(changed suffix) instead of a fresh walk from the
+// source. Violating masks are collected during the scan and the
+// minimum one — ascending (size, mask), the same order the old
+// ascending-size enumerator visited — is reported, so the reported
+// counterexample is still minimum-size (and therefore 1-minimal: every
+// strictly smaller subset was checked and found clean).
+func (sc *scratch) exploreExhaustive(done core.State, roundIdx int, round []topo.NodeID, props core.Property, rr *RoundReport) {
+	in := sc.in
 	n := len(round)
-	check := func(m uint32) bool {
-		st := in.CloneState(done)
-		var trace Trace
-		for i, v := range round {
-			if m&(1<<i) != 0 {
-				in.Mark(st, v)
-				trace = append(trace, Event{Round: roundIdx, Switch: v})
-			}
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	sc.idx = sc.idx[:n]
+	for j, v := range round {
+		sc.idx[j] = in.NodeIndex(v)
+	}
+	sc.w.Reset(done)
+	useMemo := n <= memoExhaustiveMax
+	var (
+		found        bool
+		bestMask     uint32
+		bestSize     int
+		bestViolated core.Property
+	)
+	grayVisit(n, func(mask uint32, flipped int) {
+		if flipped >= 0 {
+			sc.w.Flip(sc.idx[flipped])
 		}
 		rr.States++
 		rr.Events++
-		if violated := in.CheckState(st, props); violated != 0 {
-			walk, _ := in.Walk(st)
-			rr.Violation = &Violation{
-				Round:    roundIdx,
-				Violated: violated,
-				Trace:    trace,
-				Walk:     walk,
-				Updated:  in.StateNodes(in.StateOf(trace.Switches()...)),
-			}
-			return true
+		var violated core.Property
+		if useMemo {
+			violated = sc.check(props)
+		} else {
+			violated = sc.w.Check(props)
 		}
-		return false
+		if violated == 0 {
+			return
+		}
+		size := bits.OnesCount32(mask)
+		if !found || size < bestSize || (size == bestSize && mask < bestMask) {
+			found, bestMask, bestSize, bestViolated = true, mask, size, violated
+		}
+	})
+	if !found {
+		return
 	}
-	// Per subset size, walk the k-subsets in ascending mask order via
-	// Gosper's hack — the same (size, mask) order a sort would give,
-	// with no materialized mask slice.
-	for k := 0; k <= n; k++ {
-		if k == 0 {
-			if check(0) {
-				return
-			}
-			continue
+	st := in.CloneState(done)
+	trace := make(Trace, 0, bestSize)
+	for j, v := range round {
+		if bestMask&(1<<uint(j)) != 0 {
+			in.Mark(st, v)
+			trace = append(trace, Event{Round: roundIdx, Switch: v})
 		}
-		last := uint32(1<<n) - uint32(1<<(n-k)) // highest k-bit mask below 2^n
-		for m := uint32(1<<k) - 1; ; {
-			if check(m) {
-				return
-			}
-			if m == last {
-				break
-			}
-			c := m & -m
-			r := m + c
-			m = (((r ^ m) >> 2) / c) | r
-		}
+	}
+	walk, _ := in.Walk(st)
+	rr.Violation = &Violation{
+		Round:    roundIdx,
+		Violated: bestViolated,
+		Trace:    trace,
+		Walk:     walk,
+		Updated:  in.StateNodes(in.StateOf(trace.Switches()...)),
 	}
 }
 
 // exploreSampled replays sampled delivery orders of round event by
-// event. The first opts.Samples×HeavyTailBias orders are
-// heavy-tail-biased (delivery time per switch from a bounded Pareto,
-// order = time sort), the rest uniform permutations; all orders derive
-// from opts.Seed and the round index alone. The first violating prefix
-// is minimized before reporting.
-func exploreSampled(in *core.Instance, done core.State, roundIdx int, round []topo.NodeID, props core.Property, opts Options, rr *RoundReport) {
+// event on the incremental walker. The first
+// opts.Samples×HeavyTailBias orders are heavy-tail-biased (delivery
+// time per switch from a bounded Pareto, order = time sort), the rest
+// uniform permutations; all orders derive from opts.Seed and the round
+// index alone — never from the worker the round landed on. The first
+// violating prefix is minimized before reporting.
+func (sc *scratch) exploreSampled(done core.State, roundIdx int, round []topo.NodeID, props core.Property, opts Options, rr *RoundReport) {
+	in := sc.in
 	rng := rand.New(rand.NewSource(opts.Seed ^ (int64(roundIdx)+1)*0x5851F42D4C957F2D))
 	heavy := int(float64(opts.Samples) * opts.HeavyTailBias)
 	tail := netem.Pareto{Scale: time.Millisecond, Alpha: 1.1, Cap: 500 * time.Millisecond}
-	order := make([]topo.NodeID, len(round))
+	if cap(sc.order) < len(round) {
+		sc.order = make([]topo.NodeID, len(round))
+		sc.ds = make([]delivery, len(round))
+	}
+	order := sc.order[:len(round)]
 	// The empty prefix (no event delivered yet) is common to every
 	// order; check it once.
 	rr.Events++
-	if violated := in.CheckState(done, props); violated != 0 {
-		walk, _ := in.Walk(done)
-		rr.Violation = &Violation{Round: roundIdx, Violated: violated, Trace: Trace{}, Walk: walk}
+	sc.w.Reset(done)
+	if violated := sc.check(props); violated != 0 {
+		rr.Violation = &Violation{Round: roundIdx, Violated: violated, Trace: Trace{}, Walk: sc.w.Path()}
 		return
 	}
 	for s := 0; s < opts.Samples; s++ {
@@ -368,11 +513,7 @@ func exploreSampled(in *core.Instance, done core.State, roundIdx int, round []to
 		if s < heavy {
 			// Heavy-tail adversary: one stalled switch delivers long
 			// after the rest — the orders real switches produce.
-			type delivery struct {
-				node topo.NodeID
-				at   time.Duration
-			}
-			ds := make([]delivery, len(order))
+			ds := sc.ds[:len(order)]
 			for i, v := range order {
 				ds[i] = delivery{node: v, at: tail.Sample(rng)}
 			}
@@ -384,14 +525,14 @@ func exploreSampled(in *core.Instance, done core.State, roundIdx int, round []to
 			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		}
 		rr.Orders++
-		st := in.CloneState(done)
-		trace := make(Trace, 0, len(order))
+		sc.w.Reset(done)
+		sc.trace = sc.trace[:0]
 		for _, v := range order {
-			in.Mark(st, v)
-			trace = append(trace, Event{Round: roundIdx, Switch: v})
+			sc.w.Flip(in.NodeIndex(v))
+			sc.trace = append(sc.trace, Event{Round: roundIdx, Switch: v})
 			rr.Events++
-			if violated := in.CheckState(st, props); violated != 0 {
-				min, minViolated := Minimize(in, done, trace, props)
+			if violated := sc.check(props); violated != 0 {
+				min, minViolated := Minimize(in, done, sc.trace, props)
 				walk := violatingWalk(in, done, min)
 				rr.Violation = &Violation{
 					Round:    roundIdx,

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -213,6 +214,20 @@ func TestExploreSeededDeterminism(t *testing.T) {
 			}
 			if rep1.Events() == 0 {
 				t.Fatal("exploration performed zero event checks")
+			}
+			// Parallel exploration must merge deterministically: the
+			// fingerprint is identical for every worker count,
+			// including the serial baseline.
+			for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				wopts := opts
+				wopts.Workers = workers
+				repW, err := Schedule(in, sched, wopts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fp := repW.Fingerprint(); fp != rep1.Fingerprint() {
+					t.Fatalf("workers=%d changed the verdict:\n%s\nvs\n%s", workers, fp, rep1.Fingerprint())
+				}
 			}
 
 			topts := TimedOptions{

@@ -1,0 +1,88 @@
+package explore
+
+import (
+	"encoding/binary"
+
+	"tsu/internal/core"
+)
+
+// memoMaxEntries bounds one transposition table's size. Entries are a
+// uint64 (or words×8-byte) key plus a one-byte verdict, so the bound
+// caps a table at roughly 16 MiB of map footprint; past it the table
+// stops inserting and every further state is checked directly — a
+// memory bound, never a correctness change.
+const memoMaxEntries = 1 << 20
+
+// memo is a transposition table: canonical rule-state fingerprint → the
+// property-violation verdict of that exact state. A verdict is a pure
+// function of (instance, state, props), so a state reached again — by a
+// different delivery order of the same round, by a sampled prefix, or
+// by a later round whose completed set happens to reproduce it — is
+// answered from the table instead of re-checked.
+//
+// One memo per worker goroutine (it is not locked): verdicts being
+// pure, partitioning the table across workers affects only the hit
+// rate, never any verdict, which keeps parallel exploration
+// bit-identical to serial.
+type memo struct {
+	words int
+	m1    map[uint64]core.Property // fast path: instances of ≤ 64 nodes
+	mk    map[string]core.Property // wide states, keyed by their raw bytes
+	key   []byte                   // scratch for building wide keys
+	hits  int64
+}
+
+func newMemo(in *core.Instance) *memo {
+	t := &memo{words: (in.NumNodes() + 63) / 64}
+	if t.words <= 1 {
+		t.m1 = make(map[uint64]core.Property)
+	} else {
+		t.mk = make(map[string]core.Property)
+		t.key = make([]byte, 8*t.words)
+	}
+	return t
+}
+
+// wideKey serialises st into the scratch key buffer.
+func (t *memo) wideKey(st core.State) []byte {
+	for i, w := range st {
+		binary.LittleEndian.PutUint64(t.key[8*i:], w)
+	}
+	return t.key
+}
+
+// lookup returns the cached verdict for st, if present.
+func (t *memo) lookup(st core.State) (core.Property, bool) {
+	if t.m1 != nil {
+		var k uint64
+		if len(st) > 0 {
+			k = st[0]
+		}
+		v, ok := t.m1[k]
+		if ok {
+			t.hits++
+		}
+		return v, ok
+	}
+	v, ok := t.mk[string(t.wideKey(st))] // compiler elides the []byte→string copy for map reads
+	if ok {
+		t.hits++
+	}
+	return v, ok
+}
+
+// store caches the verdict for st, unless the table is full.
+func (t *memo) store(st core.State, v core.Property) {
+	if len(t.m1)+len(t.mk) >= memoMaxEntries {
+		return
+	}
+	if t.m1 != nil {
+		var k uint64
+		if len(st) > 0 {
+			k = st[0]
+		}
+		t.m1[k] = v
+		return
+	}
+	t.mk[string(t.wideKey(st))] = v
+}

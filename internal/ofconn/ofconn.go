@@ -67,16 +67,33 @@ func (c *Conn) ReadMessage() (openflow.Message, error) {
 	return openflow.Decode(buf)
 }
 
+// wirePool recycles encode buffers across connections: the live
+// deployment path encodes every outgoing message into a pooled buffer
+// via openflow.AppendTo, so steady-state writes do not allocate per
+// message.
+var wirePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // WriteMessage encodes and writes one message. It is safe for
-// concurrent use; each message is written atomically.
+// concurrent use; each message is written atomically. Encoding runs
+// through a pooled buffer (see openflow.AppendTo): no per-message
+// allocation in steady state.
 func (c *Conn) WriteMessage(m openflow.Message) error {
-	wire, err := openflow.Encode(m)
+	bp := wirePool.Get().(*[]byte)
+	wire, err := openflow.AppendTo((*bp)[:0], m)
 	if err != nil {
+		wirePool.Put(bp)
 		return err
 	}
 	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
 	_, err = c.nc.Write(wire)
+	c.writeMu.Unlock()
+	*bp = wire[:0] // keep any growth for the next message
+	wirePool.Put(bp)
 	return err
 }
 

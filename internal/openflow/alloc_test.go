@@ -1,0 +1,56 @@
+//go:build !race
+
+package openflow
+
+import "testing"
+
+// TestAppendToAllocs pins the pooled encode path at zero allocations:
+// AppendTo into a buffer with sufficient capacity — the steady state of
+// ofconn's wire-buffer pool — must not allocate, for the flow-mod and
+// barrier messages the live update path sends per switch per round.
+func TestAppendToAllocs(t *testing.T) {
+	fm := &FlowMod{
+		Match:    ExactNWDst([]byte{10, 0, 0, 2}),
+		Command:  FlowModify,
+		Priority: 100,
+		BufferID: NoBuffer,
+		OutPort:  PortNone,
+		Actions:  []Action{ActionOutput{Port: 3}},
+	}
+	fm.SetXid(1)
+	br := &BarrierRequest{}
+	br.SetXid(2)
+
+	buf := make([]byte, 0, 256)
+	for _, tc := range []struct {
+		name string
+		msg  Message
+	}{
+		{"flowmod", fm},
+		{"barrier", br},
+	} {
+		if got := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = AppendTo(buf[:0], tc.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}); got != 0 {
+			t.Fatalf("AppendTo(%s) = %.1f allocs/op, want 0 in steady state", tc.name, got)
+		}
+	}
+
+	// The reusable path must produce bytes identical to the
+	// allocate-per-call Encode.
+	want, err := Encode(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AppendTo(buf[:0], fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("AppendTo wire bytes differ from Encode:\n%x\nvs\n%x", got, want)
+	}
+}

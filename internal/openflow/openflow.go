@@ -15,6 +15,7 @@ package openflow
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 )
 
 // Version is the only protocol version spoken: OpenFlow 1.0 (0x01).
@@ -148,15 +149,27 @@ func (x *xid) Xid() uint32 { return x.ID }
 // SetXid sets the message's transaction id.
 func (x *xid) SetXid(v uint32) { x.ID = v }
 
-// Encode serialises m into its complete wire form.
+// Encode serialises m into its complete wire form. It allocates a
+// fresh buffer per call; the live deployment path (ofconn) uses
+// AppendTo with pooled buffers instead.
 func Encode(m Message) ([]byte, error) {
+	return AppendTo(nil, m)
+}
+
+// AppendTo appends m's complete wire form to buf and returns the
+// extended slice. When buf has sufficient capacity no allocation
+// occurs, so a caller cycling a scratch buffer (buf[:0] between
+// messages) encodes with zero allocations in steady state.
+func AppendTo(buf []byte, m Message) ([]byte, error) {
 	total := HeaderLen + m.bodyLen()
 	if total > MaxMessageLen {
 		return nil, fmt.Errorf("openflow: %s message of %d bytes exceeds maximum %d", m.MsgType(), total, MaxMessageLen)
 	}
-	buf := make([]byte, total)
-	putHeader(buf, m.MsgType(), total, m.Xid())
-	if err := m.encodeBody(buf[HeaderLen:]); err != nil {
+	off := len(buf)
+	buf = slices.Grow(buf, total)[:off+total]
+	clear(buf[off:]) // encoders rely on zeroed padding bytes
+	putHeader(buf[off:], m.MsgType(), total, m.Xid())
+	if err := m.encodeBody(buf[off+HeaderLen:]); err != nil {
 		return nil, err
 	}
 	return buf, nil

@@ -119,6 +119,36 @@ type Sim struct {
 	seq   uint64
 	fired uint64
 	queue eventQueue
+	free  []*event // fired events recycled into Schedule/ScheduleAt
+}
+
+// maxFreeEvents caps the recycled-event list; beyond it fired events
+// are left to the garbage collector.
+const maxFreeEvents = 4096
+
+// newEventLocked returns a recycled (or fresh) event initialized with
+// the next sequence number. Callers hold s.mu.
+func (s *Sim) newEventLocked(at time.Time, fn func()) *event {
+	s.seq++
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = event{at: at, seq: s.seq, fn: fn}
+		return ev
+	}
+	return &event{at: at, seq: s.seq, fn: fn}
+}
+
+// recycle returns a fired event to the free list, dropping its
+// callback reference.
+func (s *Sim) recycle(ev *event) {
+	s.mu.Lock()
+	if len(s.free) < maxFreeEvents {
+		ev.fn = nil
+		s.free = append(s.free, ev)
+	}
+	s.mu.Unlock()
 }
 
 // NewSim returns a Sim starting at `start` (the zero time selects
@@ -145,21 +175,21 @@ func (s *Sim) ScheduleAt(t time.Time, fn func()) {
 	if t.Before(s.now) {
 		t = s.now
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	heap.Push(&s.queue, s.newEventLocked(t, fn))
 	s.mu.Unlock()
 }
 
 // Schedule enqueues fn to run d from now (d <= 0 means at the current
-// instant, on the next Advance/Run/Step).
+// instant, on the next Advance/Run/Step). Fired events are recycled
+// into subsequent Schedule calls, so a schedule/fire cycle does not
+// allocate in steady state.
 func (s *Sim) Schedule(d time.Duration, fn func()) {
 	s.mu.Lock()
 	t := s.now
 	if d > 0 {
 		t = t.Add(d)
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	heap.Push(&s.queue, s.newEventLocked(t, fn))
 	s.mu.Unlock()
 }
 
@@ -212,6 +242,7 @@ func (s *Sim) AdvanceTo(t time.Time) int {
 			break
 		}
 		ev.fn()
+		s.recycle(ev)
 		n++
 	}
 	s.mu.Lock()
@@ -263,6 +294,7 @@ func (s *Sim) Step() int {
 			return n
 		}
 		ev.fn()
+		s.recycle(ev)
 		n++
 	}
 }

@@ -197,12 +197,21 @@ func Batch(tasks []Task, opts Options) []*Report {
 		r.FinalStateOK = outcome == core.Reached && walk.Equal(task.Instance.New)
 	}
 
+	// Per-worker scratch: the branching search's bitset buffers and
+	// the sampling fallback's incremental walker are reused across
+	// every work item a worker handles (they rebind per instance), so
+	// steady-state verification does not allocate per round.
+	scratches := make([]*workerScratch, opts.Workers)
+	for w := range scratches {
+		scratches[w] = &workerScratch{rc: core.NewRoundChecker(), walker: core.NewWalker()}
+	}
+
 	// Phase 1: exact subset search, one work item per round.
-	parallelFor(opts.Workers, len(items), func(k int) {
+	parallelFor(opts.Workers, len(items), func(w, k int) {
 		it := items[k]
 		task := tasks[it.task]
 		round := task.Schedule.Rounds[it.round]
-		cex, exact := task.Instance.CheckRound(it.done, round, task.Props, opts.Budget)
+		cex, exact := scratches[w].rc.Check(task.Instance, it.done, round, task.Props, opts.Budget)
 		reports[it.task].Rounds[it.round] = RoundResult{
 			Round: it.round, Size: len(round), Exact: exact, Violation: cex,
 		}
@@ -234,14 +243,14 @@ func Batch(tasks []Task, opts Options) []*Report {
 			chunks = append(chunks, chunk{item: k, offset: c * chunkSamples, count: count})
 		}
 	}
-	parallelFor(opts.Workers, len(chunks), func(j int) {
+	parallelFor(opts.Workers, len(chunks), func(w, j int) {
 		ch := chunks[j]
 		it := items[ch.item]
 		task := tasks[it.task]
 		round := task.Schedule.Rounds[it.round]
 		seed := opts.Seed ^ (int64(it.task)+1)<<40 ^ (int64(it.round)+1)<<20 ^ int64(ch.offset)
 		rng := rand.New(rand.NewSource(seed))
-		chunkCex[ch.item][ch.offset/chunkSamples] = sampleChunk(
+		chunkCex[ch.item][ch.offset/chunkSamples] = scratches[w].sampleChunk(
 			task.Instance, it.done, round, task.Props, ch.count, rng, ch.offset == 0)
 	})
 	for k, cexs := range chunkCex {
@@ -257,35 +266,66 @@ func Batch(tasks []Task, opts Options) []*Report {
 	return reports
 }
 
+// workerScratch is one verification worker's reusable state: the
+// branching search's bitset buffers and the sampling fallback's
+// incremental walker plus subset bookkeeping. Buffers grow to the
+// largest instance seen and rebind per work item.
+type workerScratch struct {
+	rc     *core.RoundChecker
+	walker *core.Walker
+	cur    []bool // sampling: current subset membership per round element
+	idx    []int  // sampling: dense node index per round element
+}
+
 // sampleChunk draws count random subsets of round on top of done and
 // returns the first counterexample, or nil. When endpoints is set the
 // empty and full subsets are checked first (once per round, by chunk 0).
-func sampleChunk(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, count int, rng *rand.Rand, endpoints bool) *core.CounterExample {
-	check := func(st core.State) *core.CounterExample {
-		if violated := in.CheckState(st, props); violated != 0 {
-			walk, _ := in.Walk(st)
-			return &core.CounterExample{Updated: st, Walk: walk, Violated: violated}
+//
+// Successive samples run on the incremental walker: only the switches
+// whose membership changed between one random subset and the next are
+// flipped (re-walking just the changed suffix), instead of cloning the
+// state and re-walking from the source per sample. The subsets drawn —
+// one rng.Intn(2) per round element per sample — are unchanged, so
+// verdicts are identical to the clone-per-sample implementation.
+func (ws *workerScratch) sampleChunk(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, count int, rng *rand.Rand, endpoints bool) *core.CounterExample {
+	w := ws.walker.Bind(in)
+	w.Reset(done)
+	if cap(ws.cur) < len(round) {
+		ws.cur = make([]bool, len(round))
+		ws.idx = make([]int, len(round))
+	}
+	cur := ws.cur[:len(round)]
+	idx := ws.idx[:len(round)]
+	for j, v := range round {
+		cur[j] = false
+		idx[j] = in.NodeIndex(v)
+	}
+	check := func() *core.CounterExample {
+		if violated := w.Check(props); violated != 0 {
+			return &core.CounterExample{Updated: in.CloneState(w.State()), Walk: w.Path(), Violated: violated}
 		}
 		return nil
 	}
 	if endpoints {
-		if cex := check(in.CloneState(done)); cex != nil {
+		if cex := check(); cex != nil { // the empty subset (state = done)
 			return cex
 		}
-		full := in.CloneState(done)
-		in.Mark(full, round...)
-		if cex := check(full); cex != nil {
+		for j := range round { // the full subset
+			w.Flip(idx[j])
+			cur[j] = true
+		}
+		if cex := check(); cex != nil {
 			return cex
 		}
 	}
 	for i := 0; i < count; i++ {
-		st := in.CloneState(done)
-		for _, v := range round {
-			if rng.Intn(2) == 0 {
-				in.Mark(st, v)
+		for j := range round {
+			if want := rng.Intn(2) == 0; want != cur[j] {
+				w.Flip(idx[j])
+				cur[j] = want
 			}
 		}
-		if cex := check(st); cex != nil {
+		if cex := check(); cex != nil {
 			return cex
 		}
 	}
@@ -297,19 +337,21 @@ func sampleChunk(in *core.Instance, done core.State, round []topo.NodeID, props 
 // and full subsets. This is the serial primitive behind the engine's
 // chunked sampling fallback.
 func SampleRound(in *core.Instance, done core.State, round []topo.NodeID, props core.Property, samples int, rng *rand.Rand) *core.CounterExample {
-	return sampleChunk(in, done, round, props, samples, rng, true)
+	ws := &workerScratch{rc: core.NewRoundChecker(), walker: core.NewWalker()}
+	return ws.sampleChunk(in, done, round, props, samples, rng, true)
 }
 
-// parallelFor runs f(0..n-1) over at most workers goroutines. Work is
-// handed out via an atomic counter; with workers <= 1 it degenerates to
-// a plain loop.
-func parallelFor(workers, n int, f func(int)) {
+// parallelFor runs f(worker, 0..n-1) over at most workers goroutines.
+// Work is handed out via an atomic counter; the worker index lets
+// callers give each goroutine private scratch. With workers <= 1 it
+// degenerates to a plain loop on worker 0.
+func parallelFor(workers, n int, f func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -317,16 +359,16 @@ func parallelFor(workers, n int, f func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
