@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' ./... | benchjson -out BENCH_4.json
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -out BENCH_5.json
+//
+// With -diff, benchjson instead compares two BENCH files and reports
+// per-benchmark ns/op and allocs/op movement — the perf-trajectory
+// check CI runs (non-gating) against the previous PR's snapshot:
+//
+//	benchjson -diff BENCH_4.json BENCH_5.json
+//	benchjson -diff -threshold 0.25 -fail-on-regress old.json new.json
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,7 +52,25 @@ type File struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two BENCH files: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 0.15, "with -diff: relative ns/op movement below this is reported as noise")
+	failOnRegress := flag.Bool("fail-on-regress", false, "with -diff: exit non-zero when a regression exceeds the threshold")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := diffFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressions > 0 && *failOnRegress {
+			os.Exit(1)
+		}
+		return
+	}
 	f := File{
 		Schema:     "tsu-bench/v1",
 		GoVersion:  runtime.Version(),
@@ -151,3 +177,83 @@ func metric(r *Result, name string, v float64) {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// diffFiles compares two BENCH snapshots and writes a per-benchmark
+// movement report: ns/op relative change plus any allocs/op change
+// (alloc counts are pinned budgets, so every alloc movement is
+// reported regardless of the timing threshold). It returns the number
+// of regressions — benchmarks slower than the threshold or allocating
+// more than before.
+func diffFiles(w *os.File, oldPath, newPath string, threshold float64) (regressions int, err error) {
+	oldF, err := readBenchFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newF, err := readBenchFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	for name := range newF.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var added, faster, slower, allocMoves int
+	fmt.Fprintf(w, "benchjson diff: %s -> %s (threshold ±%.0f%% ns/op)\n", oldPath, newPath, threshold*100)
+	for _, name := range names {
+		nb := newF.Benchmarks[name]
+		ob, ok := oldF.Benchmarks[name]
+		if !ok {
+			added++
+			continue
+		}
+		var notes []string
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			rel := nb.NsPerOp/ob.NsPerOp - 1
+			if rel >= threshold {
+				slower++
+				regressions++
+				notes = append(notes, fmt.Sprintf("ns/op %+.1f%% (%.0f -> %.0f) REGRESSION", rel*100, ob.NsPerOp, nb.NsPerOp))
+			} else if rel <= -threshold {
+				faster++
+				notes = append(notes, fmt.Sprintf("ns/op %+.1f%% (%.0f -> %.0f)", rel*100, ob.NsPerOp, nb.NsPerOp))
+			}
+		}
+		if ob.AllocsOp != nil && nb.AllocsOp != nil && *ob.AllocsOp != *nb.AllocsOp {
+			allocMoves++
+			note := fmt.Sprintf("allocs/op %.0f -> %.0f", *ob.AllocsOp, *nb.AllocsOp)
+			if *nb.AllocsOp > *ob.AllocsOp {
+				regressions++
+				note += " REGRESSION"
+			}
+			notes = append(notes, note)
+		}
+		if len(notes) > 0 {
+			fmt.Fprintf(w, "  %-60s %s\n", name, strings.Join(notes, "; "))
+		}
+	}
+	removed := 0
+	for name := range oldF.Benchmarks {
+		if _, ok := newF.Benchmarks[name]; !ok {
+			removed++
+		}
+	}
+	fmt.Fprintf(w, "compared %d benchmarks: %d faster, %d slower, %d alloc changes, %d added, %d removed\n",
+		len(names)-added, faster, slower, allocMoves, added, removed)
+	return regressions, nil
+}
+
+func readBenchFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "tsu-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	return &f, nil
+}

@@ -47,6 +47,7 @@ func run() error {
 		family    = flag.String("family", "", "generate the instance from a family spec (reversal:N, staircase:N, nested:N) instead of -old/-new")
 		algorithm = flag.String("algorithm", "", "one of "+strings.Join(core.Names(), ", ")+" (default: all applicable)")
 		propsFlag = flag.String("props", "", "verify against these properties instead of the schedule's own guarantees (comma-separated: no-blackhole, waypoint, relaxed-lf, strong-lf)")
+		planFlag  = flag.String("plan", "", "execution plan shape, for both the printed shape and -submit: layered (default) or sparse")
 		submit    = flag.Bool("submit", false, "submit the update to a live controller after the dry run (uses -algorithm, or the instance default when unset)")
 		server    = flag.String("server", "http://127.0.0.1:8080", "controller REST base URL for -submit")
 		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address for -submit")
@@ -87,6 +88,13 @@ func run() error {
 			continue
 		}
 		fmt.Printf("%-11s %s\n", algo+":", sched)
+		// Plan shape next to the rounds, matching what -submit with
+		// the current -plan flag would execute: the layered conversion
+		// by default, the scheduler's sparse DAG with -plan sparse.
+		if plan, err := core.PlanByName(in, algo, props, *planFlag == "sparse"); err == nil {
+			fmt.Printf("            plan: depth=%d width=%d critical=%d nodes=%d edges=%d sparse=%t\n",
+				plan.Depth(), plan.Width(), plan.CriticalPath(), plan.NumNodes(), plan.NumEdges(), plan.Sparse)
+		}
 		checkProps := props
 		if checkProps == 0 {
 			checkProps = sched.Guarantees
@@ -108,7 +116,7 @@ func run() error {
 	}
 
 	if *submit {
-		return submitUpdate(in, *algorithm, *propsFlag, *server, *nwDst, *interval, *cleanup, *timeout)
+		return submitUpdate(in, *algorithm, *propsFlag, *planFlag, *server, *nwDst, *interval, *cleanup, *timeout)
 	}
 	return nil
 }
@@ -117,7 +125,7 @@ func run() error {
 // typed client SDK and streams round progress until the job finishes.
 // The -props selection travels with the request, so the server
 // schedules against the same properties the local dry run verified.
-func submitUpdate(in *core.Instance, algorithm, propsFlag, server, nwDst string, interval time.Duration, cleanup bool, timeout time.Duration) error {
+func submitUpdate(in *core.Instance, algorithm, propsFlag, planFlag, server, nwDst string, interval time.Duration, cleanup bool, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var propNames []string
@@ -135,6 +143,7 @@ func submitUpdate(in *core.Instance, algorithm, propsFlag, server, nwDst string,
 			Algorithm:  algorithm,
 			NWDst:      nwDst,
 			Properties: propNames,
+			Plan:       planFlag,
 		}},
 		Interval: int(interval.Milliseconds()),
 		Cleanup:  cleanup,
@@ -144,6 +153,10 @@ func submitUpdate(in *core.Instance, algorithm, propsFlag, server, nwDst string,
 	}
 	acc := resp.Updates[0]
 	fmt.Printf("\nsubmitted as job %d: algorithm=%s guarantees=%s\n", acc.ID, acc.Algorithm, acc.Guarantees)
+	if acc.Plan != nil {
+		fmt.Printf("plan: depth=%d width=%d critical=%d sparse=%t\n",
+			acc.Plan.Depth, acc.Plan.Width, acc.Plan.CriticalPath, acc.Plan.Sparse)
+	}
 	st, err := c.WaitRounds(ctx, acc.ID, func(r api.RoundStatus) {
 		fmt.Printf("  round %d: %dµs (switches %v)\n", r.Round, r.Micros, r.Switches)
 	})

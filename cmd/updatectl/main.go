@@ -47,6 +47,8 @@ func run() error {
 		algorithm = flag.String("algorithm", "", strings.Join(core.Names(), " | ")+" | two-phase (default: wayup with waypoint, else peacock)")
 		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address")
 		batch     = flag.String("batch", "", "batch entries 'old|new[|wp[|nwdst[|algorithm]]]' separated by ';' (overrides -old/-new)")
+		planShape = flag.String("plan", "", "execution plan shape: layered (default) or sparse (ack-driven dependency DAG where the scheduler supports it)")
+		installs  = flag.Bool("installs", false, "stream per-switch installs (with releasing edges) instead of per-round summaries")
 		interval  = flag.Duration("interval", 0, "pause between rounds")
 		install   = flag.Bool("install", false, "install each old path as the active policy first (POST /v1/policies)")
 		host      = flag.String("host", "", "destination host name for -install (e.g. h2)")
@@ -59,6 +61,9 @@ func run() error {
 	updates, err := parseUpdates(*batch, *oldPath, *newPath, *waypoint, *nwDst, *algorithm)
 	if err != nil {
 		return err
+	}
+	for i := range updates {
+		updates[i].Plan = *planShape
 	}
 
 	// Algorithm names are validated by the server (structured 400 with
@@ -102,11 +107,11 @@ func run() error {
 	}
 	for i, acc := range resp.Updates {
 		if *dryRun {
-			fmt.Printf("flow %s planned: algorithm=%s guarantees=%s rounds=%d\n",
-				updates[i].NWDst, acc.Algorithm, acc.Guarantees, len(acc.Rounds))
+			fmt.Printf("flow %s planned: algorithm=%s guarantees=%s rounds=%d%s\n",
+				updates[i].NWDst, acc.Algorithm, acc.Guarantees, len(acc.Rounds), planSummary(acc.Plan))
 		} else {
-			fmt.Printf("job %d accepted (%s): algorithm=%s guarantees=%s rounds=%d\n",
-				acc.ID, updates[i].NWDst, acc.Algorithm, acc.Guarantees, len(acc.Rounds))
+			fmt.Printf("job %d accepted (%s): algorithm=%s guarantees=%s rounds=%d%s\n",
+				acc.ID, updates[i].NWDst, acc.Algorithm, acc.Guarantees, len(acc.Rounds), planSummary(acc.Plan))
 		}
 		for r, round := range acc.Rounds {
 			fmt.Printf("  round %d: %v\n", r, round)
@@ -123,7 +128,7 @@ func run() error {
 	// when their flows are disjoint, so watch them all before judging.
 	failed := 0
 	for _, acc := range resp.Updates {
-		if err := watchJob(ctx, c, acc.ID); err != nil {
+		if err := watchJob(ctx, c, acc.ID, *installs); err != nil {
 			fmt.Fprintf(os.Stderr, "updatectl: job %d: %v\n", acc.ID, err)
 			failed++
 		}
@@ -134,12 +139,38 @@ func run() error {
 	return nil
 }
 
-// watchJob streams one job's rounds and returns an error when the job
-// fails.
-func watchJob(ctx context.Context, c *client.Client, id int) error {
-	st, err := c.WaitRounds(ctx, id, func(r api.RoundStatus) {
+// planSummary renders a plan shape for the accept line, e.g.
+// " plan[depth=2 width=5 critical=1 sparse]".
+func planSummary(p *api.PlanShape) string {
+	if p == nil {
+		return ""
+	}
+	s := fmt.Sprintf(" plan[depth=%d width=%d critical=%d", p.Depth, p.Width, p.CriticalPath)
+	if p.Sparse {
+		s += " sparse"
+	}
+	return s + "]"
+}
+
+// watchJob streams one job's progress — per-round summaries, or
+// per-switch installs with their releasing edges — and returns an
+// error when the job fails.
+func watchJob(ctx context.Context, c *client.Client, id int, installs bool) error {
+	onRound := func(r api.RoundStatus) {
 		fmt.Printf("job %d round %d: %dµs (%d switches)\n", id, r.Round, r.Micros, len(r.Switches))
-	})
+	}
+	var onInstall func(api.InstallStatus)
+	if installs {
+		onRound = nil
+		onInstall = func(is api.InstallStatus) {
+			release := "dispatched immediately"
+			if is.ReleasedBy != 0 {
+				release = fmt.Sprintf("released by %d", is.ReleasedBy)
+			}
+			fmt.Printf("job %d install sw=%d layer=%d: %dµs (%s)\n", id, is.Switch, is.Layer, is.Micros, release)
+		}
+	}
+	st, err := c.WaitProgress(ctx, id, onRound, onInstall)
 	if err != nil {
 		return err
 	}

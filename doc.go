@@ -6,17 +6,30 @@
 // relaxed loop freedom), so that an asynchronous control channel can
 // never expose a transiently insecure forwarding state.
 //
+// Execution is plan-shaped: core.Plan is a dependency DAG of
+// per-switch installs whose reachable transient states are the DAG's
+// order ideals. Round schedules convert losslessly to layered plans
+// (bit-identical to the paper's global-barrier rounds), while
+// PlanScheduler-capable algorithms (Peacock, GreedySLF) emit sparse
+// DAGs that the controller dispatches ack-driven — each FlowMod
+// issued the moment its dependencies' barriers arrive, so a slow
+// switch stalls only its own dependents.
+//
 // The library lives under internal/:
 //
-//   - internal/core      — update model and schedulers (the paper's contribution);
-//     core.Walker is the incremental, allocation-free state-check primitive
-//     under the explorer and verifier
-//   - internal/verify    — exact transient-state verification (fast safe/unsafe verdicts)
+//   - internal/core      — update model, schedulers (the paper's contribution),
+//     and the plan layer: Plan/PlanFromSchedule/SparsePlan, the order-ideal
+//     enumeration, PlanRun (allocation-free ack-dispatch bookkeeping), and
+//     the canonical plan wire codec; core.Walker is the incremental,
+//     allocation-free state-check primitive under the explorer and verifier
+//   - internal/verify    — exact transient-state verification (fast safe/unsafe
+//     verdicts) over round states and plan ideals (verify.Plan)
 //   - internal/explore   — adversarial interleaving explorer: exhaustive
 //     Gray-code enumeration with incremental walks and a transposition
 //     table, sampled FlowMod delivery orders, per-event checks, minimized
 //     counterexample traces, parallel rounds with deterministic merge,
-//     timed virtual-clock replay
+//     timed virtual-clock replay; explore.Plan ranges over a sparse plan's
+//     ideals and linear extensions
 //   - internal/simclock  — virtual time base: Clock interface, Sim discrete-event
 //     scheduler with deterministic (time, seq) ordering and AutoAdvance
 //   - internal/topo      — topologies, update families, the Figure 1 scenario
@@ -24,8 +37,10 @@
 //   - internal/ofconn    — framing, handshake, xid management
 //   - internal/switchsim — simulated switches and data-plane fabric (clock-parameterized)
 //   - internal/netem     — control-channel asynchrony models on a pluggable clock
-//   - internal/controller— the controller: rounds, barriers, REST API (/v1/verify
-//     and /v1/explore are the dry-run surfaces)
+//   - internal/controller— the controller: ack-driven plan dispatch with
+//     per-node barriers (layered plans reproduce the paper's round loop),
+//     REST API (/v1/verify and /v1/explore are the dry-run surfaces; jobs
+//     report plan shape and per-install release edges)
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
 //   - internal/experiments — the experiment harness (E1..E10)
 //

@@ -81,6 +81,41 @@ type FlowUpdate struct {
 	// scheduler's defaults. Schedulers that take a property target
 	// (sequential, optimal) honor it.
 	Properties []string `json:"properties,omitempty"`
+	// Plan selects the execution-plan shape: "layered" (or empty)
+	// executes the schedule's rounds as a layered dependency DAG —
+	// bit-identical to global-barrier rounds — while "sparse" asks the
+	// scheduler for a pruned DAG whose edges are only those its safety
+	// argument needs (falling back to layered when the scheduler has
+	// no sparse form). The response's PlanShape reports what ran.
+	Plan string `json:"plan,omitempty"`
+}
+
+// PlanShape summarizes an execution plan's DAG on the wire: how many
+// per-switch installs it has, how many happens-before edges, its
+// depth (layers — for a round schedule, the round count), width (peak
+// install parallelism), critical path (sequential barrier waits on
+// the longest dependency chain), and whether edges were pruned below
+// the layered closure.
+type PlanShape struct {
+	Nodes        int  `json:"nodes"`
+	Edges        int  `json:"edges"`
+	Depth        int  `json:"depth"`
+	Width        int  `json:"width"`
+	CriticalPath int  `json:"critical_path"`
+	Sparse       bool `json:"sparse,omitempty"`
+}
+
+// InstallStatus reports one confirmed per-switch install of the
+// ack-driven dispatcher, including the dependency edge that released
+// it: ReleasedBy is the switch whose barrier reply unblocked this
+// install (0 for installs with no dependencies).
+type InstallStatus struct {
+	Switch     uint64 `json:"switch"`
+	Layer      int    `json:"layer"`
+	ReleasedBy uint64 `json:"released_by,omitempty"`
+	FlowMods   int    `json:"flowmods"`
+	Cleanup    bool   `json:"cleanup,omitempty"`
+	Micros     int64  `json:"us"`
 }
 
 // BatchUpdateRequest is the body of POST /v1/updates: a batch of flow
@@ -107,6 +142,8 @@ type AcceptedUpdate struct {
 	Rounds     [][]uint64 `json:"rounds,omitempty"`
 	Guarantees string     `json:"guarantees"`
 	Compromise bool       `json:"loop_freedom_compromised,omitempty"`
+	// Plan is the execution DAG's shape (depth, width, critical path).
+	Plan *PlanShape `json:"plan,omitempty"`
 }
 
 // BatchUpdateResponse is the body answering POST /v1/updates.
@@ -136,6 +173,11 @@ type JobStatus struct {
 	Error       string        `json:"error,omitempty"`
 	TotalMicros int64         `json:"total_us"`
 	Rounds      []RoundStatus `json:"rounds"`
+	// Plan is the execution DAG's shape.
+	Plan *PlanShape `json:"plan,omitempty"`
+	// Installs is the per-switch install trace in confirmation order;
+	// each entry records which dependency edge released the install.
+	Installs []InstallStatus `json:"installs,omitempty"`
 }
 
 // TotalDuration returns the job's wall-clock time (zero while
@@ -149,7 +191,9 @@ func (s JobStatus) Terminal() bool { return s.State == "done" || s.State == "fai
 
 // Watch event types (WatchEvent.Type).
 const (
-	// EventRound: one round completed (Round is set).
+	// EventInstall: one per-switch install confirmed (Install is set).
+	EventInstall = "install"
+	// EventRound: one round (layer) completed (Round is set).
 	EventRound = "round"
 	// EventDone: the job finished successfully (terminal).
 	EventDone = "done"
@@ -158,14 +202,16 @@ const (
 )
 
 // WatchEvent is one Server-Sent Event of GET /v1/updates/{id}/watch.
-// A watch replays the rounds already executed, then streams live
-// progress, and always ends with a terminal done/failed event.
+// A watch replays the installs and rounds already executed, then
+// streams live progress, and always ends with a terminal done/failed
+// event.
 type WatchEvent struct {
-	Type        string       `json:"type"`
-	Job         int          `json:"job"`
-	Round       *RoundStatus `json:"round,omitempty"`
-	Error       string       `json:"error,omitempty"`
-	TotalMicros int64        `json:"total_us,omitempty"`
+	Type        string         `json:"type"`
+	Job         int            `json:"job"`
+	Round       *RoundStatus   `json:"round,omitempty"`
+	Install     *InstallStatus `json:"install,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	TotalMicros int64          `json:"total_us,omitempty"`
 }
 
 // VerifyRequest is the body of POST /v1/verify: plan the batch and
@@ -204,7 +250,10 @@ type VerifyResult struct {
 	Properties string     `json:"properties"` // what was actually checked
 	OK         bool       `json:"ok"`
 	Exact      bool       `json:"exact"` // exhaustive vs sampled
-	Violation  *Violation `json:"violation,omitempty"`
+	// Plan is the shape of the verified execution DAG; sparse plans
+	// are verified over every order ideal instead of round states.
+	Plan      *PlanShape `json:"plan,omitempty"`
+	Violation *Violation `json:"violation,omitempty"`
 }
 
 // VerifyResponse answers POST /v1/verify. OK is the conjunction over
@@ -271,7 +320,9 @@ type ExploreResult struct {
 	// (the verdict is a proof); otherwise sampled orders were replayed.
 	Exhaustive bool `json:"exhaustive"`
 	// Events counts per-event property checks performed.
-	Events    int             `json:"events"`
+	Events int `json:"events"`
+	// Plan is the shape of the explored execution DAG.
+	Plan      *PlanShape      `json:"plan,omitempty"`
 	Violation *TraceViolation `json:"violation,omitempty"`
 }
 

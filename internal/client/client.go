@@ -327,10 +327,21 @@ func (c *Client) Wait(ctx context.Context, id int) (*api.JobStatus, error) {
 // is invoked for every round event the watch stream delivers, in
 // order, before the final status is returned.
 func (c *Client) WaitRounds(ctx context.Context, id int, onRound func(api.RoundStatus)) (*api.JobStatus, error) {
+	return c.WaitProgress(ctx, id, onRound, nil)
+}
+
+// WaitProgress is Wait with callbacks at both progress granularities
+// of the ack-driven dispatcher: onInstall fires for every confirmed
+// per-switch install (carrying the dependency edge that released it),
+// onRound for every completed layer. Either callback may be nil.
+func (c *Client) WaitProgress(ctx context.Context, id int, onRound func(api.RoundStatus), onInstall func(api.InstallStatus)) (*api.JobStatus, error) {
 	if events, err := c.Watch(ctx, id); err == nil {
 		for ev := range events {
-			if ev.Type == api.EventRound && ev.Round != nil && onRound != nil {
+			switch {
+			case ev.Type == api.EventRound && ev.Round != nil && onRound != nil:
 				onRound(*ev.Round)
+			case ev.Type == api.EventInstall && ev.Install != nil && onInstall != nil:
+				onInstall(*ev.Install)
 			}
 		}
 	}

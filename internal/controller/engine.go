@@ -72,13 +72,35 @@ type RoundTiming struct {
 // Duration returns the round's wall-clock time.
 func (rt RoundTiming) Duration() time.Duration { return rt.Finished.Sub(rt.Started) }
 
+// InstallTiming records one confirmed install of the ack-driven
+// dispatcher: which switch was updated, the dependency edge that
+// released it (the predecessor whose barrier reply arrived last —
+// zero for installs dispatched immediately), and the span from first
+// FlowMod sent to barrier reply received. The sequence of
+// InstallTimings is the job's execution trace at per-node-barrier
+// granularity; RoundTimings aggregate it per layer for the round view.
+type InstallTiming struct {
+	Node       topo.NodeID
+	Layer      int
+	ReleasedBy topo.NodeID // 0 when the install had no dependencies
+	FlowMods   int
+	Cleanup    bool
+	Started    time.Time
+	Finished   time.Time
+}
+
+// Duration returns the install's wall-clock time.
+func (it InstallTiming) Duration() time.Duration { return it.Finished.Sub(it.Started) }
+
 // JobEvent is one progress notification delivered to Subscribe
-// channels: a completed round (Round non-nil, State JobRunning) or the
-// terminal state (Round nil, State JobDone/JobFailed).
+// channels: a confirmed install (Install non-nil), a completed layer
+// (Round non-nil, State JobRunning), or the terminal state (both nil,
+// State JobDone/JobFailed).
 type JobEvent struct {
-	Round *RoundTiming
-	State JobState
-	Err   error // set on terminal failure
+	Round   *RoundTiming
+	Install *InstallTiming
+	State   JobState
+	Err     error // set on terminal failure
 }
 
 // targetedMod is one FlowMod addressed to one switch.
@@ -88,7 +110,10 @@ type targetedMod struct {
 }
 
 // execRound is a fully materialized round: the FlowMods to send and
-// the switches to barrier afterwards.
+// the switches to barrier afterwards. Builders still assemble rounds
+// (schedules, joint updates and two-phase are naturally round-shaped);
+// layeredExecPlan converts them to the execution DAG the dispatcher
+// runs.
 type execRound struct {
 	mods    []targetedMod
 	cleanup bool
@@ -107,14 +132,86 @@ func (r *execRound) switches() []topo.NodeID {
 	return out
 }
 
+// execNode is one per-switch install of a job's execution DAG: the
+// FlowMods to send to one switch, the node indices whose barriers must
+// arrive first, and the node's layer (longest dependency chain) for
+// the aggregated round view.
+type execNode struct {
+	node    topo.NodeID
+	mods    []targetedMod
+	deps    []int
+	layer   int
+	cleanup bool
+}
+
+// execPlan is a job's materialized execution DAG plus its shape. dag
+// mirrors the nodes 1:1 as a bare core.Plan so the dispatcher reuses
+// core.PlanRun's allocation-free release bookkeeping.
+type execPlan struct {
+	nodes    []execNode
+	depth    int
+	width    int
+	critical int
+	sparse   bool
+	dag      *core.Plan
+}
+
+// finish builds the bookkeeping DAG from the nodes' deps and derives
+// the per-node layers and the shape from it — core.Plan's layering is
+// the single implementation.
+func (p *execPlan) finish() {
+	p.dag = &core.Plan{Nodes: make([]core.PlanNode, len(p.nodes))}
+	for i := range p.nodes {
+		p.dag.Nodes[i] = core.PlanNode{Switch: p.nodes[i].node, Deps: p.nodes[i].deps}
+	}
+	for i, l := range p.dag.NodeLayers() {
+		p.nodes[i].layer = l
+	}
+	p.depth = p.dag.Depth()
+	p.width = p.dag.Width()
+	p.critical = p.dag.CriticalPath()
+}
+
+// layeredExecPlan converts barrier rounds to the equivalent layered
+// DAG — ack-driven dispatch of it is exactly the paper's round loop,
+// each round's sends released by the previous round's last barrier
+// reply. The dependency structure comes from core.PlanFromSchedule's
+// canonical conversion (one node per (round, switch)); this function
+// only attaches each node's FlowMods and cleanup flag.
+func layeredExecPlan(rounds []execRound) execPlan {
+	sched := &core.Schedule{Rounds: make([][]topo.NodeID, len(rounds))}
+	for r, round := range rounds {
+		sched.Rounds[r] = round.switches()
+	}
+	dag := core.PlanFromSchedule(sched)
+	var p execPlan
+	p.nodes = make([]execNode, len(dag.Nodes))
+	i := 0
+	for r, round := range rounds {
+		byNode := make(map[topo.NodeID]int, len(sched.Rounds[r]))
+		for range sched.Rounds[r] {
+			nd := dag.Nodes[i]
+			p.nodes[i] = execNode{node: nd.Switch, deps: nd.Deps, cleanup: round.cleanup}
+			byNode[nd.Switch] = i
+			i++
+		}
+		for _, m := range round.mods {
+			k := byNode[m.node]
+			p.nodes[k].mods = append(p.nodes[k].mods, m)
+		}
+	}
+	p.finish()
+	return p
+}
+
 // Job is one queued update: the REST message object of the paper,
 // carrying the per-switch OpenFlow messages for every round.
 type Job struct {
 	ID        int
 	Algorithm string
-	Interval  time.Duration // pause between rounds (REST "interval")
+	Interval  time.Duration // pause before a released non-root install (REST "interval")
 
-	rounds []execRound
+	plan execPlan
 
 	// Conflict footprint, immutable after construction: the switches
 	// this job touches and the flow matches it programs. Two jobs
@@ -128,15 +225,40 @@ type Job struct {
 	state    JobState
 	err      error
 	timings  []RoundTiming
+	installs []InstallTiming
+	events   []JobEvent // publish log, replayed to late subscribers
 	started  time.Time
 	finished time.Time
 	done     chan struct{}
 	subs     []chan JobEvent
 }
 
-// NumRounds returns the number of rounds the job will execute
-// (including a cleanup round, when requested).
-func (j *Job) NumRounds() int { return len(j.rounds) }
+// NumRounds returns the number of layers the job's execution DAG has
+// (including a cleanup layer, when requested) — for a round schedule,
+// exactly its round count.
+func (j *Job) NumRounds() int { return j.plan.depth }
+
+// NumInstalls returns the number of per-switch installs of the job's
+// execution DAG.
+func (j *Job) NumInstalls() int { return len(j.plan.nodes) }
+
+// NumEdges returns the number of happens-before edges of the job's
+// execution DAG.
+func (j *Job) NumEdges() int {
+	e := 0
+	for _, nd := range j.plan.nodes {
+		e += len(nd.deps)
+	}
+	return e
+}
+
+// PlanShape reports the execution DAG's shape: depth (layers), width
+// (peak install parallelism), critical path (sequential barrier waits
+// on the longest chain), and whether the DAG is sparse (ack-driven
+// past layer barriers) rather than layered.
+func (j *Job) PlanShape() (depth, width, critical int, sparse bool) {
+	return j.plan.depth, j.plan.width, j.plan.critical, j.plan.sparse
+}
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() JobState {
@@ -152,12 +274,23 @@ func (j *Job) Err() error {
 	return j.err
 }
 
-// Timings returns the per-round timings recorded so far.
+// Timings returns the per-round (per-layer) timings recorded so far.
 func (j *Job) Timings() []RoundTiming {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := make([]RoundTiming, len(j.timings))
 	copy(out, j.timings)
+	return out
+}
+
+// Installs returns the per-switch install trace recorded so far, in
+// barrier-confirmation order: each entry names the dependency edge
+// that released the install.
+func (j *Job) Installs() []InstallTiming {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]InstallTiming, len(j.installs))
+	copy(out, j.installs)
 	return out
 }
 
@@ -182,18 +315,18 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
-// Subscribe returns a channel of progress events: rounds already
-// executed are replayed first, then live rounds stream as they
-// complete, and the channel ends with a terminal JobDone/JobFailed
-// event before closing. The channel is buffered for the job's full
-// event count, so a slow reader never blocks the engine.
+// Subscribe returns a channel of progress events: installs and rounds
+// already executed are replayed first (in publish order), then live
+// events stream as barriers arrive, and the channel ends with a
+// terminal JobDone/JobFailed event before closing. The channel is
+// buffered for the job's full event count, so a slow reader never
+// blocks the engine.
 func (j *Job) Subscribe() <-chan JobEvent {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	ch := make(chan JobEvent, len(j.rounds)+2)
-	for i := range j.timings {
-		t := j.timings[i]
-		ch <- JobEvent{Round: &t, State: JobRunning}
+	ch := make(chan JobEvent, len(j.plan.nodes)+j.plan.depth+2)
+	for _, ev := range j.events {
+		ch <- ev
 	}
 	if j.state == JobDone || j.state == JobFailed {
 		ch <- JobEvent{State: j.state, Err: j.err}
@@ -204,12 +337,12 @@ func (j *Job) Subscribe() <-chan JobEvent {
 	return ch
 }
 
-// footprint fills the job's conflict sets from its rounds.
+// footprint fills the job's conflict sets from its execution DAG.
 func (j *Job) footprint() {
 	j.nodes = make(map[topo.NodeID]struct{})
 	j.matches = make(map[openflow.Match]struct{})
-	for _, r := range j.rounds {
-		for _, m := range r.mods {
+	for _, nd := range j.plan.nodes {
+		for _, m := range nd.mods {
 			j.nodes[m.node] = struct{}{}
 			j.matches[m.fm.Match] = struct{}{}
 		}
@@ -331,7 +464,76 @@ func (e *Engine) SubmitOpts(in *core.Instance, s *core.Schedule, match openflow.
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue(s.Algorithm, rounds, opts.Interval)
+	return e.enqueue(s.Algorithm, layeredExecPlan(rounds), opts.Interval)
+}
+
+// SubmitPlan enqueues a single-policy update job executing the given
+// dependency plan: each switch's FlowMod is issued the moment its
+// predecessors' barriers arrive. A layered plan behaves exactly like
+// SubmitOpts on the equivalent round schedule; a sparse plan lets
+// independent branches proceed past each other's stragglers.
+func (e *Engine) SubmitPlan(in *core.Instance, p *core.Plan, match openflow.Match, opts SubmitOptions) (*Job, error) {
+	ep, err := e.buildPlanNodes(in, p, match, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.enqueue(p.Algorithm, ep, opts.Interval)
+}
+
+// buildPlanNodes materializes a dependency plan for one flow: one
+// execution node per plan node, plus cleanup nodes (depending on every
+// sink, so stale-rule deletion happens strictly after the update)
+// when requested. Building is pure — nothing is admitted.
+func (e *Engine) buildPlanNodes(in *core.Instance, p *core.Plan, match openflow.Match, opts SubmitOptions) (execPlan, error) {
+	if err := p.Validate(in); err != nil {
+		return execPlan{}, fmt.Errorf("controller: plan does not fit instance: %w", err)
+	}
+	ep := execPlan{sparse: p.Sparse, nodes: make([]execNode, 0, len(p.Nodes))}
+	for _, nd := range p.Nodes {
+		fm, err := e.updateFlowMod(in, nd.Switch, match)
+		if err != nil {
+			return execPlan{}, err
+		}
+		deps := make([]int, len(nd.Deps))
+		copy(deps, nd.Deps)
+		ep.nodes = append(ep.nodes, execNode{
+			node: nd.Switch,
+			mods: []targetedMod{{node: nd.Switch, fm: fm}},
+			deps: deps,
+		})
+	}
+	if opts.Cleanup {
+		if r, ok := cleanupRound(in, match); ok {
+			sinks := planSinks(ep.nodes)
+			for _, m := range r.mods {
+				ep.nodes = append(ep.nodes, execNode{
+					node:    m.node,
+					mods:    []targetedMod{m},
+					deps:    sinks,
+					cleanup: true,
+				})
+			}
+		}
+	}
+	ep.finish()
+	return ep, nil
+}
+
+// planSinks returns the indices of nodes no other node depends on.
+func planSinks(nodes []execNode) []int {
+	hasSucc := make([]bool, len(nodes))
+	for _, nd := range nodes {
+		for _, d := range nd.deps {
+			hasSucc[d] = true
+		}
+	}
+	var sinks []int
+	for i := range nodes {
+		if !hasSucc[i] {
+			sinks = append(sinks, i)
+		}
+	}
+	return sinks
 }
 
 // buildScheduleRounds materializes a schedule's rounds for one flow:
@@ -408,7 +610,7 @@ func (e *Engine) SubmitJoint(ju *core.JointUpdate, matches []openflow.Match, opt
 			rounds = append(rounds, cr)
 		}
 	}
-	return e.enqueue("joint-"+ju.Schedules[0].Algorithm, rounds, opts.Interval)
+	return e.enqueue("joint-"+ju.Schedules[0].Algorithm, layeredExecPlan(rounds), opts.Interval)
 }
 
 // updateFlowMod builds the round FlowMod for one switch of one flow:
@@ -446,16 +648,17 @@ func cleanupRound(in *core.Instance, match openflow.Match) (execRound, bool) {
 	return r, true
 }
 
-// jobSpec is one prepared submission: rounds built, not yet admitted.
+// jobSpec is one prepared submission: execution DAG built, not yet
+// admitted.
 type jobSpec struct {
 	algorithm string
-	rounds    []execRound
+	plan      execPlan
 	interval  time.Duration
 }
 
 // enqueue admits a single job (see enqueueAll).
-func (e *Engine) enqueue(algorithm string, rounds []execRound, interval time.Duration) (*Job, error) {
-	jobs, err := e.enqueueAll([]jobSpec{{algorithm: algorithm, rounds: rounds, interval: interval}})
+func (e *Engine) enqueue(algorithm string, plan execPlan, interval time.Duration) (*Job, error) {
+	jobs, err := e.enqueueAll([]jobSpec{{algorithm: algorithm, plan: plan, interval: interval}})
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +678,7 @@ func (e *Engine) enqueueAll(specs []jobSpec) ([]*Job, error) {
 		jobs[i] = &Job{
 			Algorithm: s.algorithm,
 			Interval:  s.interval,
-			rounds:    s.rounds,
+			plan:      s.plan,
 			done:      make(chan struct{}),
 		}
 		jobs[i].footprint()
@@ -601,10 +804,14 @@ func (e *Engine) retire(job *Job, started bool) {
 }
 
 // publish delivers an event to every subscriber; on terminal events
-// the subscriber channels are closed and dropped. Caller must hold
-// j.mu.
+// the subscriber channels are closed and dropped. Non-terminal events
+// are appended to the job's publish log for late-subscriber replay.
+// Caller must hold j.mu.
 func publishLocked(j *Job, ev JobEvent) {
 	terminal := ev.State == JobDone || ev.State == JobFailed
+	if !terminal {
+		j.events = append(j.events, ev)
+	}
 	for _, ch := range j.subs {
 		ch <- ev // buffered for the full event count, never blocks
 		if terminal {
@@ -628,71 +835,112 @@ func (e *Engine) fail(job *Job, err error) {
 	e.c.logger.Warn("update job failed", "job", job.ID, "err", err)
 }
 
-// execute runs one job's rounds. For every round it sends each
-// switch's FlowMod(s), then a barrier request to every switch of the
-// round, and only proceeds when every barrier reply has arrived —
-// synchronizing the asynchronous channel at round granularity. This is
-// precisely the loop §2 of the paper narrates, including removing each
-// switch from the waiting set as its barrier reply arrives.
+// nodeAck is one install's outcome, delivered to the dispatcher's ack
+// loop by the node's send-and-barrier goroutine.
+type nodeAck struct {
+	idx      int
+	flowMods int
+	started  time.Time
+	finished time.Time
+	err      error
+}
+
+// execute runs one job's execution DAG ack-driven: every node whose
+// dependencies are confirmed gets its FlowMod(s) sent followed by a
+// barrier request, and each barrier reply immediately releases the
+// installs it unblocks — per-node barriers instead of per-round
+// barriers, so a slow switch stalls only its own dependents. For a
+// layered DAG this is exactly the loop §2 of the paper narrates
+// (round r+1's sends released by round r's last barrier reply),
+// including removing each switch from the waiting set as its reply
+// arrives; for a sparse DAG independent branches overtake each
+// other's stragglers. The release bookkeeping runs on core.PlanRun
+// and is allocation-free per barrier in steady state.
 func (e *Engine) execute(ctx context.Context, job *Job) {
 	job.mu.Lock()
 	job.state = JobRunning
 	job.started = e.c.clock.Now()
 	job.mu.Unlock()
 
-	for roundIdx, round := range job.rounds {
-		switches := round.switches()
-		timing := RoundTiming{
-			Round:    roundIdx,
-			Switches: switches,
-			Cleanup:  round.cleanup,
-			Started:  e.c.clock.Now(),
-		}
+	nodes := job.plan.nodes
+	n := len(nodes)
+	if n > 0 {
+		run := core.NewPlanRun(job.plan.dag)
+		ready := make([]int, 0, n)
+		acks := make(chan nodeAck, n) // buffered: stragglers of a failed job never leak
+		releasedBy := make([]topo.NodeID, n)
 
-		// 1. Send every FlowMod of the round.
-		for _, tm := range round.mods {
-			if err := e.c.SendFlowMod(uint64(tm.node), tm.fm); err != nil {
-				e.fail(job, fmt.Errorf("round %d: sending flowmod to %d: %w", roundIdx, tm.node, err))
-				return
-			}
-			timing.FlowMods++
+		// Per-layer aggregation for the legacy round view: a layer's
+		// RoundTiming publishes once the layer and all earlier layers
+		// are fully confirmed, keeping round events in order even when
+		// sparse branches complete out of layer order.
+		layers := make([]RoundTiming, job.plan.depth)
+		layerLeft := make([]int, job.plan.depth)
+		for i := range layers {
+			layers[i] = RoundTiming{Round: i, Cleanup: true}
 		}
+		for _, nd := range nodes {
+			layerLeft[nd.layer]++
+		}
+		nextRound := 0
 
-		// 2. Barrier every touched switch; remove a switch from the
-		// waiting set as its reply arrives.
-		waits := make(map[topo.NodeID]<-chan struct{}, len(switches))
-		for _, node := range switches {
-			done, err := e.c.BarrierAsync(uint64(node))
-			if err != nil {
-				e.fail(job, fmt.Errorf("round %d: barrier to %d: %w", roundIdx, node, err))
-				return
-			}
-			waits[node] = done
+		ready = run.Reset(ready)
+		for _, i := range ready {
+			go e.dispatchNode(ctx, job, i, acks)
 		}
-		roundCtx, cancel := context.WithTimeout(ctx, e.c.cfg.RoundTimeout)
-		for node, done := range waits {
+		for completed := 0; completed < n; completed++ {
+			var a nodeAck
 			select {
-			case <-done:
-			case <-roundCtx.Done():
-				cancel()
-				e.fail(job, fmt.Errorf("round %d: barrier reply from %d: %w", roundIdx, node, roundCtx.Err()))
-				return
-			}
-		}
-		cancel()
-		timing.Finished = e.c.clock.Now()
-
-		job.mu.Lock()
-		job.timings = append(job.timings, timing)
-		publishLocked(job, JobEvent{Round: &timing, State: JobRunning})
-		job.mu.Unlock()
-
-		if job.Interval > 0 && roundIdx+1 < len(job.rounds) {
-			select {
-			case <-e.c.clock.After(job.Interval):
+			case a = <-acks:
 			case <-ctx.Done():
 				e.fail(job, ctx.Err())
 				return
+			}
+			if a.err != nil {
+				e.fail(job, a.err)
+				return
+			}
+			nd := &nodes[a.idx]
+			install := InstallTiming{
+				Node:       nd.node,
+				Layer:      nd.layer,
+				ReleasedBy: releasedBy[a.idx],
+				FlowMods:   a.flowMods,
+				Cleanup:    nd.cleanup,
+				Started:    a.started,
+				Finished:   a.finished,
+			}
+			job.mu.Lock()
+			job.installs = append(job.installs, install)
+			publishLocked(job, JobEvent{Install: &install, State: JobRunning})
+			job.mu.Unlock()
+
+			lt := &layers[nd.layer]
+			lt.Switches = append(lt.Switches, nd.node)
+			lt.FlowMods += a.flowMods
+			lt.Cleanup = lt.Cleanup && nd.cleanup
+			if lt.Started.IsZero() || a.started.Before(lt.Started) {
+				lt.Started = a.started
+			}
+			if a.finished.After(lt.Finished) {
+				lt.Finished = a.finished
+			}
+			layerLeft[nd.layer]--
+			for nextRound < len(layers) && layerLeft[nextRound] == 0 {
+				timing := layers[nextRound]
+				sort.Slice(timing.Switches, func(a, b int) bool { return timing.Switches[a] < timing.Switches[b] })
+				job.mu.Lock()
+				job.timings = append(job.timings, timing)
+				publishLocked(job, JobEvent{Round: &timing, State: JobRunning})
+				job.mu.Unlock()
+				nextRound++
+			}
+
+			// Release: every install the ack unblocks dispatches now.
+			ready = run.Complete(a.idx, ready[:0])
+			for _, s := range ready {
+				releasedBy[s] = nd.node
+				go e.dispatchNode(ctx, job, s, acks)
 			}
 		}
 	}
@@ -703,5 +951,45 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 	publishLocked(job, JobEvent{State: JobDone})
 	job.mu.Unlock()
 	close(job.done)
-	e.c.logger.Info("update job done", "job", job.ID, "rounds", len(job.rounds))
+	e.c.logger.Info("update job done", "job", job.ID,
+		"installs", n, "depth", job.plan.depth, "sparse", job.plan.sparse)
+}
+
+// dispatchNode issues one install: optional inter-layer pause, the
+// node's FlowMods, then a barrier request, reporting the barrier
+// reply (or failure) to the dispatcher's ack loop. The job's
+// RoundTimeout bounds each install's barrier individually.
+func (e *Engine) dispatchNode(ctx context.Context, job *Job, i int, acks chan<- nodeAck) {
+	nd := &job.plan.nodes[i]
+	if job.Interval > 0 && nd.layer > 0 {
+		select {
+		case <-e.c.clock.After(job.Interval):
+		case <-ctx.Done():
+			acks <- nodeAck{idx: i, err: ctx.Err()}
+			return
+		}
+	}
+	started := e.c.clock.Now()
+	flowMods := 0
+	for _, tm := range nd.mods {
+		if err := e.c.SendFlowMod(uint64(tm.node), tm.fm); err != nil {
+			acks <- nodeAck{idx: i, err: fmt.Errorf("install at %d (layer %d): sending flowmod: %w", tm.node, nd.layer, err)}
+			return
+		}
+		flowMods++
+	}
+	done, err := e.c.BarrierAsync(uint64(nd.node))
+	if err != nil {
+		acks <- nodeAck{idx: i, err: fmt.Errorf("install at %d (layer %d): barrier: %w", nd.node, nd.layer, err)}
+		return
+	}
+	nodeCtx, cancel := context.WithTimeout(ctx, e.c.cfg.RoundTimeout)
+	defer cancel()
+	select {
+	case <-done:
+	case <-nodeCtx.Done():
+		acks <- nodeAck{idx: i, err: fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, nodeCtx.Err())}
+		return
+	}
+	acks <- nodeAck{idx: i, flowMods: flowMods, started: started, finished: e.c.clock.Now()}
 }

@@ -1,0 +1,123 @@
+package controller
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/netem"
+	"tsu/internal/simclock"
+	"tsu/internal/switchsim"
+	"tsu/internal/topo"
+)
+
+// BenchmarkPlanDispatch measures what the ack-driven dispatcher buys
+// under heavy-tailed switch latencies (netem bounded-Pareto installs,
+// the PAM'15 stall model): a Comb(12, 8) update — twelve independent
+// detour chains of eight switches each — executed on a full live
+// deployment (controller + 121 TCP switches) in virtual time.
+//
+// round-barrier runs GreedySLF's nine lock-step rounds as a layered
+// plan: every round waits for the slowest switch of every unrelated
+// chain, so each of the nine barriers pays a fresh straggler. The
+// sparse plan (depth 2, critical path 1) releases each spine switch
+// the moment its own chain acks, so stragglers stall only their own
+// branch and overlap. Completion is reported as virtual milliseconds
+// per update (vclock_ms/op); the sparse plan completes the same
+// update more than 2x faster.
+//
+//	go test ./internal/controller -bench PlanDispatch -benchtime 5x
+func BenchmarkPlanDispatch(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		sparse bool
+	}{
+		{"round-barrier", false},
+		{"sparse-plan", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchmarkPlanDispatch(b, bc.sparse)
+		})
+	}
+}
+
+const (
+	benchCombK     = 12
+	benchCombChain = 8
+)
+
+// benchParetoInstall is the heavy-tailed rule-install latency every
+// switch draws from: 1ms floor, tail index 2, 500ms stalls at the cap.
+var benchParetoInstall = netem.Pareto{Scale: time.Millisecond, Alpha: 2.0, Cap: 500 * time.Millisecond}
+
+func benchmarkPlanDispatch(b *testing.B, sparse bool) {
+	ti := topo.Comb(benchCombK, benchCombChain)
+	fwd := core.MustInstance(ti.Old, ti.New, 0)
+	back := core.MustInstance(ti.New, ti.Old, 0)
+
+	sim := simclock.NewSim(time.Time{})
+	// A generous idle window: with ~100 concurrent TCP flows the
+	// driver must not release the next virtual timestamp while sends
+	// are still in kernel flight, or stragglers get billed virtual
+	// time they never modelled.
+	stop := sim.AutoAdvance(3 * time.Millisecond)
+	defer stop()
+	tb := newTestbedWithConfig(b, ti.Graph, Config{Topology: ti.Graph, Clock: sim},
+		func(n topo.NodeID) switchsim.Config {
+			return switchsim.Config{
+				Node:           n,
+				InstallLatency: benchParetoInstall,
+				Clock:          sim,
+			}
+		})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	match := flowMatch("10.0.0.2")
+	if err := tb.ctrl.InstallPath(ctx, fwd.Old, match, ""); err != nil {
+		b.Fatal(err)
+	}
+
+	sched, err := core.GreedySLF(fwd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := core.SparsePlan(fwd, sched)
+	if !plan.Sparse || plan.Depth() != 2 {
+		b.Fatalf("comb sparse plan = %s, want a depth-2 sparse DAG", plan)
+	}
+	backSched, err := core.GreedySLF(back)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var job *Job
+		if sparse {
+			job, err = tb.ctrl.Engine().SubmitPlan(fwd, plan, match, SubmitOptions{})
+		} else {
+			job, err = tb.ctrl.Engine().Submit(fwd, sched, match, 0)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := job.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+		virtual += job.TotalDuration()
+
+		// Roll back (unmeasured) so the next iteration updates again.
+		b.StopTimer()
+		undo, err := tb.ctrl.Engine().Submit(back, backSched, match, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := undo.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "vclock_ms/op")
+}

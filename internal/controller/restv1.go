@@ -61,13 +61,18 @@ func writeErr(w http.ResponseWriter, err error) {
 }
 
 // plannedUpdate is one validated batch entry with its computed
-// schedule. Algo is "two-phase" (Sched nil) or a registry name; Props
-// is the entry's requested property set (0 when unset).
+// schedule and execution plan. Algo is "two-phase" (Sched and DAG
+// nil) or a registry name; Props is the entry's requested property
+// set (0 when unset). DAG is the execution plan: the schedule's
+// lossless layered conversion by default, the scheduler's sparse DAG
+// when the entry asked for plan "sparse" and the scheduler provides
+// one.
 type plannedUpdate struct {
 	In    *core.Instance
 	Match openflow.Match
 	Algo  string
 	Sched *core.Schedule
+	DAG   *core.Plan
 	Props core.Property
 }
 
@@ -98,6 +103,12 @@ func planUpdate(u api.FlowUpdate, forVerify bool) (*plannedUpdate, error) {
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, api.CodeUnknownProperty, "%v", err)
 	}
+	switch u.Plan {
+	case "", "layered", "sparse":
+	default:
+		return nil, errf(http.StatusBadRequest, api.CodeBadRequest,
+			"plan %q unknown (want layered or sparse)", u.Plan)
+	}
 	p := &plannedUpdate{In: in, Match: openflow.ExactNWDst(ip), Algo: u.Algorithm, Props: props}
 	if u.Algorithm == "two-phase" {
 		// Per-packet consistency: every packet rides exactly one
@@ -125,7 +136,37 @@ func planUpdate(u api.FlowUpdate, forVerify bool) (*plannedUpdate, error) {
 	}
 	p.Algo = sched.Algorithm
 	p.Sched = sched
+	// Execution plan: the lossless layered conversion by default; the
+	// sparse DAG on request, derived from the schedule just computed
+	// (the PlanScheduler capability gates which algorithms' rounds
+	// justify the derivation — never re-running the scheduler, so the
+	// reported rounds and the executed DAG come from the same run).
+	// Schedulers without a sparse form fall back to layered —
+	// PlanShape.Sparse reports what ran.
+	p.DAG = core.PlanFromSchedule(sched)
+	if u.Plan == "sparse" {
+		if sch, err := core.Lookup(p.Algo); err == nil {
+			if _, capable := sch.(core.PlanScheduler); capable {
+				p.DAG = core.SparsePlan(in, sched)
+			}
+		}
+	}
 	return p, nil
+}
+
+// planShape converts a plan's DAG shape to the wire form.
+func planShape(p *core.Plan) *api.PlanShape {
+	if p == nil {
+		return nil
+	}
+	return &api.PlanShape{
+		Nodes:        p.NumNodes(),
+		Edges:        p.NumEdges(),
+		Depth:        p.Depth(),
+		Width:        p.Width(),
+		CriticalPath: p.CriticalPath(),
+		Sparse:       p.Sparse,
+	}
 }
 
 // planBatch validates a whole batch atomically: the first invalid
@@ -162,27 +203,39 @@ func accepted(p *plannedUpdate, job *Job) api.AcceptedUpdate {
 		out.Rounds = api.FromRounds(p.Sched.Rounds)
 		out.Guarantees = p.Sched.Guarantees.String()
 		out.Compromise = p.Sched.LoopFreedomCompromised
+		out.Plan = planShape(p.DAG)
 	} else {
 		out.Guarantees = "PerPacketConsistency"
 	}
 	return out
 }
 
-// prepareSpec builds one planned update's rounds (no admission).
+// prepareSpec builds one planned update's execution DAG (no
+// admission): two-phase and layered plans go through the round
+// builders, sparse plans through the per-node builder.
 func (c *Controller) prepareSpec(p *plannedUpdate, opts SubmitOptions) (jobSpec, error) {
-	var rounds []execRound
+	var ep execPlan
 	var err error
 	algo := p.Algo
-	if p.Sched == nil {
+	switch {
+	case p.Sched == nil:
 		algo = "two-phase"
-		rounds, err = c.engine.buildTwoPhaseRounds(p.In, p.Match, TwoPhaseTag, opts)
-	} else {
-		rounds, err = c.engine.buildScheduleRounds(p.In, p.Sched, p.Match, opts)
+		var rounds []execRound
+		if rounds, err = c.engine.buildTwoPhaseRounds(p.In, p.Match, TwoPhaseTag, opts); err == nil {
+			ep = layeredExecPlan(rounds)
+		}
+	case p.DAG != nil && p.DAG.Sparse:
+		ep, err = c.engine.buildPlanNodes(p.In, p.DAG, p.Match, opts)
+	default:
+		var rounds []execRound
+		if rounds, err = c.engine.buildScheduleRounds(p.In, p.Sched, p.Match, opts); err == nil {
+			ep = layeredExecPlan(rounds)
+		}
 	}
 	if err != nil {
 		return jobSpec{}, errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 	}
-	return jobSpec{algorithm: algo, rounds: rounds, interval: opts.Interval}, nil
+	return jobSpec{algorithm: algo, plan: ep, interval: opts.Interval}, nil
 }
 
 // submitPlanned builds and admits a group of planned updates
@@ -242,12 +295,21 @@ func (c *Controller) handleV1SubmitBatch(w http.ResponseWriter, r *http.Request)
 
 // v1JobStatus converts a Job to the wire shape.
 func v1JobStatus(job *Job) api.JobStatus {
+	depth, width, critical, sparse := job.PlanShape()
 	st := api.JobStatus{
 		ID:          job.ID,
 		State:       job.State().String(),
 		Algorithm:   job.Algorithm,
 		TotalMicros: job.TotalDuration().Microseconds(),
 		Rounds:      []api.RoundStatus{},
+		Plan: &api.PlanShape{
+			Nodes:        job.NumInstalls(),
+			Edges:        job.NumEdges(),
+			Depth:        depth,
+			Width:        width,
+			CriticalPath: critical,
+			Sparse:       sparse,
+		},
 	}
 	if err := job.Err(); err != nil {
 		st.Error = err.Error()
@@ -255,7 +317,21 @@ func v1JobStatus(job *Job) api.JobStatus {
 	for _, t := range job.Timings() {
 		st.Rounds = append(st.Rounds, v1RoundStatus(t))
 	}
+	for _, it := range job.Installs() {
+		st.Installs = append(st.Installs, v1InstallStatus(it))
+	}
 	return st
+}
+
+func v1InstallStatus(it InstallTiming) api.InstallStatus {
+	return api.InstallStatus{
+		Switch:     uint64(it.Node),
+		Layer:      it.Layer,
+		ReleasedBy: uint64(it.ReleasedBy),
+		FlowMods:   it.FlowMods,
+		Cleanup:    it.Cleanup,
+		Micros:     it.Duration().Microseconds(),
+	}
 }
 
 func v1RoundStatus(t RoundTiming) api.RoundStatus {
@@ -334,6 +410,10 @@ func (c *Controller) handleV1Watch(w http.ResponseWriter, r *http.Request) {
 			}
 			we := api.WatchEvent{Job: job.ID}
 			switch {
+			case ev.Install != nil:
+				we.Type = api.EventInstall
+				is := v1InstallStatus(*ev.Install)
+				we.Install = &is
 			case ev.Round != nil:
 				we.Type = api.EventRound
 				rs := v1RoundStatus(*ev.Round)
@@ -380,25 +460,47 @@ func (c *Controller) handleV1Verify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errf(http.StatusBadRequest, api.CodeUnknownProperty, "%v", err))
 		return
 	}
-	tasks := make([]verify.Task, 0, len(plans))
+	// Layered entries share one parallel round-verification pool;
+	// sparse entries are verified over their full ideal space (order
+	// ideals of the DAG) by verify.Plan instead — each update is
+	// checked exactly once, under the semantics of the plan it would
+	// execute.
+	taskProps := make([]core.Property, len(plans))
+	taskIdx := make([]int, len(plans)) // plan index -> batch task index, -1 for sparse
+	var tasks []verify.Task
 	for i, p := range plans {
 		if p.Sched == nil {
 			writeErr(w, errf(http.StatusBadRequest, api.CodeScheduleFailed,
 				"updates[%d]: two-phase has no round schedule to verify", i))
 			return
 		}
-		tasks = append(tasks, verify.Task{Instance: p.In, Schedule: p.Sched, Props: checkProps(p, reqProps)})
+		taskProps[i] = checkProps(p, reqProps)
+		taskIdx[i] = -1
+		if p.DAG == nil || !p.DAG.Sparse {
+			taskIdx[i] = len(tasks)
+			tasks = append(tasks, verify.Task{Instance: p.In, Schedule: p.Sched, Props: taskProps[i]})
+		}
 	}
-	reports := verify.Batch(tasks, verify.Options{Samples: req.Samples, Seed: req.Seed})
+	vopts := verify.Options{Samples: req.Samples, Seed: req.Seed}
+	batched := verify.Batch(tasks, vopts)
+	reports := make([]*verify.Report, len(plans))
+	for i, p := range plans {
+		if taskIdx[i] >= 0 {
+			reports[i] = batched[taskIdx[i]]
+		} else {
+			reports[i] = verify.Plan(p.In, p.DAG, taskProps[i], vopts)
+		}
+	}
 	resp := api.VerifyResponse{OK: true, Results: make([]api.VerifyResult, 0, len(reports))}
 	for i, rep := range reports {
 		res := api.VerifyResult{
 			Algorithm:  plans[i].Algo,
 			Rounds:     api.FromRounds(plans[i].Sched.Rounds),
 			Guarantees: plans[i].Sched.Guarantees.String(),
-			Properties: tasks[i].Props.String(),
+			Properties: taskProps[i].String(),
 			OK:         rep.OK(),
 			Exact:      rep.Exact(),
+			Plan:       planShape(plans[i].DAG),
 		}
 		if !res.OK {
 			resp.OK = false
@@ -493,13 +595,20 @@ func (c *Controller) handleV1Explore(w http.ResponseWriter, r *http.Request) {
 				// Workers: 1 — this loop already fans out across
 				// updates; nesting explore's own round pool would
 				// oversubscribe the CPUs.
-				reps[i], errs[i] = explore.Schedule(p.In, p.Sched, explore.Options{
+				eopts := explore.Options{
 					Props:         checkProps(p, reqProps),
 					MaxExhaustive: req.MaxExhaustive,
 					Samples:       req.Samples,
 					Seed:          req.Seed,
 					Workers:       1,
-				})
+				}
+				if p.DAG != nil && p.DAG.Sparse {
+					// Sparse plans: the adversary ranges over the
+					// DAG's order ideals, not round states.
+					reps[i], errs[i] = explore.Plan(p.In, p.DAG, eopts)
+				} else {
+					reps[i], errs[i] = explore.Schedule(p.In, p.Sched, eopts)
+				}
 			}
 		}()
 	}
@@ -523,6 +632,7 @@ func (c *Controller) handleV1Explore(w http.ResponseWriter, r *http.Request) {
 			OK:         rep.OK(),
 			Exhaustive: rep.Exhaustive(),
 			Events:     rep.Events(),
+			Plan:       planShape(p.DAG),
 		}
 		if v := rep.FirstViolation(); v != nil {
 			resp.OK = false

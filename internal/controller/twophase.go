@@ -34,7 +34,7 @@ func (e *Engine) SubmitTwoPhase(in *core.Instance, match openflow.Match, tag uin
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue("two-phase", rounds, opts.Interval)
+	return e.enqueue("two-phase", layeredExecPlan(rounds), opts.Interval)
 }
 
 // buildTwoPhaseRounds materializes the prepare/commit(/cleanup) rounds

@@ -50,3 +50,38 @@ func TestWalkAllocs(t *testing.T) {
 		t.Fatalf("RoundChecker.Check (safe round) = %.1f allocs/op, want 0", got)
 	}
 }
+
+// TestPlanRunAllocs pins the ack-driven dispatcher's per-barrier hot
+// path at zero steady-state allocations: with the successor adjacency
+// flattened at construction and the ready buffer pre-grown, a full
+// Reset-and-drain cycle over the plan — one Complete per barrier
+// reply — allocates nothing.
+func TestPlanRunAllocs(t *testing.T) {
+	ti := topo.Reversal(64)
+	in := MustInstance(ti.Old, ti.New, 0)
+	s, err := Peacock(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SparsePlan(in, s)
+	run := NewPlanRun(p)
+	ready := make([]int, 0, p.NumNodes())
+	queue := make([]int, 0, p.NumNodes())
+	drain := func() {
+		ready = run.Reset(ready[:0])
+		queue = append(queue[:0], ready...)
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			ready = run.Complete(i, ready[:0])
+			queue = append(queue, ready...)
+		}
+	}
+	drain() // warm the buffers
+	if run.Remaining() != 0 {
+		t.Fatalf("drain left %d nodes", run.Remaining())
+	}
+	if got := testing.AllocsPerRun(200, drain); got != 0 {
+		t.Fatalf("PlanRun Reset+Complete drain = %.1f allocs/op, want 0", got)
+	}
+}

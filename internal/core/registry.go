@@ -168,12 +168,16 @@ func init() {
 		schedule:   func(in *Instance, _ Property) (*Schedule, error) { return WayUp(in) },
 		applicable: func(in *Instance) bool { return in.Waypoint != 0 },
 	})
-	Register(AlgoPeacock, SchedulerFunc(func(in *Instance, _ Property) (*Schedule, error) {
+	// Peacock and GreedySLF carry the PlanScheduler capability: their
+	// round constructions are exactly the dependency reasoning
+	// SparsePlan prunes edges with (L1/L2 walk arguments, the
+	// double-edge test), so they emit genuinely sparse DAGs.
+	Register(AlgoPeacock, sparsePlanner{SchedulerFunc(func(in *Instance, _ Property) (*Schedule, error) {
 		return Peacock(in)
-	}))
-	Register(AlgoGreedySLF, SchedulerFunc(func(in *Instance, _ Property) (*Schedule, error) {
+	})})
+	Register(AlgoGreedySLF, sparsePlanner{SchedulerFunc(func(in *Instance, _ Property) (*Schedule, error) {
 		return GreedySLF(in)
-	}))
+	})})
 	Register(AlgoSequential, SchedulerFunc(func(in *Instance, props Property) (*Schedule, error) {
 		return Sequential(in, walkPropsOr(props))
 	}))

@@ -118,17 +118,7 @@ func (o Options) withDefaults() Options {
 
 // defaultProps resolves the checked property set (see Options.Props).
 func defaultProps(in *core.Instance, s *core.Schedule, props core.Property) core.Property {
-	if props != 0 {
-		return props
-	}
-	if s.Guarantees != 0 {
-		return s.Guarantees
-	}
-	p := core.NoBlackhole | core.RelaxedLoopFreedom
-	if in.Waypoint != 0 {
-		p |= core.WaypointEnforcement
-	}
-	return p
+	return defaultPropsFor(in, s.Guarantees, props)
 }
 
 // Event is one FlowMod taking effect: switch Switch's rule flips from

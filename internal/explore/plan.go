@@ -1,0 +1,332 @@
+package explore
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/netem"
+	"tsu/internal/topo"
+)
+
+// Plan explores a dependency plan against the ack-driven adversary:
+// the asynchronous control channel that lets every issued-but-not-yet-
+// confirmed FlowMod take effect in any order, constrained only by the
+// plan's happens-before edges. The reachable transient states are
+// exactly the DAG's order ideals (down-closed node sets; see
+// core.Plan), so:
+//
+//   - A layered plan's ideals are precisely the round states of its
+//     schedule view, and Plan delegates to the round machinery —
+//     reports, counters and fingerprints are bit-identical to
+//     Schedule on the equivalent round schedule.
+//   - A sparse plan is explored as one DAG: every order ideal is
+//     enumerated (a DFS over include/exclude decisions whose steps
+//     are single-switch flips, driven through the incremental
+//     core.Walker) when the ideal space fits the 1<<MaxExhaustive
+//     state budget; otherwise sampled linear extensions are replayed
+//     event by event — seeded uniform extensions plus heavy-tail-
+//     biased ones, where each node's install latency is drawn from
+//     the bounded-Pareto stall model and deliveries happen in
+//     completion-time order of the simulated ack-driven dispatch.
+//
+// Violation traces use the node's layer as the Event.Round, and
+// minimization removes only maximal elements so every shrunken trace
+// stays a reachable (down-closed) state.
+func Plan(in *core.Instance, p *core.Plan, opts Options) (*Report, error) {
+	if err := p.Validate(in); err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	if s, ok := p.Schedule(); ok {
+		return Schedule(in, s, opts)
+	}
+	opts = opts.withDefaults()
+	props := defaultPropsFor(in, p.Guarantees, opts.Props)
+	rep := &Report{Algorithm: p.Algorithm, Properties: props, Rounds: make([]RoundReport, 1)}
+	sc := newScratch(in)
+	rep.Rounds[0] = sc.explorePlan(p, props, opts)
+	rep.MemoHits = sc.mt.hits
+	return rep, nil
+}
+
+// defaultPropsFor resolves the checked property set from explicit
+// props, falling back to the plan/schedule guarantees and then the
+// instance's natural property set (see Options.Props).
+func defaultPropsFor(in *core.Instance, guarantees, props core.Property) core.Property {
+	if props != 0 {
+		return props
+	}
+	if guarantees != 0 {
+		return guarantees
+	}
+	p := core.NoBlackhole | core.RelaxedLoopFreedom
+	if in.Waypoint != 0 {
+		p |= core.WaypointEnforcement
+	}
+	return p
+}
+
+// explorePlan attacks a sparse plan's whole DAG as one round report:
+// exhaustive ideal enumeration when it fits the budget, sampled
+// linear extensions otherwise.
+func (sc *scratch) explorePlan(p *core.Plan, props core.Property, opts Options) RoundReport {
+	rr := RoundReport{Round: 0, Size: p.NumNodes()}
+	if p.NumNodes() <= 64 && sc.explorePlanExhaustive(p, props, opts, &rr) {
+		rr.Exhaustive = true
+		return rr
+	}
+	// Budget exceeded (or >64 nodes): discard partial counters and
+	// fall back to sampling.
+	rr = RoundReport{Round: 0, Size: p.NumNodes()}
+	sc.explorePlanSampled(p, props, opts, &rr)
+	return rr
+}
+
+// explorePlanExhaustive enumerates every order ideal of the plan,
+// checking the walker after each single-node step, and reports the
+// minimum violating ideal by ascending (size, node-index mask). A
+// minimum-size violating ideal is 1-minimal among reachable states:
+// every strictly smaller ideal was checked clean, and removing a
+// maximal element yields exactly such an ideal. It reports false when
+// the 1<<MaxExhaustive state budget was exceeded (rr is then partial
+// and must be discarded).
+func (sc *scratch) explorePlanExhaustive(p *core.Plan, props core.Property, opts Options, rr *RoundReport) bool {
+	in := sc.in
+	n := p.NumNodes()
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	sc.idx = sc.idx[:n]
+	for i, nd := range p.Nodes {
+		sc.idx[i] = in.NodeIndex(nd.Switch)
+	}
+	sc.w.Reset(nil)
+	budget := 1 << uint(opts.MaxExhaustive)
+	useMemo := n <= memoExhaustiveMax
+	var (
+		cur          uint64
+		found        bool
+		bestMask     uint64
+		bestSize     int
+		bestViolated core.Property
+	)
+	complete := p.VisitIdeals(
+		func(node int, on bool) {
+			sc.w.Flip(sc.idx[node])
+			if on {
+				cur |= 1 << uint(node)
+			} else {
+				cur &^= 1 << uint(node)
+			}
+		},
+		func() bool {
+			if rr.States >= budget {
+				return false
+			}
+			rr.States++
+			rr.Events++
+			var violated core.Property
+			if useMemo {
+				violated = sc.check(props)
+			} else {
+				violated = sc.w.Check(props)
+			}
+			if violated != 0 {
+				size := bits.OnesCount64(cur)
+				if !found || size < bestSize || (size == bestSize && cur < bestMask) {
+					found, bestMask, bestSize, bestViolated = true, cur, size, violated
+				}
+			}
+			return true
+		})
+	if !complete {
+		return false
+	}
+	if found {
+		rr.Violation = planViolation(in, p, bestMask, bestViolated)
+	}
+	return true
+}
+
+// planViolation materializes the violating ideal given by mask: the
+// trace delivers its nodes in topological (index) order, each event
+// tagged with the node's layer.
+func planViolation(in *core.Instance, p *core.Plan, mask uint64, violated core.Property) *Violation {
+	layers := planLayers(p)
+	st := in.NewState()
+	trace := make(Trace, 0, bits.OnesCount64(mask))
+	for i, nd := range p.Nodes {
+		if mask&(1<<uint(i)) != 0 {
+			in.Mark(st, nd.Switch)
+			trace = append(trace, Event{Round: layers[i], Switch: nd.Switch})
+		}
+	}
+	walk, _ := in.Walk(st)
+	return &Violation{
+		Round:    0,
+		Violated: violated,
+		Trace:    trace,
+		Walk:     walk,
+		Updated:  in.StateNodes(st),
+	}
+}
+
+// planLayers returns each node's layer (longest dependency chain).
+func planLayers(p *core.Plan) []int {
+	layers := make([]int, len(p.Nodes))
+	for i, nd := range p.Nodes {
+		l := 0
+		for _, d := range nd.Deps {
+			if layers[d]+1 > l {
+				l = layers[d] + 1
+			}
+		}
+		layers[i] = l
+	}
+	return layers
+}
+
+// explorePlanSampled replays sampled linear extensions of the plan on
+// the incremental walker, checking after every event. The first
+// Samples×HeavyTailBias extensions are heavy-tail-biased: the
+// ack-driven dispatch is simulated with per-node install latencies
+// from the bounded Pareto stall model (issue = latest dependency ack,
+// delivery order = completion-time order); the rest draw uniformly
+// random ready nodes via core.PlanRun. All draws derive from
+// opts.Seed alone.
+func (sc *scratch) explorePlanSampled(p *core.Plan, props core.Property, opts Options, rr *RoundReport) {
+	in := sc.in
+	n := p.NumNodes()
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5E3779B97F4A7C15))
+	heavy := int(float64(opts.Samples) * opts.HeavyTailBias)
+	tail := netem.Pareto{Scale: time.Millisecond, Alpha: 1.1, Cap: 500 * time.Millisecond}
+	layers := planLayers(p)
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	sc.idx = sc.idx[:n]
+	for i, nd := range p.Nodes {
+		sc.idx[i] = in.NodeIndex(nd.Switch)
+	}
+
+	run := core.NewPlanRun(p)
+	ready := make([]int, 0, n)
+	order := make([]int, 0, n)
+	finish := make([]time.Duration, n)
+
+	// The empty ideal is common to every extension; check it once.
+	rr.Events++
+	sc.w.Reset(nil)
+	if violated := sc.check(props); violated != 0 {
+		rr.Violation = &Violation{Round: 0, Violated: violated, Trace: Trace{}, Walk: sc.w.Path()}
+		return
+	}
+	for s := 0; s < opts.Samples; s++ {
+		order = order[:0]
+		if s < heavy {
+			// Heavy-tail adversary: simulate the ack-driven dispatch
+			// under Pareto install stalls; one stalled node delays
+			// exactly its dependents, and deliveries land in
+			// completion-time order.
+			for i, nd := range p.Nodes {
+				issue := time.Duration(0)
+				for _, d := range nd.Deps {
+					if finish[d] > issue {
+						issue = finish[d]
+					}
+				}
+				finish[i] = issue + tail.Sample(rng)
+				order = append(order, i)
+			}
+			sort.SliceStable(order, func(a, b int) bool { return finish[order[a]] < finish[order[b]] })
+		} else {
+			ready = run.Reset(ready[:0])
+			for len(ready) > 0 {
+				k := rng.Intn(len(ready))
+				i := ready[k]
+				ready[k] = ready[len(ready)-1]
+				ready = run.Complete(i, ready[:len(ready)-1])
+				order = append(order, i)
+			}
+		}
+		rr.Orders++
+		sc.w.Reset(nil)
+		sc.trace = sc.trace[:0]
+		for _, i := range order {
+			sc.w.Flip(sc.idx[i])
+			sc.trace = append(sc.trace, Event{Round: layers[i], Switch: p.Nodes[i].Switch})
+			rr.Events++
+			if violated := sc.check(props); violated != 0 {
+				min, minViolated := MinimizePlan(in, p, sc.trace, props)
+				st := in.StateOf(min.Switches()...)
+				walk, _ := in.Walk(st)
+				rr.Violation = &Violation{
+					Round:    0,
+					Violated: minViolated,
+					Trace:    min,
+					Walk:     walk,
+					Updated:  in.StateNodes(st),
+				}
+				return
+			}
+		}
+	}
+}
+
+// MinimizePlan shrinks a violating plan trace while keeping it a
+// reachable state: only events that are maximal within the trace — no
+// later kept event depends on them — may be dropped, so the surviving
+// set stays down-closed. The result still violates props, and
+// dropping any single maximal event makes it pass (1-minimality over
+// the plan's reachable states).
+func MinimizePlan(in *core.Instance, p *core.Plan, trace Trace, props core.Property) (Trace, core.Property) {
+	nodeIdx := make(map[topo.NodeID]int, len(p.Nodes))
+	for i, nd := range p.Nodes {
+		nodeIdx[nd.Switch] = i
+	}
+	replay := func(tr Trace) core.Property {
+		st := in.NewState()
+		for _, e := range tr {
+			in.Mark(st, e.Switch)
+		}
+		return in.CheckState(st, props)
+	}
+	cur := append(Trace(nil), trace...)
+	violated := replay(cur)
+	if violated == 0 {
+		return cur, 0
+	}
+	maximal := func(tr Trace, i int) bool {
+		v := nodeIdx[tr[i].Switch]
+		for j, e := range tr {
+			if j == i {
+				continue
+			}
+			for _, d := range p.Nodes[nodeIdx[e.Switch]].Deps {
+				if d == v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			if !maximal(cur, i) {
+				continue
+			}
+			cand := make(Trace, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if v := replay(cand); v != 0 {
+				cur, violated, changed = cand, v, true
+				break
+			}
+		}
+	}
+	return cur, violated
+}

@@ -1,0 +1,280 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsu/internal/core"
+	"tsu/internal/topo"
+	"tsu/internal/verify"
+)
+
+// planTestInstances returns the pinned equivalence instances: the
+// paper's Fig.1 update (with and without waypoint) and a seeded random
+// fat-tree reroute.
+func planTestInstances(t *testing.T) map[string]*core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12))
+	ft := topo.FatTree(4)
+	var ftInstance *core.Instance
+	for ftInstance == nil || ftInstance.NumPending() == 0 {
+		ti, err := topo.RandomFatTreePolicy(rng, ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftInstance = core.MustInstance(ti.Old, ti.New, 0)
+	}
+	return map[string]*core.Instance{
+		"fig1":      core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint),
+		"fig1-nowp": core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, 0),
+		"fattree":   ftInstance,
+	}
+}
+
+// TestLayeredPlanBitIdentical is the plan↔schedule equivalence
+// contract, pinned for every registered scheduler on Fig.1 and a
+// fat-tree instance: converting the scheduler's rounds to a layered
+// plan must yield (a) the identical reachable-state set, (b) the
+// identical verifier report, and (c) the bit-identical explorer
+// fingerprint — layered plans ARE round semantics.
+func TestLayeredPlanBitIdentical(t *testing.T) {
+	for caseName, in := range planTestInstances(t) {
+		for _, name := range core.Names() {
+			t.Run(caseName+"/"+name, func(t *testing.T) {
+				scheduler := core.MustScheduler(name)
+				if !scheduler.Applicable(in) {
+					t.Skipf("%s not applicable", name)
+				}
+				s, err := scheduler.Schedule(in, 0)
+				if err != nil {
+					t.Skipf("%s declined: %v", name, err)
+				}
+				p := core.PlanFromSchedule(s)
+
+				// (a) Reachable states: the plan's order ideals are the
+				// schedule's round states.
+				wantStates := roundStates(in, s)
+				gotStates := map[string]bool{}
+				for _, st := range p.IdealStates(in) {
+					gotStates[stateKey(st)] = true
+				}
+				if len(gotStates) != len(wantStates) {
+					t.Fatalf("reachable states: %d ideals vs %d round states", len(gotStates), len(wantStates))
+				}
+				for k := range wantStates {
+					if !gotStates[k] {
+						t.Fatal("round state missing from plan ideals")
+					}
+				}
+
+				// (b) Verifier verdicts: bit-identical reports.
+				vopts := verify.Options{Seed: 7}
+				vs := verify.Schedule(in, s, s.Guarantees, vopts)
+				vp := verify.Plan(in, p, s.Guarantees, vopts)
+				if vs.String() != vp.String() || vs.OK() != vp.OK() || vs.Exact() != vp.Exact() {
+					t.Fatalf("verifier diverged:\n schedule %s\n plan     %s", vs, vp)
+				}
+
+				// (c) Explorer fingerprints: bit-identical.
+				eopts := Options{Seed: 11, MaxExhaustive: 14}
+				rs, err := Schedule(in, s, eopts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rp, err := Plan(in, p, eopts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rs.Fingerprint() != rp.Fingerprint() {
+					t.Fatalf("explorer fingerprint diverged:\n schedule:\n%s\n plan:\n%s",
+						rs.Fingerprint(), rp.Fingerprint())
+				}
+			})
+		}
+	}
+}
+
+// roundStates enumerates a schedule's reachable round states keyed by
+// stateKey.
+func roundStates(in *core.Instance, s *core.Schedule) map[string]bool {
+	out := map[string]bool{}
+	done := in.NewState()
+	for _, round := range s.Rounds {
+		for mask := 0; mask < 1<<len(round); mask++ {
+			st := in.CloneState(done)
+			for j, v := range round {
+				if mask&(1<<j) != 0 {
+					in.Mark(st, v)
+				}
+			}
+			out[stateKey(st)] = true
+		}
+		in.Mark(done, round...)
+	}
+	out[stateKey(done)] = true
+	return out
+}
+
+func stateKey(st core.State) string {
+	b := make([]byte, 0, 8*len(st))
+	for _, w := range st {
+		for k := 0; k < 8; k++ {
+			b = append(b, byte(w>>(8*k)))
+		}
+	}
+	return string(b)
+}
+
+// TestQuickPlanScheduleEquivalence property-tests the same contract
+// over random two-path instances and every registered scheduler,
+// including the waypoint-carrying ones.
+func TestQuickPlanScheduleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		ti := topo.RandomTwoPath(rng, 4+rng.Intn(8), trial%2 == 0)
+		in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
+		if in.NumPending() == 0 {
+			continue
+		}
+		for _, name := range core.Names() {
+			scheduler := core.MustScheduler(name)
+			if !scheduler.Applicable(in) {
+				continue
+			}
+			s, err := scheduler.Schedule(in, 0)
+			if err != nil {
+				continue
+			}
+			p := core.PlanFromSchedule(s)
+			eopts := Options{Seed: int64(trial), MaxExhaustive: 14}
+			rs, err := Schedule(in, s, eopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := Plan(in, p, eopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Fingerprint() != rp.Fingerprint() {
+				t.Fatalf("%s on %v: fingerprint diverged", name, in)
+			}
+			vs := verify.Schedule(in, s, s.Guarantees, verify.Options{Seed: int64(trial)})
+			vp := verify.Plan(in, p, s.Guarantees, verify.Options{Seed: int64(trial)})
+			if vs.String() != vp.String() {
+				t.Fatalf("%s on %v: verifier diverged:\n %s\n %s", name, in, vs, vp)
+			}
+		}
+	}
+}
+
+// TestExploreSparsePlanFig1 pins the sparse-plan explorer on the
+// Fig.1 Peacock plan: the DAG's full ideal space (45 states — more
+// than the 35 round states, since independent chains interleave) is
+// enumerated exhaustively and stays clean, and the fingerprint is
+// stable.
+func TestExploreSparsePlanFig1(t *testing.T) {
+	in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, 0)
+	p, err := core.PlanByName(in, core.AlgoPeacock, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Sparse {
+		t.Fatalf("expected sparse plan, got %s", p)
+	}
+	rep, err := Plan(in, p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || !rep.Exhaustive() {
+		t.Fatalf("sparse exploration = %s", rep)
+	}
+	want := "peacock props=NoBlackhole|RelaxedLoopFreedom\n" +
+		"round=0 size=7 exhaustive=true states=45 orders=0 events=45\n"
+	if got := rep.Fingerprint(); got != want {
+		t.Fatalf("fingerprint:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestExploreSparsePlanFindsViolation hands the explorer a broken
+// sparse plan — Fig.1 with the rule-availability chain edges removed,
+// so an old-path switch can flip before its new-only chain has rules
+// — and expects a minimized blackhole trace whose events respect the
+// remaining dependencies.
+func TestExploreSparsePlanFindsViolation(t *testing.T) {
+	in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, 0)
+	s, err := core.Peacock(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes in schedule order, no edges at all except one (so the plan
+	// is not layered and takes the DAG path).
+	broken := &core.Plan{Algorithm: "broken", Guarantees: s.Guarantees, Sparse: true}
+	for _, round := range s.Rounds {
+		for _, v := range round {
+			broken.Nodes = append(broken.Nodes, core.PlanNode{Switch: v})
+		}
+	}
+	broken.Nodes[len(broken.Nodes)-1].Deps = []int{0}
+	if err := broken.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Plan(in, broken, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("broken plan explored clean: %s", rep)
+	}
+	v := rep.FirstViolation()
+	if !v.Violated.Has(core.NoBlackhole) {
+		t.Fatalf("violated = %s, want a blackhole", v.Violated)
+	}
+	if len(v.Trace) == 0 {
+		t.Fatal("empty violation trace")
+	}
+	// Verify the plan verifier agrees.
+	vrep := verify.Plan(in, broken, s.Guarantees, verify.Options{})
+	if vrep.OK() {
+		t.Fatalf("verify.Plan passed the broken plan: %s", vrep)
+	}
+}
+
+// TestMinimizePlanKeepsIdeals pins MinimizePlan's reachability
+// contract: shrinking only removes maximal events, so the minimized
+// trace stays down-closed under the plan's dependencies — an event a
+// kept event depends on survives even when the unconstrained
+// minimizer would have dropped it.
+func TestMinimizePlanKeepsIdeals(t *testing.T) {
+	in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, 0)
+	// Hand-built plan: schedule order [7 8 9 10 11 1 3], the only edge
+	// 9 → 3. The trace [9 3] blackholes (3 routes into the rule-less
+	// 10); {3} alone also blackholes but is NOT reachable — the plan
+	// issues 3 only after 9's barrier — so minimization must keep 9.
+	p := &core.Plan{Algorithm: "handmade", Sparse: true}
+	order := []topo.NodeID{7, 8, 9, 10, 11, 1, 3}
+	for _, v := range order {
+		p.Nodes = append(p.Nodes, core.PlanNode{Switch: v})
+	}
+	p.Nodes[6].Deps = []int{2} // 3 depends on 9
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	trace := Trace{{Switch: 9}, {Switch: 3}}
+	min, violated := MinimizePlan(in, p, trace, core.NoBlackhole)
+	if !violated.Has(core.NoBlackhole) {
+		t.Fatalf("violated = %s, want NoBlackhole", violated)
+	}
+	if len(min) != 2 || min[0].Switch != 9 || min[1].Switch != 3 {
+		t.Fatalf("minimized = %v, want [9 3] (9 must survive: 3 depends on it)", min)
+	}
+	// The unconstrained subset minimizer would shrink to the
+	// unreachable {3}; pin that MinimizePlan did not.
+	unconstrained, _ := Minimize(in, in.NewState(), trace, core.NoBlackhole)
+	if len(unconstrained) != 1 {
+		t.Fatalf("premise broken: unconstrained minimum = %v", unconstrained)
+	}
+}

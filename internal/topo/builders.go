@@ -241,6 +241,39 @@ func Nested(n int) TwoPathInstance {
 	return instanceFromPaths(old, newPath, 0)
 }
 
+// Comb builds the branch-parallel family that separates round
+// barriers from ack-driven dependency plans: the old path runs along
+// a spine ⟨1, 2, ..., 2k+1⟩ and the new path detours every even spine
+// switch through its own fresh chain of length chainLen —
+//
+//	old  1 ──── 2 ──── 3 ──── 4 ──── 5 ...
+//	new  1 ─ d₁…d_L ─ 3 ─ d₁…d_L ─ 5 ...
+//
+// Each of the k detours is independent of every other: the true
+// dependency of odd spine switch 2i+1 is only its own detour chain
+// gaining rules, so a sparse plan has depth 2 while lock-step rounds
+// (strong loop freedom updates one detour position per round) need
+// chainLen+1 barriers — the instance where a single slow switch
+// stalling every unrelated branch costs the most.
+func Comb(k, chainLen int) TwoPathInstance {
+	if k < 1 || chainLen < 1 {
+		panic(fmt.Sprintf("topo: Comb(%d, %d): need k >= 1 and chainLen >= 1", k, chainLen))
+	}
+	spine := 2*k + 1
+	old := make(Path, spine)
+	for i := range old {
+		old[i] = NodeID(i + 1)
+	}
+	newPath := Path{1}
+	for i := 0; i < k; i++ {
+		for j := 1; j <= chainLen; j++ {
+			newPath = append(newPath, NodeID(spine+i*chainLen+j))
+		}
+		newPath = append(newPath, NodeID(2*i+3))
+	}
+	return instanceFromPaths(old, newPath, 0)
+}
+
 func instanceFromPaths(old, newPath Path, wp NodeID) TwoPathInstance {
 	g := NewGraph()
 	for _, v := range old {

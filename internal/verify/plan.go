@@ -1,0 +1,103 @@
+package verify
+
+import (
+	"math/rand"
+
+	"tsu/internal/core"
+)
+
+// Plan verifies a dependency plan: props must hold in every reachable
+// transient state, which for a plan means every order ideal
+// (down-closed node set) of its DAG — see core.Plan for the
+// equivalence argument.
+//
+// A layered plan's ideals are exactly the round states of its
+// schedule view, so layered plans delegate to the round engine and
+// the report is bit-identical to Schedule on the equivalent schedule.
+// Sparse plans are decided as one DAG: the ideal space is enumerated
+// exhaustively (single-flip DFS on the incremental walker) while it
+// fits Options.Budget states; past the budget the verifier falls back
+// to sampled linear extensions — every prefix of a seeded random
+// extension is an ideal — and marks the round inexact.
+func Plan(in *core.Instance, p *core.Plan, props core.Property, opts Options) *Report {
+	if s, ok := p.Schedule(); ok {
+		return Schedule(in, s, props, opts)
+	}
+	opts = opts.withDefaults()
+	r := &Report{Algorithm: p.Algorithm, Properties: props}
+	if err := p.Validate(in); err != nil {
+		r.StructureErr = err
+		return r
+	}
+	full := in.NewState()
+	for _, nd := range p.Nodes {
+		in.Mark(full, nd.Switch)
+	}
+	walk, outcome := in.Walk(full)
+	r.FinalStateOK = outcome == core.Reached && walk.Equal(in.New)
+
+	rr := RoundResult{Round: 0, Size: p.NumNodes()}
+	w := in.NewWalker()
+	idx := make([]int, p.NumNodes())
+	for i, nd := range p.Nodes {
+		idx[i] = in.NodeIndex(nd.Switch)
+	}
+	states := 0
+	complete := p.VisitIdeals(
+		func(node int, _ bool) { w.Flip(idx[node]) },
+		func() bool {
+			states++
+			if states > opts.Budget {
+				return false
+			}
+			if violated := w.Check(props); violated != 0 {
+				rr.Violation = &core.CounterExample{
+					Updated:  in.CloneState(w.State()),
+					Walk:     w.Path(),
+					Violated: violated,
+				}
+				return false
+			}
+			return true
+		})
+	rr.Exact = complete || rr.Violation != nil
+	if !rr.Exact {
+		rr.Violation = samplePlan(in, p, w, idx, props, opts)
+	}
+	r.Rounds = []RoundResult{rr}
+	return r
+}
+
+// samplePlan replays Options.Samples seeded random linear extensions
+// of the plan on the walker, checking every prefix (each prefix is an
+// order ideal), and returns the first counterexample found.
+func samplePlan(in *core.Instance, p *core.Plan, w *core.Walker, idx []int, props core.Property, opts Options) *core.CounterExample {
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x7F4A7C159E3779B9))
+	run := core.NewPlanRun(p)
+	ready := make([]int, 0, p.NumNodes())
+	check := func() *core.CounterExample {
+		if violated := w.Check(props); violated != 0 {
+			return &core.CounterExample{Updated: in.CloneState(w.State()), Walk: w.Path(), Violated: violated}
+		}
+		return nil
+	}
+	w.Reset(nil)
+	if cex := check(); cex != nil { // the empty ideal
+		return cex
+	}
+	for s := 0; s < opts.Samples; s++ {
+		w.Reset(nil)
+		ready = run.Reset(ready[:0])
+		for len(ready) > 0 {
+			k := rng.Intn(len(ready))
+			i := ready[k]
+			ready[k] = ready[len(ready)-1]
+			ready = run.Complete(i, ready[:len(ready)-1])
+			w.Flip(idx[i])
+			if cex := check(); cex != nil {
+				return cex
+			}
+		}
+	}
+	return nil
+}
