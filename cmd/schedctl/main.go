@@ -48,6 +48,7 @@ func run() error {
 		algorithm = flag.String("algorithm", "", "one of "+strings.Join(core.Names(), ", ")+" (default: all applicable)")
 		propsFlag = flag.String("props", "", "verify against these properties instead of the schedule's own guarantees (comma-separated: no-blackhole, waypoint, relaxed-lf, strong-lf)")
 		planFlag  = flag.String("plan", "", "execution plan shape, for both the printed shape and -submit: layered (default) or sparse")
+		modeFlag  = flag.String("mode", "", "dispatch path, for both the printed message counts and -submit: controller (default) or decentralized")
 		submit    = flag.Bool("submit", false, "submit the update to a live controller after the dry run (uses -algorithm, or the instance default when unset)")
 		server    = flag.String("server", "http://127.0.0.1:8080", "controller REST base URL for -submit")
 		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address for -submit")
@@ -94,6 +95,23 @@ func run() error {
 		if plan, err := core.PlanByName(in, algo, props, *planFlag == "sparse"); err == nil {
 			fmt.Printf("            plan: depth=%d width=%d critical=%d nodes=%d edges=%d sparse=%t\n",
 				plan.Depth(), plan.Width(), plan.CriticalPath(), plan.NumNodes(), plan.NumEdges(), plan.Sparse)
+			// Per-switch message counts for what -submit with the
+			// current -mode would exchange: decentralized collapses the
+			// control channel to push + report per switch, with the
+			// dependency acks travelling switch-to-switch.
+			if *modeFlag == "decentralized" {
+				for _, part := range plan.Partition() {
+					peer := 0
+					for _, pn := range part.Nodes {
+						for _, e := range pn.OutEdges {
+							if e.Switch != part.Switch {
+								peer++
+							}
+						}
+					}
+					fmt.Printf("            messages sw=%d: ctrl=2 peer=%d\n", part.Switch, peer)
+				}
+			}
 		}
 		checkProps := props
 		if checkProps == 0 {
@@ -116,7 +134,7 @@ func run() error {
 	}
 
 	if *submit {
-		return submitUpdate(in, *algorithm, *propsFlag, *planFlag, *server, *nwDst, *interval, *cleanup, *timeout)
+		return submitUpdate(in, *algorithm, *propsFlag, *planFlag, *modeFlag, *server, *nwDst, *interval, *cleanup, *timeout)
 	}
 	return nil
 }
@@ -125,7 +143,7 @@ func run() error {
 // typed client SDK and streams round progress until the job finishes.
 // The -props selection travels with the request, so the server
 // schedules against the same properties the local dry run verified.
-func submitUpdate(in *core.Instance, algorithm, propsFlag, planFlag, server, nwDst string, interval time.Duration, cleanup bool, timeout time.Duration) error {
+func submitUpdate(in *core.Instance, algorithm, propsFlag, planFlag, modeFlag, server, nwDst string, interval time.Duration, cleanup bool, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var propNames []string
@@ -144,6 +162,7 @@ func submitUpdate(in *core.Instance, algorithm, propsFlag, planFlag, server, nwD
 			NWDst:      nwDst,
 			Properties: propNames,
 			Plan:       planFlag,
+			Mode:       modeFlag,
 		}},
 		Interval: int(interval.Milliseconds()),
 		Cleanup:  cleanup,
@@ -167,6 +186,12 @@ func submitUpdate(in *core.Instance, algorithm, propsFlag, planFlag, server, nwD
 		return fmt.Errorf("job %d failed: %s", acc.ID, st.Error)
 	}
 	fmt.Printf("job %d done in %dµs\n", acc.ID, st.TotalMicros)
+	if st.Messages != nil {
+		fmt.Printf("messages: ctrl=%d peer=%d\n", st.Messages.Ctrl, st.Messages.Peer)
+		for _, mc := range st.MessagesPerSwitch {
+			fmt.Printf("  sw=%d: ctrl=%d peer=%d\n", mc.Switch, mc.Ctrl, mc.Peer)
+		}
+	}
 	return nil
 }
 

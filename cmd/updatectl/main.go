@@ -48,6 +48,7 @@ func run() error {
 		nwDst     = flag.String("nwdst", "10.0.0.2", "flow destination IPv4 address")
 		batch     = flag.String("batch", "", "batch entries 'old|new[|wp[|nwdst[|algorithm]]]' separated by ';' (overrides -old/-new)")
 		planShape = flag.String("plan", "", "execution plan shape: layered (default) or sparse (ack-driven dependency DAG where the scheduler supports it)")
+		mode      = flag.String("mode", "", "dispatch path: controller (default) or decentralized (switches release each other peer-to-peer from broadcast partitions)")
 		installs  = flag.Bool("installs", false, "stream per-switch installs (with releasing edges) instead of per-round summaries")
 		interval  = flag.Duration("interval", 0, "pause between rounds")
 		install   = flag.Bool("install", false, "install each old path as the active policy first (POST /v1/policies)")
@@ -64,6 +65,7 @@ func run() error {
 	}
 	for i := range updates {
 		updates[i].Plan = *planShape
+		updates[i].Mode = *mode
 	}
 
 	// Algorithm names are validated by the server (structured 400 with
@@ -177,8 +179,26 @@ func watchJob(ctx context.Context, c *client.Client, id int, installs bool) erro
 	if st.State != "done" {
 		return fmt.Errorf("failed: %s", st.Error)
 	}
-	fmt.Printf("job %d done in %dµs\n", id, st.TotalMicros)
+	fmt.Printf("job %d done in %dµs%s\n", id, st.TotalMicros, messageSummary(st))
+	if installs {
+		for _, mc := range st.MessagesPerSwitch {
+			fmt.Printf("job %d messages sw=%d: ctrl=%d peer=%d\n", id, mc.Switch, mc.Ctrl, mc.Peer)
+		}
+	}
 	return nil
+}
+
+// messageSummary renders the job's message-count breakdown for the
+// done line, e.g. " messages[ctrl=24 peer=7]".
+func messageSummary(st *api.JobStatus) string {
+	if st.Messages == nil {
+		return ""
+	}
+	s := fmt.Sprintf(" messages[ctrl=%d", st.Messages.Ctrl)
+	if st.Messages.Peer > 0 || st.Mode == "decentralized" {
+		s += fmt.Sprintf(" peer=%d", st.Messages.Peer)
+	}
+	return s + "]"
 }
 
 // parseUpdates builds the batch: either from -batch entries or from

@@ -15,6 +15,16 @@
 // issued the moment its dependencies' barriers arrive, so a slow
 // switch stalls only its own dependents.
 //
+// Execution is also decentralizable: Plan.Partition slices the DAG
+// into per-switch partitions that the controller broadcasts once
+// (internal/planwire vendor messages); each switch's plan agent then
+// installs nodes as in-edge acks arrive and acks its out-edges
+// peer-to-peer over the fabric, so a dependency edge costs a
+// sub-millisecond hop instead of two control RTTs. The partial order
+// — and therefore the reachable ideal space, the verifier verdicts
+// and the explorer fingerprints — is unchanged by who relays the
+// acks (core.AssemblePlan, TestDecentralizedBitIdentical).
+//
 // The library lives under internal/:
 //
 //   - internal/core      — update model, schedulers (the paper's contribution),
@@ -34,13 +44,17 @@
 //     scheduler with deterministic (time, seq) ordering and AutoAdvance
 //   - internal/topo      — topologies, update families, the Figure 1 scenario
 //   - internal/openflow  — OpenFlow 1.0-subset wire protocol
+//   - internal/planwire  — vendor-message payloads for decentralized execution
+//     (partition push, completion report)
 //   - internal/ofconn    — framing, handshake, xid management
-//   - internal/switchsim — simulated switches and data-plane fabric (clock-parameterized)
+//   - internal/switchsim — simulated switches, data-plane fabric and the
+//     decentralized plan agent (clock-parameterized)
 //   - internal/netem     — control-channel asynchrony models on a pluggable clock
 //   - internal/controller— the controller: ack-driven plan dispatch with
-//     per-node barriers (layered plans reproduce the paper's round loop),
+//     per-node barriers (layered plans reproduce the paper's round loop) or
+//     decentralized partition broadcast (ModeDecentralized),
 //     REST API (/v1/verify and /v1/explore are the dry-run surfaces; jobs
-//     report plan shape and per-install release edges)
+//     report plan shape, per-install release edges and ctrl/peer message counts)
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
 //   - internal/experiments — the experiment harness (E1..E10)
 //

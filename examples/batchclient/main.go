@@ -2,7 +2,10 @@
 // typed client SDK: a controller and a 16-switch grid fabric come up
 // in process, two disjoint flows are dry-run verified, submitted as
 // one batch, and watched as Server-Sent-Event streams while the
-// conflict-aware engine executes them concurrently.
+// conflict-aware engine executes them concurrently. Flow A executes
+// decentralized — the switches release each other peer-to-peer from
+// one broadcast partition each — while flow B stays controller-driven,
+// and the final job statuses show the message-count difference.
 //
 //	go run ./examples/batchclient
 package main
@@ -23,10 +26,11 @@ import (
 func main() {
 	// Grid rows: 1-4 / 5-8 / 9-12 / 13-16. Flow A rides rows 1-2,
 	// flow B rows 3-4 — disjoint switch sets, so the engine overlaps
-	// their rounds.
+	// their rounds. Flow A runs its sparse plan decentralized: two
+	// control messages per switch, dependency acks switch-to-switch.
 	flowA := api.FlowUpdate{
 		OldPath: []uint64{1, 2, 3, 4}, NewPath: []uint64{1, 5, 6, 7, 8, 4},
-		NWDst: "10.0.0.2", Algorithm: "peacock",
+		NWDst: "10.0.0.2", Algorithm: "peacock", Plan: "sparse", Mode: "decentralized",
 	}
 	flowB := api.FlowUpdate{
 		OldPath: []uint64{9, 10, 11, 12}, NewPath: []uint64{9, 13, 14, 15, 16, 12},
@@ -97,6 +101,25 @@ func main() {
 		}(acc.ID)
 	}
 	wg.Wait()
+
+	// Message-count breakdown: flow A's decentralized job exchanged
+	// exactly two control messages per switch and pushed the dependency
+	// traffic into the fabric; flow B paid the control channel per
+	// install.
+	for _, acc := range resp.Updates {
+		st, err := c.Job(ctx, acc.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := st.Mode
+		if mode == "" {
+			mode = "controller"
+		}
+		if st.Messages != nil {
+			fmt.Printf("job %d (%s): ctrl=%d peer=%d messages\n",
+				st.ID, mode, st.Messages.Ctrl, st.Messages.Peer)
+		}
+	}
 
 	h, err := c.Healthz(ctx)
 	if err != nil {

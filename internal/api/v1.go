@@ -88,6 +88,12 @@ type FlowUpdate struct {
 	// argument needs (falling back to layered when the scheduler has
 	// no sparse form). The response's PlanShape reports what ran.
 	Plan string `json:"plan,omitempty"`
+	// Mode selects the dispatch path: "controller" (or empty) keeps
+	// the controller in the loop for every happens-before edge, while
+	// "decentralized" broadcasts per-switch plan partitions once and
+	// lets the switches release each other peer-to-peer, reporting
+	// back only on completion.
+	Mode string `json:"mode,omitempty"`
 }
 
 // PlanShape summarizes an execution plan's DAG on the wire: how many
@@ -165,6 +171,16 @@ func (r RoundStatus) Duration() time.Duration {
 	return time.Duration(r.Micros) * time.Microsecond
 }
 
+// MessageCount is one switch's message tally for a job: Ctrl counts
+// controller↔switch messages (FlowMods, barriers and replies, or
+// partition push + completion report), Peer counts direct
+// switch↔switch dependency acks (decentralized mode only).
+type MessageCount struct {
+	Switch uint64 `json:"switch,omitempty"`
+	Ctrl   int    `json:"ctrl"`
+	Peer   int    `json:"peer,omitempty"`
+}
+
 // JobStatus reports a job's progress (GET /v1/updates/{id}).
 type JobStatus struct {
 	ID          int           `json:"id"`
@@ -173,11 +189,18 @@ type JobStatus struct {
 	Error       string        `json:"error,omitempty"`
 	TotalMicros int64         `json:"total_us"`
 	Rounds      []RoundStatus `json:"rounds"`
+	// Mode is the dispatch path that ran ("controller" or
+	// "decentralized").
+	Mode string `json:"mode,omitempty"`
 	// Plan is the execution DAG's shape.
 	Plan *PlanShape `json:"plan,omitempty"`
 	// Installs is the per-switch install trace in confirmation order;
 	// each entry records which dependency edge released the install.
 	Installs []InstallStatus `json:"installs,omitempty"`
+	// Messages is the job's total message tally; MessagesPerSwitch
+	// breaks it down by switch in ascending switch order.
+	Messages          *MessageCount  `json:"messages,omitempty"`
+	MessagesPerSwitch []MessageCount `json:"messages_per_switch,omitempty"`
 }
 
 // TotalDuration returns the job's wall-clock time (zero while

@@ -147,6 +147,64 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientDecentralizedRoundTrip submits an update in decentralized
+// mode through the wire and checks the job status reports the mode,
+// the message-count breakdown (two control messages per switch, peer
+// acks carrying the dependency edges), and the releasing predecessor
+// on non-root installs.
+func TestClientDecentralizedRoundTrip(t *testing.T) {
+	_, c := gridBed(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := c.InstallPolicy(ctx, api.PolicyRequest{Path: flowA.OldPath, NWDst: flowA.NWDst}); err != nil {
+		t.Fatal(err)
+	}
+	dec := flowA
+	dec.Plan = "sparse"
+	dec.Mode = "decentralized"
+	resp, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{Updates: []api.FlowUpdate{dec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, resp.Updates[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job = %+v", st)
+	}
+	if st.Mode != "decentralized" {
+		t.Fatalf("mode = %q, want decentralized", st.Mode)
+	}
+	if st.Messages == nil || st.Messages.Peer == 0 {
+		t.Fatalf("messages = %+v, want peer acks", st.Messages)
+	}
+	if len(st.MessagesPerSwitch) == 0 {
+		t.Fatal("per-switch message breakdown missing")
+	}
+	for _, mc := range st.MessagesPerSwitch {
+		if mc.Ctrl != 2 {
+			t.Fatalf("switch %d ctrl messages = %d, want 2 (push + report)", mc.Switch, mc.Ctrl)
+		}
+	}
+	if len(st.Installs) != st.Plan.Nodes {
+		t.Fatalf("installs = %d, want %d", len(st.Installs), st.Plan.Nodes)
+	}
+	for _, inst := range st.Installs {
+		if inst.Layer > 0 && inst.ReleasedBy == 0 {
+			t.Fatalf("install at %d (layer %d) lacks released_by", inst.Switch, inst.Layer)
+		}
+	}
+
+	// An unknown mode must be rejected atomically.
+	bad := flowA
+	bad.Mode = "telepathic"
+	if _, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{Updates: []api.FlowUpdate{bad}}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
 // TestClientExplore round-trips the adversarial interleaving explorer
 // through the wire: the one-shot baseline on a path-reversal instance
 // must come back with the transient loop as a minimized delivery

@@ -33,6 +33,7 @@ import (
 
 	"tsu/internal/ofconn"
 	"tsu/internal/openflow"
+	"tsu/internal/planwire"
 	"tsu/internal/simclock"
 	"tsu/internal/topo"
 )
@@ -77,6 +78,11 @@ type Controller struct {
 	listener  net.Listener
 	datapaths map[uint64]*datapath
 	dpWaiters []chan struct{}
+
+	// planReports routes decoded decentralized completion reports to
+	// the job waiting on them, keyed by job ID.
+	planMu      sync.Mutex
+	planReports map[int]chan<- *planwire.Report
 
 	flowRemoved atomic.Uint64
 
@@ -234,6 +240,28 @@ func (c *Controller) readLoop(ctx context.Context, dp *datapath) {
 		case *openflow.PortStatus:
 			c.logger.Info("port status", "dpid", dp.dpid,
 				"port", msg.Port.PortNo, "reason", msg.Reason)
+		case *openflow.Vendor:
+			if msg.Vendor != planwire.VendorID {
+				c.logger.Warn("unknown vendor message", "dpid", dp.dpid, "vendor", msg.Vendor)
+				continue
+			}
+			r, err := planwire.DecodeReport(msg.Data)
+			if err != nil {
+				c.logger.Warn("malformed completion report", "dpid", dp.dpid, "err", err)
+				continue
+			}
+			c.planMu.Lock()
+			ch := c.planReports[r.Job]
+			c.planMu.Unlock()
+			if ch == nil {
+				c.logger.Warn("completion report for unknown job", "dpid", dp.dpid, "job", r.Job)
+				continue
+			}
+			select {
+			case ch <- r: // buffered for one report per switch
+			default: // more reports than switches: drop rather than stall the read loop
+				c.logger.Warn("dropping surplus completion report", "dpid", dp.dpid, "job", r.Job)
+			}
 		case *openflow.Error:
 			c.logger.Warn("switch reported error", "dpid", dp.dpid, "err", msg.Error())
 		default:
@@ -299,6 +327,35 @@ func (c *Controller) SendFlowMod(dpid uint64, fm *openflow.FlowMod) error {
 	}
 	_, err = dp.conn.Send(fm)
 	return err
+}
+
+// SendVendor sends a vendor/experimenter message carrying an opaque
+// planwire payload to a switch — the decentralized engine's partition
+// push channel.
+func (c *Controller) SendVendor(dpid uint64, data []byte) error {
+	dp, err := c.datapath(dpid)
+	if err != nil {
+		return err
+	}
+	_, err = dp.conn.Send(&openflow.Vendor{Vendor: planwire.VendorID, Data: data})
+	return err
+}
+
+// registerPlanReports directs completion reports for a job to ch.
+func (c *Controller) registerPlanReports(job int, ch chan<- *planwire.Report) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if c.planReports == nil {
+		c.planReports = make(map[int]chan<- *planwire.Report)
+	}
+	c.planReports[job] = ch
+}
+
+// unregisterPlanReports stops routing a job's completion reports.
+func (c *Controller) unregisterPlanReports(job int) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	delete(c.planReports, job)
 }
 
 // Barrier sends a BARRIER_REQUEST to the switch and blocks until its

@@ -210,6 +210,7 @@ type Job struct {
 	ID        int
 	Algorithm string
 	Interval  time.Duration // pause before a released non-root install (REST "interval")
+	Mode      ExecMode      // dispatch path (controller-driven or decentralized)
 
 	plan execPlan
 
@@ -226,6 +227,7 @@ type Job struct {
 	err      error
 	timings  []RoundTiming
 	installs []InstallTiming
+	msgs     map[topo.NodeID]MessageStats
 	events   []JobEvent // publish log, replayed to late subscribers
 	started  time.Time
 	finished time.Time
@@ -456,6 +458,12 @@ type SubmitOptions struct {
 	// once the update completes, so the extra round cannot violate any
 	// transient property.
 	Cleanup bool
+
+	// Mode selects the dispatch path: ModeController (default) routes
+	// every happens-before edge through controller-side barriers;
+	// ModeDecentralized broadcasts per-switch plan partitions once and
+	// lets the switches coordinate peer-to-peer.
+	Mode ExecMode
 }
 
 // SubmitOpts is Submit with full options.
@@ -464,7 +472,7 @@ func (e *Engine) SubmitOpts(in *core.Instance, s *core.Schedule, match openflow.
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue(s.Algorithm, layeredExecPlan(rounds), opts.Interval)
+	return e.enqueue(jobSpec{algorithm: s.Algorithm, plan: layeredExecPlan(rounds), interval: opts.Interval, mode: opts.Mode})
 }
 
 // SubmitPlan enqueues a single-policy update job executing the given
@@ -477,7 +485,7 @@ func (e *Engine) SubmitPlan(in *core.Instance, p *core.Plan, match openflow.Matc
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue(p.Algorithm, ep, opts.Interval)
+	return e.enqueue(jobSpec{algorithm: p.Algorithm, plan: ep, interval: opts.Interval, mode: opts.Mode})
 }
 
 // buildPlanNodes materializes a dependency plan for one flow: one
@@ -610,7 +618,7 @@ func (e *Engine) SubmitJoint(ju *core.JointUpdate, matches []openflow.Match, opt
 			rounds = append(rounds, cr)
 		}
 	}
-	return e.enqueue("joint-"+ju.Schedules[0].Algorithm, layeredExecPlan(rounds), opts.Interval)
+	return e.enqueue(jobSpec{algorithm: "joint-" + ju.Schedules[0].Algorithm, plan: layeredExecPlan(rounds), interval: opts.Interval, mode: opts.Mode})
 }
 
 // updateFlowMod builds the round FlowMod for one switch of one flow:
@@ -654,11 +662,12 @@ type jobSpec struct {
 	algorithm string
 	plan      execPlan
 	interval  time.Duration
+	mode      ExecMode
 }
 
 // enqueue admits a single job (see enqueueAll).
-func (e *Engine) enqueue(algorithm string, plan execPlan, interval time.Duration) (*Job, error) {
-	jobs, err := e.enqueueAll([]jobSpec{{algorithm: algorithm, plan: plan, interval: interval}})
+func (e *Engine) enqueue(spec jobSpec) (*Job, error) {
+	jobs, err := e.enqueueAll([]jobSpec{spec})
 	if err != nil {
 		return nil, err
 	}
@@ -678,6 +687,7 @@ func (e *Engine) enqueueAll(specs []jobSpec) ([]*Job, error) {
 		jobs[i] = &Job{
 			Algorithm: s.algorithm,
 			Interval:  s.interval,
+			Mode:      s.mode,
 			plan:      s.plan,
 			done:      make(chan struct{}),
 		}
@@ -775,7 +785,11 @@ func (e *Engine) runJob(ctx context.Context, job *Job, deps []<-chan struct{}) {
 	e.queued--
 	e.running++
 	e.mu.Unlock()
-	e.execute(ctx, job)
+	if job.Mode == ModeDecentralized {
+		e.executeDecentralized(ctx, job)
+	} else {
+		e.execute(ctx, job)
+	}
 	<-e.sem
 	e.retire(job, true)
 }
@@ -865,27 +879,11 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 	nodes := job.plan.nodes
 	n := len(nodes)
 	if n > 0 {
-		run := core.NewPlanRun(job.plan.dag)
-		ready := make([]int, 0, n)
 		acks := make(chan nodeAck, n) // buffered: stragglers of a failed job never leak
 		releasedBy := make([]topo.NodeID, n)
 
-		// Per-layer aggregation for the legacy round view: a layer's
-		// RoundTiming publishes once the layer and all earlier layers
-		// are fully confirmed, keeping round events in order even when
-		// sparse branches complete out of layer order.
-		layers := make([]RoundTiming, job.plan.depth)
-		layerLeft := make([]int, job.plan.depth)
-		for i := range layers {
-			layers[i] = RoundTiming{Round: i, Cleanup: true}
-		}
-		for _, nd := range nodes {
-			layerLeft[nd.layer]++
-		}
-		nextRound := 0
-
-		ready = run.Reset(ready)
-		for _, i := range ready {
+		prog := newPlanProgress(job)
+		for _, i := range prog.start() {
 			go e.dispatchNode(ctx, job, i, acks)
 		}
 		for completed := 0; completed < n; completed++ {
@@ -901,6 +899,9 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 				return
 			}
 			nd := &nodes[a.idx]
+			// Control messages per confirmed install: the FlowMods plus
+			// the barrier request and its reply.
+			job.addMessages(nd.node, MessageStats{Ctrl: a.flowMods + 2})
 			install := InstallTiming{
 				Node:       nd.node,
 				Layer:      nd.layer,
@@ -910,35 +911,8 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 				Started:    a.started,
 				Finished:   a.finished,
 			}
-			job.mu.Lock()
-			job.installs = append(job.installs, install)
-			publishLocked(job, JobEvent{Install: &install, State: JobRunning})
-			job.mu.Unlock()
-
-			lt := &layers[nd.layer]
-			lt.Switches = append(lt.Switches, nd.node)
-			lt.FlowMods += a.flowMods
-			lt.Cleanup = lt.Cleanup && nd.cleanup
-			if lt.Started.IsZero() || a.started.Before(lt.Started) {
-				lt.Started = a.started
-			}
-			if a.finished.After(lt.Finished) {
-				lt.Finished = a.finished
-			}
-			layerLeft[nd.layer]--
-			for nextRound < len(layers) && layerLeft[nextRound] == 0 {
-				timing := layers[nextRound]
-				sort.Slice(timing.Switches, func(a, b int) bool { return timing.Switches[a] < timing.Switches[b] })
-				job.mu.Lock()
-				job.timings = append(job.timings, timing)
-				publishLocked(job, JobEvent{Round: &timing, State: JobRunning})
-				job.mu.Unlock()
-				nextRound++
-			}
-
 			// Release: every install the ack unblocks dispatches now.
-			ready = run.Complete(a.idx, ready[:0])
-			for _, s := range ready {
+			for _, s := range prog.confirm(a.idx, install) {
 				releasedBy[s] = nd.node
 				go e.dispatchNode(ctx, job, s, acks)
 			}

@@ -12,32 +12,58 @@ import (
 	"tsu/internal/topo"
 )
 
-// BenchmarkPlanDispatch measures what the ack-driven dispatcher buys
+// BenchmarkPlanDispatch measures what each dispatch refinement buys
 // under heavy-tailed switch latencies (netem bounded-Pareto installs,
-// the PAM'15 stall model): a Comb(12, 8) update — twelve independent
-// detour chains of eight switches each — executed on a full live
-// deployment (controller + 121 TCP switches) in virtual time.
+// the PAM'15 stall model) and a WAN-grade control channel: a
+// Comb(12, 8) update — twelve independent detour chains of eight
+// switches each — executed on a full live deployment (controller + 121
+// TCP switches) in virtual time, with every controller↔switch message
+// paying benchCtrlLatency and every switch↔switch ack paying
+// benchPeerLatency (ctrl-RTT ≫ hop-latency, the regime of a remote
+// controller over in-fabric peers).
 //
-// round-barrier runs GreedySLF's nine lock-step rounds as a layered
-// plan: every round waits for the slowest switch of every unrelated
-// chain, so each of the nine barriers pays a fresh straggler. The
-// sparse plan (depth 2, critical path 1) releases each spine switch
-// the moment its own chain acks, so stragglers stall only their own
-// branch and overlap. Completion is reported as virtual milliseconds
-// per update (vclock_ms/op); the sparse plan completes the same
-// update more than 2x faster.
+// Four arms:
+//
+//	round-barrier          GreedySLF's nine lock-step rounds as a
+//	                       layered plan: every round pays two control
+//	                       RTTs plus the slowest switch of every
+//	                       unrelated chain — nine barriers, nine
+//	                       stragglers, eighteen serialized RTTs.
+//	sparse-plan            the controller-driven sparse DAG (depth 2,
+//	                       critical path 1): stragglers only stall
+//	                       their own branch, but every node still pays
+//	                       its FlowMod + barrier on the control
+//	                       channel — four serialized RTTs end to end.
+//	decentralized-layered  the same nine-layer DAG executed by the
+//	                       switches themselves (depth 9 ≥ 5): one
+//	                       partition broadcast, then every
+//	                       happens-before edge is a sub-millisecond
+//	                       peer ack instead of two control RTTs. The
+//	                       control channel appears exactly once on the
+//	                       critical path.
+//	decentralized-sparse   the sparse DAG peer-to-peer: both
+//	                       optimizations compose.
+//
+// Completion is reported as virtual milliseconds per update
+// (vclock_ms/op). The headline target: decentralized-layered — a
+// depth-9 chain of dependencies — beats the controller-driven sparse
+// plan by ≥3x, because chain depth costs hop latency instead of
+// control RTTs.
 //
 //	go test ./internal/controller -bench PlanDispatch -benchtime 5x
 func BenchmarkPlanDispatch(b *testing.B) {
 	for _, bc := range []struct {
 		name   string
 		sparse bool
+		mode   ExecMode
 	}{
-		{"round-barrier", false},
-		{"sparse-plan", true},
+		{"round-barrier", false, ModeController},
+		{"sparse-plan", true, ModeController},
+		{"decentralized-layered", false, ModeDecentralized},
+		{"decentralized-sparse", true, ModeDecentralized},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			benchmarkPlanDispatch(b, bc.sparse)
+			benchmarkPlanDispatch(b, bc.sparse, bc.mode)
 		})
 	}
 }
@@ -51,7 +77,16 @@ const (
 // switch draws from: 1ms floor, tail index 2, 500ms stalls at the cap.
 var benchParetoInstall = netem.Pareto{Scale: time.Millisecond, Alpha: 2.0, Cap: 500 * time.Millisecond}
 
-func benchmarkPlanDispatch(b *testing.B, sparse bool) {
+// benchCtrlLatency is the one-way controller↔switch delivery latency:
+// a remote (WAN) controller. benchPeerLatency is the switch↔switch
+// hop for decentralized acks: an in-fabric data-plane neighbor,
+// three orders of magnitude closer.
+var (
+	benchCtrlLatency = netem.Fixed(200 * time.Millisecond)
+	benchPeerLatency = netem.Fixed(200 * time.Microsecond)
+)
+
+func benchmarkPlanDispatch(b *testing.B, sparse bool, mode ExecMode) {
 	ti := topo.Comb(benchCombK, benchCombChain)
 	fwd := core.MustInstance(ti.Old, ti.New, 0)
 	back := core.MustInstance(ti.New, ti.Old, 0)
@@ -68,6 +103,8 @@ func benchmarkPlanDispatch(b *testing.B, sparse bool) {
 			return switchsim.Config{
 				Node:           n,
 				InstallLatency: benchParetoInstall,
+				CtrlLatency:    benchCtrlLatency,
+				PeerLatency:    benchPeerLatency,
 				Clock:          sim,
 			}
 		})
@@ -82,9 +119,18 @@ func benchmarkPlanDispatch(b *testing.B, sparse bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	plan := core.SparsePlan(fwd, sched)
-	if !plan.Sparse || plan.Depth() != 2 {
-		b.Fatalf("comb sparse plan = %s, want a depth-2 sparse DAG", plan)
+	var plan *core.Plan
+	if sparse {
+		plan = core.SparsePlan(fwd, sched)
+		if !plan.Sparse || plan.Depth() != 2 {
+			b.Fatalf("comb sparse plan = %s, want a depth-2 sparse DAG", plan)
+		}
+	} else if mode == ModeDecentralized {
+		// The depth target of the decentralized arm: a genuinely deep
+		// dependency chain, so the win cannot come from plan shape.
+		if d := core.PlanFromSchedule(sched).Depth(); d < 5 {
+			b.Fatalf("comb layered plan depth = %d, want >= 5", d)
+		}
 	}
 	backSched, err := core.GreedySLF(back)
 	if err != nil {
@@ -96,9 +142,9 @@ func benchmarkPlanDispatch(b *testing.B, sparse bool) {
 	for i := 0; i < b.N; i++ {
 		var job *Job
 		if sparse {
-			job, err = tb.ctrl.Engine().SubmitPlan(fwd, plan, match, SubmitOptions{})
+			job, err = tb.ctrl.Engine().SubmitPlan(fwd, plan, match, SubmitOptions{Mode: mode})
 		} else {
-			job, err = tb.ctrl.Engine().Submit(fwd, sched, match, 0)
+			job, err = tb.ctrl.Engine().SubmitOpts(fwd, sched, match, SubmitOptions{Mode: mode})
 		}
 		if err != nil {
 			b.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,7 @@ type plannedUpdate struct {
 	Sched *core.Schedule
 	DAG   *core.Plan
 	Props core.Property
+	Mode  ExecMode
 }
 
 // planUpdate validates one FlowUpdate and computes its schedule. All
@@ -109,7 +111,12 @@ func planUpdate(u api.FlowUpdate, forVerify bool) (*plannedUpdate, error) {
 		return nil, errf(http.StatusBadRequest, api.CodeBadRequest,
 			"plan %q unknown (want layered or sparse)", u.Plan)
 	}
-	p := &plannedUpdate{In: in, Match: openflow.ExactNWDst(ip), Algo: u.Algorithm, Props: props}
+	mode, ok := ParseExecMode(u.Mode)
+	if !ok {
+		return nil, errf(http.StatusBadRequest, api.CodeBadRequest,
+			"mode %q unknown (want controller or decentralized)", u.Mode)
+	}
+	p := &plannedUpdate{In: in, Match: openflow.ExactNWDst(ip), Algo: u.Algorithm, Props: props, Mode: mode}
 	if u.Algorithm == "two-phase" {
 		// Per-packet consistency: every packet rides exactly one
 		// policy end to end, which subsumes all four per-flow
@@ -235,7 +242,7 @@ func (c *Controller) prepareSpec(p *plannedUpdate, opts SubmitOptions) (jobSpec,
 	if err != nil {
 		return jobSpec{}, errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 	}
-	return jobSpec{algorithm: algo, plan: ep, interval: opts.Interval}, nil
+	return jobSpec{algorithm: algo, plan: ep, interval: opts.Interval, mode: p.Mode}, nil
 }
 
 // submitPlanned builds and admits a group of planned updates
@@ -300,6 +307,7 @@ func v1JobStatus(job *Job) api.JobStatus {
 		ID:          job.ID,
 		State:       job.State().String(),
 		Algorithm:   job.Algorithm,
+		Mode:        job.Mode.String(),
 		TotalMicros: job.TotalDuration().Microseconds(),
 		Rounds:      []api.RoundStatus{},
 		Plan: &api.PlanShape{
@@ -319,6 +327,18 @@ func v1JobStatus(job *Job) api.JobStatus {
 	}
 	for _, it := range job.Installs() {
 		st.Installs = append(st.Installs, v1InstallStatus(it))
+	}
+	if total, per := job.Messages(); total.Ctrl > 0 || total.Peer > 0 {
+		st.Messages = &api.MessageCount{Ctrl: total.Ctrl, Peer: total.Peer}
+		switches := make([]topo.NodeID, 0, len(per))
+		for n := range per {
+			switches = append(switches, n)
+		}
+		sort.Slice(switches, func(a, b int) bool { return switches[a] < switches[b] })
+		for _, n := range switches {
+			st.MessagesPerSwitch = append(st.MessagesPerSwitch,
+				api.MessageCount{Switch: uint64(n), Ctrl: per[n].Ctrl, Peer: per[n].Peer})
+		}
 	}
 	return st
 }

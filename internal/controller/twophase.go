@@ -34,7 +34,7 @@ func (e *Engine) SubmitTwoPhase(in *core.Instance, match openflow.Match, tag uin
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue("two-phase", layeredExecPlan(rounds), opts.Interval)
+	return e.enqueue(jobSpec{algorithm: "two-phase", plan: layeredExecPlan(rounds), interval: opts.Interval, mode: opts.Mode})
 }
 
 // buildTwoPhaseRounds materializes the prepare/commit(/cleanup) rounds

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tsu/internal/topo"
+)
+
+// SwitchPartition is one switch's share of a decentralized plan: the
+// nodes that switch installs, each with the in-edges it must wait for
+// (keyed by the predecessor switch that will send the ack) and the
+// out-edges it must notify once its own install is confirmed. The
+// partitions of a plan carry the complete DAG — every dependency edge
+// appears exactly once as an in-edge at its consumer and once as an
+// out-edge at its producer — so AssemblePlan reconstructs the original
+// Plan, which is how tests prove the reachable ideal space is
+// untouched by decentralization: the edges, not who relays the ack,
+// define the partial order.
+type SwitchPartition struct {
+	// Switch owns and executes every node in this partition.
+	Switch topo.NodeID
+
+	// Algorithm, Guarantees, Sparse and LoopFreedomCompromised mirror
+	// the plan's metadata so a partition is self-describing.
+	Algorithm              string
+	Guarantees             Property
+	Sparse                 bool
+	LoopFreedomCompromised bool
+
+	// NumNodes is the global plan's node count — the agent needs it
+	// only for sanity bounds, AssemblePlan for sizing the rebuilt plan.
+	NumNodes int
+
+	// Nodes lists this switch's plan nodes ascending by global index.
+	// A switch usually owns one node; cleanup rounds can add a second.
+	Nodes []PartitionNode
+}
+
+// PartitionNode is one plan node as seen by its owning switch.
+type PartitionNode struct {
+	// Index is the node's index in the global plan (Plan.Nodes).
+	Index int
+
+	// InEdges are the dependencies: the node's install may proceed the
+	// moment an ack for every listed edge has arrived. Sorted ascending
+	// by Index; every Index is strictly below the node's own.
+	InEdges []PartitionEdge
+
+	// OutEdges are the successors to notify once this node's install is
+	// confirmed. Sorted ascending by Index; every Index is strictly
+	// above the node's own.
+	OutEdges []PartitionEdge
+}
+
+// PartitionEdge is one dependency edge endpoint at a peer switch.
+type PartitionEdge struct {
+	// Switch is the peer that owns the node at Index — for an in-edge
+	// the predecessor the ack arrives from, for an out-edge the
+	// successor the ack is sent to.
+	Switch topo.NodeID
+
+	// Index is the peer node's index in the global plan.
+	Index int
+}
+
+// Partition splits the plan into per-switch partitions, ascending by
+// switch id. Every dependency edge d→i of the plan appears exactly
+// twice: as an in-edge {Switch of d, d} on node i and as an out-edge
+// {Switch of i, i} on node d. The split is deterministic and lossless
+// — AssemblePlan inverts it.
+func (p *Plan) Partition() []SwitchPartition {
+	byNode := make(map[topo.NodeID]*SwitchPartition)
+	var order []topo.NodeID
+	part := func(v topo.NodeID) *SwitchPartition {
+		sp := byNode[v]
+		if sp == nil {
+			sp = &SwitchPartition{
+				Switch:                 v,
+				Algorithm:              p.Algorithm,
+				Guarantees:             p.Guarantees,
+				Sparse:                 p.Sparse,
+				LoopFreedomCompromised: p.LoopFreedomCompromised,
+				NumNodes:               len(p.Nodes),
+			}
+			byNode[v] = sp
+			order = append(order, v)
+		}
+		return sp
+	}
+	type slot struct {
+		sp  *SwitchPartition
+		idx int
+	}
+	nodeAt := make(map[int]slot, len(p.Nodes))
+	// First pass: create every node in global index order, so each
+	// partition's Nodes come out ascending, and record in-edges (deps
+	// are already sorted ascending).
+	for i, nd := range p.Nodes {
+		sp := part(nd.Switch)
+		pn := PartitionNode{Index: i}
+		for _, d := range nd.Deps {
+			pn.InEdges = append(pn.InEdges, PartitionEdge{Switch: p.Nodes[d].Switch, Index: d})
+		}
+		sp.Nodes = append(sp.Nodes, pn)
+		nodeAt[i] = slot{sp, len(sp.Nodes) - 1}
+	}
+	// Second pass: mirror each edge as an out-edge at its producer.
+	// Iterating consumers in index order appends each producer's
+	// out-edges ascending by successor index. (Resolved through the
+	// slot map, not pointers — first-pass appends may have moved the
+	// Nodes backing arrays.)
+	for i, nd := range p.Nodes {
+		for _, d := range nd.Deps {
+			s := nodeAt[d]
+			pr := &s.sp.Nodes[s.idx]
+			pr.OutEdges = append(pr.OutEdges, PartitionEdge{Switch: nd.Switch, Index: i})
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	out := make([]SwitchPartition, 0, len(order))
+	for _, v := range order {
+		out = append(out, *byNode[v])
+	}
+	return out
+}
+
+// AssemblePlan reconstructs the plan from its per-switch partitions,
+// validating that they are mutually consistent: the metadata agrees,
+// every global node index is owned exactly once, in-edges name the
+// true owner of their predecessor, and every in-edge is mirrored by an
+// out-edge at the producer (and vice versa). It is the concrete proof
+// vehicle for decentralized execution — AssemblePlan(p.Partition())
+// equals p, so the partitions define the same partial order and hence
+// the same reachable order ideals.
+func AssemblePlan(parts []SwitchPartition) (*Plan, error) {
+	if len(parts) == 0 {
+		return &Plan{}, nil
+	}
+	ref := parts[0]
+	p := &Plan{
+		Algorithm:              ref.Algorithm,
+		Guarantees:             ref.Guarantees,
+		Sparse:                 ref.Sparse,
+		LoopFreedomCompromised: ref.LoopFreedomCompromised,
+	}
+	n := ref.NumNodes
+	if n < 0 || n > maxPlanWireNodes {
+		return nil, fmt.Errorf("core: partition claims %d plan nodes", n)
+	}
+	p.Nodes = make([]PlanNode, n)
+	owned := make([]bool, n)
+	total := 0
+	for _, sp := range parts {
+		if sp.Algorithm != ref.Algorithm || sp.Guarantees != ref.Guarantees ||
+			sp.Sparse != ref.Sparse || sp.LoopFreedomCompromised != ref.LoopFreedomCompromised ||
+			sp.NumNodes != ref.NumNodes {
+			return nil, fmt.Errorf("core: partition of switch %d disagrees on plan metadata", sp.Switch)
+		}
+		for _, pn := range sp.Nodes {
+			if pn.Index < 0 || pn.Index >= n {
+				return nil, fmt.Errorf("core: switch %d owns out-of-range node %d", sp.Switch, pn.Index)
+			}
+			if owned[pn.Index] {
+				return nil, fmt.Errorf("core: node %d owned twice", pn.Index)
+			}
+			owned[pn.Index] = true
+			total++
+			nd := PlanNode{Switch: sp.Switch}
+			for _, e := range pn.InEdges {
+				nd.Deps = append(nd.Deps, e.Index)
+			}
+			p.Nodes[pn.Index] = nd
+		}
+	}
+	if total != n {
+		return nil, fmt.Errorf("core: partitions cover %d of %d nodes", total, n)
+	}
+	// Cross-validate edge endpoints and the out-edge mirror now that
+	// every owner is known.
+	outSeen := make(map[[2]int]bool)
+	for _, sp := range parts {
+		for _, pn := range sp.Nodes {
+			for _, e := range pn.OutEdges {
+				if e.Index <= pn.Index || e.Index >= n {
+					return nil, fmt.Errorf("core: node %d out-edge to %d not topological", pn.Index, e.Index)
+				}
+				if p.Nodes[e.Index].Switch != e.Switch {
+					return nil, fmt.Errorf("core: node %d out-edge names switch %d for node %d (owner %d)",
+						pn.Index, e.Switch, e.Index, p.Nodes[e.Index].Switch)
+				}
+				key := [2]int{pn.Index, e.Index}
+				if outSeen[key] {
+					return nil, fmt.Errorf("core: duplicate out-edge %d→%d", pn.Index, e.Index)
+				}
+				outSeen[key] = true
+			}
+			for _, e := range pn.InEdges {
+				if e.Index >= pn.Index || e.Index < 0 {
+					return nil, fmt.Errorf("core: node %d in-edge from %d not topological", pn.Index, e.Index)
+				}
+				if p.Nodes[e.Index].Switch != e.Switch {
+					return nil, fmt.Errorf("core: node %d in-edge names switch %d for node %d (owner %d)",
+						pn.Index, e.Switch, e.Index, p.Nodes[e.Index].Switch)
+				}
+			}
+		}
+	}
+	edges := 0
+	for i, nd := range p.Nodes {
+		prev := -1
+		for _, d := range nd.Deps {
+			if d <= prev {
+				return nil, fmt.Errorf("core: node %d in-edges not strictly ascending", i)
+			}
+			prev = d
+			if !outSeen[[2]int{d, i}] {
+				return nil, fmt.Errorf("core: edge %d→%d has no out-edge mirror", d, i)
+			}
+			edges++
+		}
+	}
+	if edges != len(outSeen) {
+		return nil, fmt.Errorf("core: %d out-edges mirror %d in-edges", len(outSeen), edges)
+	}
+	return p, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tsu/internal/topo"
+)
+
+// testPlans builds one plan per registered scheduler on Fig.1, both
+// layered and (where the scheduler supports it) sparse.
+func testPlans(t testing.TB) []*Plan {
+	t.Helper()
+	in := MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	var plans []*Plan
+	for _, name := range Names() {
+		for _, sparse := range []bool{false, true} {
+			p, err := PlanByName(in, name, 0, sparse)
+			if err != nil {
+				continue
+			}
+			plans = append(plans, p)
+		}
+	}
+	if len(plans) == 0 {
+		t.Fatal("no schedulers produced a plan")
+	}
+	return plans
+}
+
+// TestPartitionAssembleIdentity is the losslessness proof behind
+// decentralized execution: partitioning a plan and reassembling the
+// partitions yields the identical plan — same nodes, same edges, same
+// metadata — so the partial order (and with it the reachable order
+// ideals) is unchanged by who carries the acks.
+func TestPartitionAssembleIdentity(t *testing.T) {
+	for _, p := range testPlans(t) {
+		parts := p.Partition()
+		for i := 1; i < len(parts); i++ {
+			if parts[i-1].Switch >= parts[i].Switch {
+				t.Fatalf("%s: partitions not ascending by switch", p)
+			}
+		}
+		got, err := AssemblePlan(parts)
+		if err != nil {
+			t.Fatalf("%s: AssemblePlan: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("%s: reassembled plan differs:\n got %+v\nwant %+v", p, got, p)
+		}
+	}
+}
+
+// TestPartitionEdgeInvariants checks the per-partition view: in-edges
+// strictly below the node, out-edges strictly above, both ascending,
+// and the totals match the plan's edge count in both directions.
+func TestPartitionEdgeInvariants(t *testing.T) {
+	for _, p := range testPlans(t) {
+		ins, outs := 0, 0
+		for _, sp := range p.Partition() {
+			for _, pn := range sp.Nodes {
+				prev := -1
+				for _, e := range pn.InEdges {
+					if e.Index <= prev || e.Index >= pn.Index {
+						t.Fatalf("%s: node %d bad in-edge %d", p, pn.Index, e.Index)
+					}
+					prev = e.Index
+					ins++
+				}
+				prev = pn.Index
+				for _, e := range pn.OutEdges {
+					if e.Index <= prev || e.Index >= p.NumNodes() {
+						t.Fatalf("%s: node %d bad out-edge %d", p, pn.Index, e.Index)
+					}
+					prev = e.Index
+					outs++
+				}
+			}
+		}
+		if ins != p.NumEdges() || outs != p.NumEdges() {
+			t.Fatalf("%s: %d in-edges, %d out-edges, want %d each", p, ins, outs, p.NumEdges())
+		}
+	}
+}
+
+// TestPartitionCodecRoundTrip checks decode(encode(sp)) == sp and the
+// canonical byte identity encode(decode(b)) == b on real partitions.
+func TestPartitionCodecRoundTrip(t *testing.T) {
+	for _, p := range testPlans(t) {
+		for _, sp := range p.Partition() {
+			enc := EncodePartition(&sp)
+			dec, err := DecodePartition(enc)
+			if err != nil {
+				t.Fatalf("%s switch %d: decode: %v", p, sp.Switch, err)
+			}
+			if !reflect.DeepEqual(dec, &sp) {
+				t.Fatalf("%s switch %d: decode mismatch:\n got %+v\nwant %+v", p, sp.Switch, dec, sp)
+			}
+			if re := EncodePartition(dec); !bytes.Equal(re, enc) {
+				t.Fatalf("%s switch %d: re-encode not identity", p, sp.Switch)
+			}
+		}
+	}
+}
+
+// clonePartitions deep-copies via the codec (which the round-trip test
+// proves lossless), so tamper tests can mutate freely.
+func clonePartitions(t *testing.T, parts []SwitchPartition) []SwitchPartition {
+	t.Helper()
+	out := make([]SwitchPartition, len(parts))
+	for i := range parts {
+		sp, err := DecodePartition(EncodePartition(&parts[i]))
+		if err != nil {
+			t.Fatalf("clone: %v", err)
+		}
+		out[i] = *sp
+	}
+	return out
+}
+
+// TestAssemblePlanRejectsTampering exercises the cross-partition
+// consistency checks: each corruption must be caught, never silently
+// produce a different DAG.
+func TestAssemblePlanRejectsTampering(t *testing.T) {
+	in := MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	p, err := PlanByName(in, "peacock", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.Partition()
+	if len(base) < 2 {
+		t.Fatal("want at least two partitions")
+	}
+	tamper := []struct {
+		name string
+		mut  func([]SwitchPartition) []SwitchPartition
+	}{
+		{"metadata mismatch", func(ps []SwitchPartition) []SwitchPartition {
+			ps[1].Algorithm = "other"
+			return ps
+		}},
+		{"node owned twice", func(ps []SwitchPartition) []SwitchPartition {
+			ps[1].Nodes = append(ps[1].Nodes, ps[0].Nodes[0])
+			return ps
+		}},
+		{"missing partition", func(ps []SwitchPartition) []SwitchPartition {
+			return ps[1:]
+		}},
+		{"dropped out-edge mirror", func(ps []SwitchPartition) []SwitchPartition {
+			for i := range ps {
+				for j := range ps[i].Nodes {
+					if len(ps[i].Nodes[j].OutEdges) > 0 {
+						ps[i].Nodes[j].OutEdges = ps[i].Nodes[j].OutEdges[1:]
+						return ps
+					}
+				}
+			}
+			t.Fatal("no out-edge to drop")
+			return ps
+		}},
+		{"in-edge names wrong owner", func(ps []SwitchPartition) []SwitchPartition {
+			for i := range ps {
+				for j := range ps[i].Nodes {
+					if len(ps[i].Nodes[j].InEdges) > 0 {
+						ps[i].Nodes[j].InEdges[0].Switch += 1000
+						return ps
+					}
+				}
+			}
+			t.Fatal("no in-edge to corrupt")
+			return ps
+		}},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := AssemblePlan(tc.mut(clonePartitions(t, base))); err == nil {
+				t.Fatal("tampered partitions assembled without error")
+			}
+		})
+	}
+	// The untampered clone still assembles — the tamper cases fail for
+	// their own reasons, not because cloning is lossy.
+	if _, err := AssemblePlan(clonePartitions(t, base)); err != nil {
+		t.Fatalf("clean clone failed to assemble: %v", err)
+	}
+}
+
+// TestDecodePartitionRejects covers the codec's malformed-input
+// surface: every rejection must wrap ErrPartitionWire.
+func TestDecodePartitionRejects(t *testing.T) {
+	in := MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	p, err := PlanByName(in, "peacock", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := p.Partition()
+	valid := EncodePartition(&parts[len(parts)-1])
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      []byte("NOPE" + string(valid[4:])),
+		"bad version":    append(append([]byte{}, "TSQP\x02"...), valid[5:]...),
+		"truncated":      valid[:len(valid)-1],
+		"trailing bytes": append(append([]byte{}, valid...), 0),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodePartition(data); err == nil {
+				t.Fatal("malformed input decoded without error")
+			}
+		})
+	}
+}

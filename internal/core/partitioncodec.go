@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tsu/internal/topo"
+)
+
+// Binary wire codec for SwitchPartition: the canonical serialization
+// the controller broadcasts to each switch's plan-agent in
+// decentralized mode. Like the plan codec it is versioned and strictly
+// canonical — decode(encode(sp)) == sp and encode(decode(b)) == b for
+// every valid b — so it is fuzzable for round-trip identity
+// (FuzzPartitionRoundTrip).
+//
+//	magic "TSQP", version 1
+//	uvarint switch id
+//	uvarint len(algorithm), algorithm bytes
+//	byte guarantees, byte flags (bit0 sparse, bit1 lf-compromised)
+//	uvarint numNodes (global plan size)
+//	uvarint len(nodes)
+//	per node: uvarint global index as delta (first absolute, then
+//	          gaps-1 — enforces strictly ascending),
+//	          uvarint numIn; per in-edge: uvarint peer switch,
+//	          uvarint index delta (first absolute, then gaps-1;
+//	          all strictly below the node index),
+//	          uvarint numOut; per out-edge: uvarint peer switch,
+//	          uvarint index delta (first is gap-1 past the node
+//	          index, then gaps-1; all strictly above the node index
+//	          and below numNodes)
+const (
+	partitionMagic   = "TSQP"
+	partitionVersion = 1
+)
+
+// ErrPartitionWire marks malformed partition wire bytes; match with
+// errors.Is.
+var ErrPartitionWire = errors.New("malformed partition wire encoding")
+
+// AppendTo appends the partition's canonical wire encoding to buf and
+// returns the extended slice.
+func (sp *SwitchPartition) AppendTo(buf []byte) []byte {
+	buf = append(buf, partitionMagic...)
+	buf = append(buf, partitionVersion)
+	buf = binary.AppendUvarint(buf, uint64(sp.Switch))
+	buf = binary.AppendUvarint(buf, uint64(len(sp.Algorithm)))
+	buf = append(buf, sp.Algorithm...)
+	buf = append(buf, byte(sp.Guarantees))
+	var flags byte
+	if sp.Sparse {
+		flags |= 1
+	}
+	if sp.LoopFreedomCompromised {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(sp.NumNodes))
+	buf = binary.AppendUvarint(buf, uint64(len(sp.Nodes)))
+	prevNode := -1
+	for _, pn := range sp.Nodes {
+		if prevNode < 0 {
+			buf = binary.AppendUvarint(buf, uint64(pn.Index))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(pn.Index-prevNode-1))
+		}
+		prevNode = pn.Index
+		buf = binary.AppendUvarint(buf, uint64(len(pn.InEdges)))
+		prev := -1
+		for k, e := range pn.InEdges {
+			buf = binary.AppendUvarint(buf, uint64(e.Switch))
+			if k == 0 {
+				buf = binary.AppendUvarint(buf, uint64(e.Index))
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(e.Index-prev-1))
+			}
+			prev = e.Index
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(pn.OutEdges)))
+		prev = pn.Index
+		for _, e := range pn.OutEdges {
+			buf = binary.AppendUvarint(buf, uint64(e.Switch))
+			buf = binary.AppendUvarint(buf, uint64(e.Index-prev-1))
+			prev = e.Index
+		}
+	}
+	return buf
+}
+
+// EncodePartition returns the partition's canonical wire encoding.
+func EncodePartition(sp *SwitchPartition) []byte { return sp.AppendTo(nil) }
+
+// DecodePartition parses a canonical partition wire encoding. It
+// rejects — with an error wrapping ErrPartitionWire, never a panic —
+// trailing bytes, non-topological edge indices, and non-canonical
+// varints, so every successful decode re-encodes to identical bytes.
+// Cross-partition consistency (edge mirrors, true owners) is
+// AssemblePlan's job; a single partition cannot see it.
+func DecodePartition(data []byte) (*SwitchPartition, error) {
+	d := planDecoder{buf: data}
+	if string(d.take(len(partitionMagic))) != partitionMagic {
+		return nil, fmt.Errorf("core: bad magic: %w", ErrPartitionWire)
+	}
+	if v := d.byte(); v != partitionVersion {
+		return nil, fmt.Errorf("core: partition version %d: %w", v, ErrPartitionWire)
+	}
+	sp := &SwitchPartition{Switch: topo.NodeID(d.uvarint())}
+	algoLen := d.uvarint()
+	if algoLen > 1<<10 {
+		return nil, fmt.Errorf("core: algorithm name %d bytes: %w", algoLen, ErrPartitionWire)
+	}
+	sp.Algorithm = string(d.take(int(algoLen)))
+	sp.Guarantees = Property(d.byte())
+	flags := d.byte()
+	if flags&^3 != 0 {
+		return nil, fmt.Errorf("core: unknown partition flags %#x: %w", flags, ErrPartitionWire)
+	}
+	sp.Sparse = flags&1 != 0
+	sp.LoopFreedomCompromised = flags&2 != 0
+	numNodes := d.uvarint()
+	if numNodes > maxPlanWireNodes {
+		return nil, fmt.Errorf("core: %d plan nodes: %w", numNodes, ErrPartitionWire)
+	}
+	sp.NumNodes = int(numNodes)
+	owned := d.uvarint()
+	if owned > numNodes {
+		return nil, fmt.Errorf("core: partition owns %d of %d nodes: %w", owned, numNodes, ErrPartitionWire)
+	}
+	if d.err == nil && owned > 0 {
+		sp.Nodes = make([]PartitionNode, 0, min(int(owned), 1<<12))
+	}
+	// index reads one bounded edge/node index varint, applying the
+	// delta encoding against prev (-1 for the absolute first value).
+	index := func(prev int) int {
+		v := d.uvarint()
+		if v > maxPlanWireNodes {
+			if d.err == nil {
+				d.err = fmt.Errorf("core: index varint %d: %w", v, ErrPartitionWire)
+			}
+			return 0
+		}
+		return prev + 1 + int(v)
+	}
+	prevNode := -1
+	for i := 0; i < int(owned) && d.err == nil; i++ {
+		pn := PartitionNode{Index: index(prevNode)}
+		if pn.Index >= sp.NumNodes {
+			return nil, fmt.Errorf("core: node index %d of %d: %w", pn.Index, sp.NumNodes, ErrPartitionWire)
+		}
+		prevNode = pn.Index
+		numIn := d.uvarint()
+		if numIn > uint64(pn.Index) {
+			return nil, fmt.Errorf("core: node %d with %d in-edges: %w", pn.Index, numIn, ErrPartitionWire)
+		}
+		prev := -1
+		for k := 0; k < int(numIn) && d.err == nil; k++ {
+			e := PartitionEdge{Switch: topo.NodeID(d.uvarint())}
+			e.Index = index(prev)
+			if e.Index >= pn.Index {
+				return nil, fmt.Errorf("core: node %d in-edge from %d: %w", pn.Index, e.Index, ErrPartitionWire)
+			}
+			prev = e.Index
+			pn.InEdges = append(pn.InEdges, e)
+		}
+		numOut := d.uvarint()
+		if numOut > numNodes {
+			return nil, fmt.Errorf("core: node %d with %d out-edges: %w", pn.Index, numOut, ErrPartitionWire)
+		}
+		prev = pn.Index
+		for k := 0; k < int(numOut) && d.err == nil; k++ {
+			e := PartitionEdge{Switch: topo.NodeID(d.uvarint())}
+			e.Index = index(prev)
+			if e.Index >= sp.NumNodes {
+				return nil, fmt.Errorf("core: node %d out-edge to %d: %w", pn.Index, e.Index, ErrPartitionWire)
+			}
+			prev = e.Index
+			pn.OutEdges = append(pn.OutEdges, e)
+		}
+		sp.Nodes = append(sp.Nodes, pn)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("core: %d trailing bytes: %w", len(d.buf)-d.off, ErrPartitionWire)
+	}
+	return sp, nil
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"tsu/internal/topo"
+)
+
+// FuzzPartitionRoundTrip fuzzes the partition wire codec:
+// DecodePartition must never panic, and because the encoding is
+// canonical, every successful decode must re-encode to the identical
+// bytes (and decode again to the identical partition).
+func FuzzPartitionRoundTrip(f *testing.F) {
+	in := MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	for _, name := range Names() {
+		for _, sparse := range []bool{false, true} {
+			p, err := PlanByName(in, name, 0, sparse)
+			if err != nil {
+				continue
+			}
+			for _, sp := range p.Partition() {
+				f.Add(EncodePartition(&sp))
+			}
+		}
+	}
+	f.Add(EncodePartition(&SwitchPartition{Switch: 7, Algorithm: "empty"}))
+	f.Add([]byte("TSQP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodePartition(data)
+		if err != nil {
+			return
+		}
+		enc := EncodePartition(sp)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode→encode not identity:\n in  %x\n out %x", data, enc)
+		}
+		sp2, err := DecodePartition(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodePartition(sp2), enc) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

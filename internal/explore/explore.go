@@ -85,6 +85,18 @@ type Options struct {
 	// (Seed, Options).
 	Seed int64
 
+	// PeerDelays arms the decentralized-execution adversary in the
+	// sampled heavy-tail dispatch: every happens-before edge whose
+	// endpoints live on different switches pays an additional
+	// adversary-chosen peer-ack delay (bounded Pareto, like the install
+	// stalls), so acks overtake each other and installs reorder beyond
+	// what install latencies alone produce. The reachable state space
+	// is unchanged — delayed acks only pick different linear extensions
+	// of the same partial order — so exhaustive verdicts and
+	// fingerprint state counts are identical with the adversary on or
+	// off; only which sampled orders get replayed differs.
+	PeerDelays bool
+
 	// Workers bounds the round-exploration worker pool. Rounds are
 	// independent work items (each round's pre-state is a function of
 	// the schedule alone), so they fan out and merge back by index;

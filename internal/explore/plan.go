@@ -230,12 +230,21 @@ func (sc *scratch) explorePlanSampled(p *core.Plan, props core.Property, opts Op
 			// Heavy-tail adversary: simulate the ack-driven dispatch
 			// under Pareto install stalls; one stalled node delays
 			// exactly its dependents, and deliveries land in
-			// completion-time order.
+			// completion-time order. With PeerDelays armed, every
+			// cross-switch dependency ack additionally pays an
+			// adversary-chosen delay on its way between the switches
+			// (the decentralized executor's peer messages), so a node's
+			// release time is the latest delayed ack, not the latest
+			// finish.
 			for i, nd := range p.Nodes {
 				issue := time.Duration(0)
 				for _, d := range nd.Deps {
-					if finish[d] > issue {
-						issue = finish[d]
+					at := finish[d]
+					if opts.PeerDelays && p.Nodes[d].Switch != nd.Switch {
+						at += tail.Sample(rng)
+					}
+					if at > issue {
+						issue = at
 					}
 				}
 				finish[i] = issue + tail.Sample(rng)

@@ -64,6 +64,36 @@ func (m *EchoReply) decodeBody(b []byte) error {
 	return nil
 }
 
+// Vendor is the OpenFlow 1.0 experimenter escape hatch
+// (ofp_vendor_header): a 32-bit vendor id followed by opaque data the peer
+// interprets. The prototype uses it to carry decentralized-execution
+// control messages (plan partitions down, completion reports up); see
+// package planwire for the payload codecs.
+type Vendor struct {
+	xid
+	Vendor uint32
+	Data   []byte
+}
+
+// MsgType returns TypeVendor.
+func (*Vendor) MsgType() MsgType { return TypeVendor }
+func (m *Vendor) bodyLen() int   { return 4 + len(m.Data) }
+func (m *Vendor) encodeBody(b []byte) error {
+	binary.BigEndian.PutUint32(b[0:4], m.Vendor)
+	copy(b[4:], m.Data)
+	return nil
+}
+func (m *Vendor) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("vendor body %d bytes, want >= 4", len(b))
+	}
+	m.Vendor = binary.BigEndian.Uint32(b[0:4])
+	if len(b) > 4 {
+		m.Data = append([]byte(nil), b[4:]...)
+	}
+	return nil
+}
+
 // FeaturesRequest asks a switch for its datapath identity and
 // capabilities.
 type FeaturesRequest struct {

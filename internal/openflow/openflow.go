@@ -196,6 +196,8 @@ func Decode(b []byte) (Message, error) {
 		m = &EchoRequest{}
 	case TypeEchoReply:
 		m = &EchoReply{}
+	case TypeVendor:
+		m = &Vendor{}
 	case TypeFeaturesRequest:
 		m = &FeaturesRequest{}
 	case TypeFeaturesReply:

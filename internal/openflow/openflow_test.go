@@ -134,6 +134,24 @@ func TestEchoRoundTrip(t *testing.T) {
 	}
 }
 
+func TestVendorRoundTrip(t *testing.T) {
+	v := &Vendor{Vendor: 0x00545355, Data: []byte("partition-bytes")}
+	v.SetXid(9)
+	back := roundTrip(t, v).(*Vendor)
+	if back.Vendor != v.Vendor || !bytes.Equal(back.Data, v.Data) || back.Xid() != 9 {
+		t.Fatalf("vendor round trip: %+v", back)
+	}
+	// Empty data is legal; a body shorter than the vendor id is not.
+	empty := &Vendor{Vendor: 1}
+	if got := roundTrip(t, empty).(*Vendor); got.Vendor != 1 || len(got.Data) != 0 {
+		t.Fatalf("empty vendor round trip: %+v", got)
+	}
+	short := []byte{Version, byte(TypeVendor), 0, HeaderLen + 2, 0, 0, 0, 1, 0xAA, 0xBB}
+	if _, err := Decode(short); err == nil {
+		t.Fatal("vendor body shorter than the vendor id decoded without error")
+	}
+}
+
 func TestFeaturesRoundTrip(t *testing.T) {
 	fr := &FeaturesReply{
 		DatapathID:   0x0000000000000003,

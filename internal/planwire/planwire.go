@@ -1,0 +1,292 @@
+// Package planwire defines the control-channel payloads of
+// decentralized plan execution, carried inside OpenFlow VENDOR
+// messages (the 1.0 experimenter escape hatch) over the existing
+// controller↔switch connection:
+//
+//   - Push (controller → switch): the switch's plan partition — its
+//     own installs, the in-edge acks to wait for, the out-edges to
+//     notify — plus the FlowMods to apply, one broadcast per switch.
+//   - Report (switch → controller): the terminal completion report —
+//     per-node install timings as offsets from partition receipt, the
+//     releasing predecessor of each install, and the switch's peer
+//     message counters.
+//
+// Everything in between — the per-edge acks — travels switch-to-switch
+// on the data-plane fabric and never touches the controller; see
+// switchsim's plan agent. Both payloads reuse the strict canonical
+// decoding style of core's plan codec: a malformed payload yields an
+// error, never a panic or a partial struct.
+package planwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tsu/internal/core"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+)
+
+// VendorID identifies this repository's vendor messages ("\0TSU").
+const VendorID uint32 = 0x00545355
+
+// Payload kind discriminators (first payload byte).
+const (
+	kindPush   = 1
+	kindReport = 2
+)
+
+// ErrWire marks malformed planwire payloads; match with errors.Is.
+var ErrWire = errors.New("malformed planwire payload")
+
+// maxNodeMods bounds the FlowMods attached to one plan node.
+const maxNodeMods = 1 << 10
+
+// Push is the controller's one-shot broadcast to a switch: the plan
+// partition it executes and the FlowMods of each owned node.
+type Push struct {
+	// Job is the controller-side job id, echoed in acks and the report.
+	Job int
+
+	// Interval pauses a dependent install after its release (the REST
+	// message's "interval", applied switch-locally).
+	Interval time.Duration
+
+	// Part is the switch's plan partition.
+	Part *core.SwitchPartition
+
+	// Mods holds each owned node's FlowMods, aligned with Part.Nodes.
+	Mods [][]*openflow.FlowMod
+}
+
+// NodeReport is one install's outcome inside a Report. Timings are
+// offsets from the moment the partition arrived at the switch — the
+// agent has no global clock; the controller anchors them at its
+// broadcast time.
+type NodeReport struct {
+	// Index is the node's global plan index.
+	Index int
+
+	// ReleasedBy names the predecessor switch whose ack arrived last
+	// (zero for installs with no in-edges).
+	ReleasedBy topo.NodeID
+
+	// FlowMods counts the rules applied for this node.
+	FlowMods int
+
+	// Started and Finished bound the install (first FlowMod applied to
+	// last confirmed), as offsets from partition receipt.
+	Started, Finished time.Duration
+}
+
+// Report is a switch's terminal completion report: every owned node
+// installed, plus the peer-messaging counters for the job.
+type Report struct {
+	Job    int
+	Switch topo.NodeID
+
+	// AcksSent counts peer acks this switch sent (including duplicates
+	// injected by fault testing); AcksRecv counts distinct acks
+	// received; DupAcks counts redundant deliveries that idempotence
+	// absorbed.
+	AcksSent, AcksRecv, DupAcks int
+
+	// Nodes reports each owned node, ascending by completion time.
+	Nodes []NodeReport
+}
+
+// EncodePush serialises a Push payload (excluding the vendor id, which
+// the OpenFlow Vendor envelope carries).
+func EncodePush(p *Push) ([]byte, error) {
+	if len(p.Mods) != len(p.Part.Nodes) {
+		return nil, fmt.Errorf("planwire: %d mod lists for %d nodes", len(p.Mods), len(p.Part.Nodes))
+	}
+	buf := []byte{kindPush}
+	buf = binary.AppendUvarint(buf, uint64(p.Job))
+	buf = binary.AppendUvarint(buf, uint64(p.Interval))
+	part := core.EncodePartition(p.Part)
+	buf = binary.AppendUvarint(buf, uint64(len(part)))
+	buf = append(buf, part...)
+	for _, mods := range p.Mods {
+		if len(mods) > maxNodeMods {
+			return nil, fmt.Errorf("planwire: %d mods on one node", len(mods))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(mods)))
+		for _, fm := range mods {
+			blob, err := openflow.Encode(fm)
+			if err != nil {
+				return nil, fmt.Errorf("planwire: encoding flowmod: %w", err)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(blob)))
+			buf = append(buf, blob...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodePush parses a Push payload.
+func DecodePush(data []byte) (*Push, error) {
+	d := decoder{buf: data}
+	if k := d.byte(); k != kindPush {
+		return nil, fmt.Errorf("planwire: payload kind %d, want push: %w", k, ErrWire)
+	}
+	p := &Push{
+		Job:      int(d.uvarint()),
+		Interval: time.Duration(d.uvarint()),
+	}
+	partLen := d.uvarint()
+	if partLen > 1<<26 {
+		return nil, fmt.Errorf("planwire: partition of %d bytes: %w", partLen, ErrWire)
+	}
+	partBytes := d.take(int(partLen))
+	if d.err != nil {
+		return nil, d.err
+	}
+	part, err := core.DecodePartition(partBytes)
+	if err != nil {
+		return nil, fmt.Errorf("planwire: partition: %w", err)
+	}
+	p.Part = part
+	p.Mods = make([][]*openflow.FlowMod, len(part.Nodes))
+	for i := range part.Nodes {
+		n := d.uvarint()
+		if n > maxNodeMods {
+			return nil, fmt.Errorf("planwire: %d mods on one node: %w", n, ErrWire)
+		}
+		for k := 0; k < int(n) && d.err == nil; k++ {
+			blobLen := d.uvarint()
+			if blobLen > openflow.MaxMessageLen {
+				return nil, fmt.Errorf("planwire: flowmod of %d bytes: %w", blobLen, ErrWire)
+			}
+			blob := d.take(int(blobLen))
+			if d.err != nil {
+				break
+			}
+			m, err := openflow.Decode(blob)
+			if err != nil {
+				return nil, fmt.Errorf("planwire: flowmod: %w", err)
+			}
+			fm, ok := m.(*openflow.FlowMod)
+			if !ok {
+				return nil, fmt.Errorf("planwire: node %d carries a %s, want FLOW_MOD: %w", i, m.MsgType(), ErrWire)
+			}
+			p.Mods[i] = append(p.Mods[i], fm)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("planwire: %d trailing bytes: %w", len(d.buf)-d.off, ErrWire)
+	}
+	return p, nil
+}
+
+// Encode serialises a Report payload.
+func (r *Report) Encode() []byte {
+	buf := []byte{kindReport}
+	buf = binary.AppendUvarint(buf, uint64(r.Job))
+	buf = binary.AppendUvarint(buf, uint64(r.Switch))
+	buf = binary.AppendUvarint(buf, uint64(r.AcksSent))
+	buf = binary.AppendUvarint(buf, uint64(r.AcksRecv))
+	buf = binary.AppendUvarint(buf, uint64(r.DupAcks))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Nodes)))
+	for _, nr := range r.Nodes {
+		buf = binary.AppendUvarint(buf, uint64(nr.Index))
+		buf = binary.AppendUvarint(buf, uint64(nr.ReleasedBy))
+		buf = binary.AppendUvarint(buf, uint64(nr.FlowMods))
+		buf = binary.AppendUvarint(buf, uint64(nr.Started))
+		buf = binary.AppendUvarint(buf, uint64(nr.Finished))
+	}
+	return buf
+}
+
+// DecodeReport parses a Report payload.
+func DecodeReport(data []byte) (*Report, error) {
+	d := decoder{buf: data}
+	if k := d.byte(); k != kindReport {
+		return nil, fmt.Errorf("planwire: payload kind %d, want report: %w", k, ErrWire)
+	}
+	r := &Report{
+		Job:      int(d.uvarint()),
+		Switch:   topo.NodeID(d.uvarint()),
+		AcksSent: int(d.uvarint()),
+		AcksRecv: int(d.uvarint()),
+		DupAcks:  int(d.uvarint()),
+	}
+	n := d.uvarint()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("planwire: report covers %d nodes: %w", n, ErrWire)
+	}
+	for i := 0; i < int(n) && d.err == nil; i++ {
+		r.Nodes = append(r.Nodes, NodeReport{
+			Index:      int(d.uvarint()),
+			ReleasedBy: topo.NodeID(d.uvarint()),
+			FlowMods:   int(d.uvarint()),
+			Started:    time.Duration(d.uvarint()),
+			Finished:   time.Duration(d.uvarint()),
+		})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("planwire: %d trailing bytes: %w", len(d.buf)-d.off, ErrWire)
+	}
+	return r, nil
+}
+
+// Kind peeks a payload's discriminator without decoding it.
+func Kind(data []byte) (push, report bool) {
+	if len(data) == 0 {
+		return false, false
+	}
+	return data[0] == kindPush, data[0] == kindReport
+}
+
+// decoder is a sticky-error cursor over payload bytes, mirroring the
+// core plan codec's decoding discipline.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("planwire: truncated payload: %w", ErrWire)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}

@@ -109,6 +109,21 @@ func (f *Fabric) Switch(n topo.NodeID) *Switch {
 	return f.switches[n]
 }
 
+// deliverPeerAck carries one plan-agent ack from one switch to
+// another: a goroutine pays the sender's PeerLatency on the sender's
+// clock (a data-plane hop, not a controller round trip), then hands
+// the ack to the target's agent. Delivery order across concurrent acks
+// is whatever the latencies produce — the receiving agent is built to
+// absorb reordering and duplication.
+func (f *Fabric) deliverPeerAck(from *Switch, to topo.NodeID, ack PeerAck) {
+	go func() {
+		from.src.Sleep(from.cfg.PeerLatency)
+		if tgt := f.Switch(to); tgt != nil {
+			tgt.agent.deliver(ack)
+		}
+	}()
+}
+
 // probeSize is the byte size accounted per probe packet.
 const probeSize = 64
 

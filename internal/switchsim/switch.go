@@ -14,6 +14,7 @@ import (
 	"tsu/internal/netem"
 	"tsu/internal/ofconn"
 	"tsu/internal/openflow"
+	"tsu/internal/planwire"
 	"tsu/internal/simclock"
 	"tsu/internal/topo"
 )
@@ -28,6 +29,15 @@ type Faults struct {
 	// N-th FlowMod has been applied (0 disables) — a mid-update switch
 	// crash.
 	DisconnectAfterFlowMods uint64
+
+	// DropPeerAcks makes the plan agent install its nodes but never
+	// notify DAG successors — a decentralized job stalls and must
+	// surface as a controller-side round timeout.
+	DropPeerAcks bool
+
+	// DuplicatePeerAcks sends every peer ack twice, exercising the
+	// receiving agent's idempotence.
+	DuplicatePeerAcks bool
 }
 
 // Config parameterizes a simulated switch.
@@ -46,6 +56,11 @@ type Config struct {
 	// queueing. Per-switch variation of this latency is the asynchrony
 	// that reorders updates across switches. Nil means none.
 	CtrlLatency netem.Latency
+
+	// PeerLatency delays each switch-to-switch plan-agent message (the
+	// acks of decentralized execution) — a data-plane hop, typically
+	// orders of magnitude below CtrlLatency. Nil means none.
+	PeerLatency netem.Latency
 
 	// Source provides the deterministic randomness for the latency
 	// distributions; nil creates a per-switch source seeded by the
@@ -80,6 +95,7 @@ type Switch struct {
 	src    *netem.Source
 	clock  simclock.Clock
 	logger *slog.Logger
+	agent  *planAgent
 
 	flowModsApplied atomic.Uint64
 	barriersSeen    atomic.Uint64
@@ -112,6 +128,7 @@ func NewSwitch(f *Fabric, cfg Config) (*Switch, error) {
 		clock:  clock,
 		logger: logger.With("dpid", uint64(cfg.Node)),
 	}
+	s.agent = newPlanAgent(s)
 	if err := f.register(s); err != nil {
 		return nil, err
 	}
@@ -343,6 +360,26 @@ func (s *Switch) handle(conn *ofconn.Conn, m openflow.Message) error {
 		// control loop (and hence barrier ordering).
 		go s.fabric.Inject(start, nwDst, 4*s.fabric.Graph().NumNodes())
 		s.packetOutsSeen.Add(1)
+		return nil
+	case *openflow.Vendor:
+		// Decentralized execution: the controller pushes this switch's
+		// plan partition once; the agent takes over from there.
+		if msg.Vendor != planwire.VendorID {
+			s.logger.Warn("unknown vendor message", "vendor", msg.Vendor)
+			return nil
+		}
+		push, err := planwire.DecodePush(msg.Data)
+		if err != nil || push.Part.Switch != s.cfg.Node {
+			s.logger.Warn("bad plan push", "err", err)
+			e := &openflow.Error{ErrType: openflow.ErrTypeBadRequest, Code: openflow.ErrCodeBadType}
+			e.SetXid(msg.Xid())
+			return conn.WriteMessage(e)
+		}
+		s.agent.start(push, func(r *planwire.Report) error {
+			v := &openflow.Vendor{Vendor: planwire.VendorID, Data: r.Encode()}
+			_, err := conn.Send(v)
+			return err
+		})
 		return nil
 	case *openflow.Hello:
 		return nil
