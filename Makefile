@@ -32,22 +32,22 @@ test-determinism:
 	$(GO) test -run Explore -count=2 -race ./...
 
 # Machine-readable benchmark trajectory: run every benchmark with
-# -benchmem and emit BENCH_6.json (name -> ns/op, allocs/op, domain
+# -benchmem and emit BENCH_7.json (name -> ns/op, allocs/op, domain
 # metrics) for future PRs to diff against. No pipe on the `go test`
 # line: a benchmark failure must fail the target, not vanish into
 # tee's exit status (bench.out is left behind for debugging).
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_6.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_7.json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_6.json"
+	@echo "wrote BENCH_7.json"
 
 # Perf trajectory between the previous PR's snapshot and this one:
 # per-benchmark ns/op and allocs/op movement. Informational (CI runs
 # it non-gating); add -fail-on-regress locally to gate.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchjson -diff BENCH_6.json BENCH_7.json
 
 # One iteration of every benchmark in the repo: catches benchmark rot
 # without paying for a measurement run.
@@ -56,10 +56,13 @@ bench-smoke:
 
 # Ten seconds of coverage-guided fuzzing per fuzz target: the OpenFlow
 # wire decoder, the explorer's trace replay/minimization, the plan
-# wire codec's decode→encode identity, and the partition codec that
-# ships per-switch plan slices to the decentralized agents.
+# wire codec's decode→encode identity, the partition codec that
+# ships per-switch plan slices to the decentralized agents, and the
+# CEGIS synthesizer's validate/round-trip invariant on random
+# instances.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/openflow
 	$(GO) test -run '^$$' -fuzz '^FuzzExploreTrace$$' -fuzztime=10s ./internal/explore
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanRoundTrip$$' -fuzztime=10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzPartitionRoundTrip$$' -fuzztime=10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzSynthRefine$$' -fuzztime=10s ./internal/synth

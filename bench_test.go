@@ -20,6 +20,7 @@ import (
 	"tsu/internal/experiments"
 	"tsu/internal/netem"
 	"tsu/internal/openflow"
+	"tsu/internal/synth"
 	"tsu/internal/topo"
 	"tsu/internal/trace"
 	"tsu/internal/verify"
@@ -671,4 +672,63 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkSynthFig1 measures full counterexample-guided synthesis on
+// the paper's Figure 1 instance (portfolio included), then reports the
+// worst optimality gap any registered heuristic leaves against the
+// synthesized plan — the headline number of the gap report.
+func BenchmarkSynthFig1(b *testing.B) {
+	in := core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)
+	var plan *core.Plan
+	var tr *synth.Transcript
+	for i := 0; i < b.N; i++ {
+		p, t, err := synth.Plan(in, 0, synth.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, tr = p, t
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(plan.Depth()), "depth")
+	b.ReportMetric(float64(tr.Iters), "refinements")
+	reportWorstGap(b, in)
+}
+
+// BenchmarkSynthComb does the same on Comb(12,8) — 108 pending
+// switches, the largest instance of the gap report, where the oracle
+// runs sampled rather than exhaustive.
+func BenchmarkSynthComb(b *testing.B) {
+	ti := topo.Comb(12, 8)
+	in := core.MustInstance(ti.Old, ti.New, ti.Waypoint)
+	var plan *core.Plan
+	var tr *synth.Transcript
+	for i := 0; i < b.N; i++ {
+		p, t, err := synth.Plan(in, 0, synth.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, tr = p, t
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(plan.Depth()), "depth")
+	b.ReportMetric(float64(tr.Iters), "refinements")
+	reportWorstGap(b, in)
+}
+
+// reportWorstGap runs the gap report (outside the timed region) and
+// records the largest per-heuristic depth and edge gaps.
+func reportWorstGap(b *testing.B, in *core.Instance) {
+	b.Helper()
+	rep, err := synth.Compare(in, synth.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	depthGap, edgeGap := 0, 0
+	for _, row := range rep.Rows {
+		depthGap = max(depthGap, row.DepthGap)
+		edgeGap = max(edgeGap, row.EdgeGap)
+	}
+	b.ReportMetric(float64(depthGap), "max-depth-gap")
+	b.ReportMetric(float64(edgeGap), "max-edge-gap")
 }

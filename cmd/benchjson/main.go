@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -181,10 +182,12 @@ func ptr(v float64) *float64 { return &v }
 // diffFiles compares two BENCH snapshots and writes a per-benchmark
 // movement report: ns/op relative change plus any allocs/op change
 // (alloc counts are pinned budgets, so every alloc movement is
-// reported regardless of the timing threshold). It returns the number
-// of regressions — benchmarks slower than the threshold or allocating
-// more than before.
-func diffFiles(w *os.File, oldPath, newPath string, threshold float64) (regressions int, err error) {
+// reported regardless of the timing threshold). Benchmarks present in
+// only one file are listed by name as ADDED or REMOVED — a renamed or
+// deleted benchmark must show up in the trajectory, not silently drop
+// out of the comparison. It returns the number of regressions —
+// benchmarks slower than the threshold or allocating more than before.
+func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) (regressions int, err error) {
 	oldF, err := readBenchFile(oldPath)
 	if err != nil {
 		return 0, err
@@ -205,6 +208,7 @@ func diffFiles(w *os.File, oldPath, newPath string, threshold float64) (regressi
 		ob, ok := oldF.Benchmarks[name]
 		if !ok {
 			added++
+			fmt.Fprintf(w, "  %-60s ADDED (%.0f ns/op)\n", name, nb.NsPerOp)
 			continue
 		}
 		var notes []string
@@ -232,12 +236,17 @@ func diffFiles(w *os.File, oldPath, newPath string, threshold float64) (regressi
 			fmt.Fprintf(w, "  %-60s %s\n", name, strings.Join(notes, "; "))
 		}
 	}
-	removed := 0
+	var gone []string
 	for name := range oldF.Benchmarks {
 		if _, ok := newF.Benchmarks[name]; !ok {
-			removed++
+			gone = append(gone, name)
 		}
 	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "  %-60s REMOVED (was %.0f ns/op)\n", name, oldF.Benchmarks[name].NsPerOp)
+	}
+	removed := len(gone)
 	fmt.Fprintf(w, "compared %d benchmarks: %d faster, %d slower, %d alloc changes, %d added, %d removed\n",
 		len(names)-added, faster, slower, allocMoves, added, removed)
 	return regressions, nil

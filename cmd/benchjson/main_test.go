@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffFilesAddedRemoved pins the asymmetric-file behavior: a
+// benchmark present in only one snapshot is reported by name as ADDED
+// or REMOVED, is excluded from the movement comparison, and never
+// counts as a regression.
+func TestDiffFilesAddedRemoved(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", `{
+		"schema": "tsu-bench/v1",
+		"benchmarks": {
+			"BenchmarkShared":  {"iterations": 100, "ns_per_op": 1000},
+			"BenchmarkRetired": {"iterations": 100, "ns_per_op": 2500}
+		}
+	}`)
+	newPath := writeBench(t, dir, "new.json", `{
+		"schema": "tsu-bench/v1",
+		"benchmarks": {
+			"BenchmarkShared": {"iterations": 100, "ns_per_op": 1010},
+			"BenchmarkFresh":  {"iterations": 100, "ns_per_op": 700}
+		}
+	}`)
+	var buf strings.Builder
+	regressions, err := diffFiles(&buf, oldPath, newPath, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Errorf("added/removed benchmarks counted as %d regressions", regressions)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkFresh",
+		"ADDED (700 ns/op)",
+		"BenchmarkRetired",
+		"REMOVED (was 2500 ns/op)",
+		"compared 1 benchmarks: 0 faster, 0 slower, 0 alloc changes, 1 added, 1 removed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffFilesRegression keeps the gating behavior honest alongside
+// the added/removed reporting: a shared benchmark past the threshold
+// still counts.
+func TestDiffFilesRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", `{
+		"schema": "tsu-bench/v1",
+		"benchmarks": {"BenchmarkHot": {"iterations": 100, "ns_per_op": 1000, "allocs_per_op": 0}}
+	}`)
+	newPath := writeBench(t, dir, "new.json", `{
+		"schema": "tsu-bench/v1",
+		"benchmarks": {"BenchmarkHot": {"iterations": 100, "ns_per_op": 1400, "allocs_per_op": 2}}
+	}`)
+	var buf strings.Builder
+	regressions, err := diffFiles(&buf, oldPath, newPath, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 2 {
+		t.Errorf("got %d regressions, want 2 (ns/op and allocs/op):\n%s", regressions, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("output does not flag the regression:\n%s", buf.String())
+	}
+}

@@ -29,14 +29,15 @@ import (
 )
 
 var descriptions = map[string]string{
-	"E1": "Figure 1 demo: WayUp vs one-shot under asynchrony, live probes",
-	"E2": "update time of flow tables (paper's stated evaluation)",
-	"E3": "transient-security violations on random waypoint instances",
-	"E4": "rounds vs n: relaxed (Peacock) vs strong (greedy) loop freedom",
-	"E5": "scheduler computation time vs instance size",
-	"E6": "live update time vs number of switches",
-	"E7": "violation dose-response vs control-channel jitter",
-	"E9": "multi-policy updates: joint vs sequential rounds",
+	"E1":  "Figure 1 demo: WayUp vs one-shot under asynchrony, live probes",
+	"E2":  "update time of flow tables (paper's stated evaluation)",
+	"E3":  "transient-security violations on random waypoint instances",
+	"E4":  "rounds vs n: relaxed (Peacock) vs strong (greedy) loop freedom",
+	"E5":  "scheduler computation time vs instance size",
+	"E6":  "live update time vs number of switches",
+	"E7":  "violation dose-response vs control-channel jitter",
+	"E9":  "multi-policy updates: joint vs sequential rounds",
+	"E12": "optimality gaps: heuristics vs counterexample-guided synthesis",
 }
 
 func main() {
@@ -86,14 +87,15 @@ func realMain() int {
 	}
 
 	runners := map[string]func() (*metrics.Table, error){
-		"E1": func() (*metrics.Table, error) { return experiments.E1Fig1(*seed) },
-		"E2": func() (*metrics.Table, error) { return experiments.E2UpdateTime(*reps, *seed) },
-		"E3": func() (*metrics.Table, error) { return experiments.E3Violations(50, *seed) },
-		"E4": func() (*metrics.Table, error) { return experiments.E4Rounds(*seed) },
-		"E5": func() (*metrics.Table, error) { return experiments.E5Compute(*seed) },
-		"E6": func() (*metrics.Table, error) { return experiments.E6UpdateTimeVsN(*seed) },
-		"E7": func() (*metrics.Table, error) { return experiments.E7JitterDose(*seed) },
-		"E9": func() (*metrics.Table, error) { return experiments.E9MultiPolicy(*seed) },
+		"E1":  func() (*metrics.Table, error) { return experiments.E1Fig1(*seed) },
+		"E2":  func() (*metrics.Table, error) { return experiments.E2UpdateTime(*reps, *seed) },
+		"E3":  func() (*metrics.Table, error) { return experiments.E3Violations(50, *seed) },
+		"E4":  func() (*metrics.Table, error) { return experiments.E4Rounds(*seed) },
+		"E5":  func() (*metrics.Table, error) { return experiments.E5Compute(*seed) },
+		"E6":  func() (*metrics.Table, error) { return experiments.E6UpdateTimeVsN(*seed) },
+		"E7":  func() (*metrics.Table, error) { return experiments.E7JitterDose(*seed) },
+		"E9":  func() (*metrics.Table, error) { return experiments.E9MultiPolicy(*seed) },
+		"E12": func() (*metrics.Table, error) { return experiments.E12SynthGap(*seed) },
 	}
 
 	var ids []string
@@ -106,7 +108,7 @@ func realMain() int {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9; E8 is the codec benchmark: go test -bench=E8)\n", id)
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9, E12; E8 is the codec benchmark: go test -bench=E8)\n", id)
 				return 2
 			}
 			ids = append(ids, id)

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	schedctl -old 1,2,3,4,5,6,12 -new 1,7,8,3,9,10,11,12 -wp 3
+//	schedctl -old 1,2,3,4,5,6,12 -new 1,7,8,3,9,10,11,12 -wp 3 -algo synth -gap
 //	schedctl -family reversal:32 -algorithm peacock
 //	schedctl -old 1,2,3 -new 1,3 -algorithm optimal -props relaxed-lf
 //	schedctl -old 1,2,3 -new 1,4,3 -algorithm peacock -submit \
@@ -28,6 +29,7 @@ import (
 	"tsu/internal/api"
 	"tsu/internal/client"
 	"tsu/internal/core"
+	"tsu/internal/synth"
 	"tsu/internal/topo"
 	"tsu/internal/verify"
 )
@@ -46,6 +48,7 @@ func run() error {
 		waypoint  = flag.Uint64("wp", 0, "waypoint datapath id (0 = none)")
 		family    = flag.String("family", "", "generate the instance from a family spec (reversal:N, staircase:N, nested:N) instead of -old/-new")
 		algorithm = flag.String("algorithm", "", "one of "+strings.Join(core.Names(), ", ")+" (default: all applicable)")
+		gap       = flag.Bool("gap", false, "print the optimality-gap table: every heuristic's plan vs the synthesized optimum, then exit")
 		propsFlag = flag.String("props", "", "verify against these properties instead of the schedule's own guarantees (comma-separated: no-blackhole, waypoint, relaxed-lf, strong-lf)")
 		planFlag  = flag.String("plan", "", "execution plan shape, for both the printed shape and -submit: layered (default) or sparse")
 		modeFlag  = flag.String("mode", "", "dispatch path, for both the printed message counts and -submit: controller (default) or decentralized")
@@ -56,6 +59,7 @@ func run() error {
 		cleanup   = flag.Bool("cleanup", false, "append a garbage-collection round for -submit")
 		timeout   = flag.Duration("timeout", 60*time.Second, "completion timeout for -submit")
 	)
+	flag.StringVar(algorithm, "algo", "", "alias for -algorithm")
 	flag.Parse()
 
 	in, err := buildInstance(*family, *oldPath, *newPath, topo.NodeID(*waypoint))
@@ -64,6 +68,15 @@ func run() error {
 	}
 	fmt.Printf("instance: %s\n", in)
 	fmt.Printf("pending switches (%d): %v\n\n", in.NumPending(), in.Pending())
+
+	if *gap {
+		rep, err := synth.Compare(in, synth.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Table())
+		return nil
+	}
 
 	props, err := parseProps(*propsFlag)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"tsu/internal/api"
 	"tsu/internal/client"
 	"tsu/internal/core"
+	_ "tsu/internal/synth" // registers the synth scheduler so -algorithm lists it
 	"tsu/internal/topo"
 )
 

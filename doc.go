@@ -32,8 +32,15 @@
 //     enumeration, PlanRun (allocation-free ack-dispatch bookkeeping), and
 //     the canonical plan wire codec; core.Walker is the incremental,
 //     allocation-free state-check primitive under the explorer and verifier
+//   - internal/synth     — counterexample-guided plan synthesis (CEGIS): grows
+//     a minimal-depth sparse DAG edge by edge from explorer/verifier
+//     counterexample ideals, with budgets, a refinement transcript, a
+//     heuristic portfolio fallback, and the optimality-gap report
+//     (synth.Compare) quantifying how far each heuristic is from optimum
 //   - internal/verify    — exact transient-state verification (fast safe/unsafe
-//     verdicts) over round states and plan ideals (verify.Plan)
+//     verdicts) over round states and plan ideals (verify.Plan); the
+//     PlanCounterexample entry returns the violating order ideal for the
+//     synthesizer's refinement loop
 //   - internal/explore   — adversarial interleaving explorer: exhaustive
 //     Gray-code enumeration with incremental walks and a transposition
 //     table, sampled FlowMod delivery orders, per-event checks, minimized
@@ -56,7 +63,7 @@
 //     REST API (/v1/verify and /v1/explore are the dry-run surfaces; jobs
 //     report plan shape, per-install release edges and ctrl/peer message counts)
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
-//   - internal/experiments — the experiment harness (E1..E10)
+//   - internal/experiments — the experiment harness (E1..E10, E12)
 //
 // See README.md for the package tour, quickstart, and the Performance
 // section (incremental-walk design, Gray-code/order-state duality,

@@ -22,6 +22,9 @@ import (
 type Error struct {
 	Message string `json:"error"`
 	Code    int    `json:"code"`
+	// Plan carries the best-so-far plan shape when a synthesis budget
+	// is exceeded (CodeSynthBudget); nil otherwise.
+	Plan *PlanShape `json:"plan,omitempty"`
 }
 
 // Machine-readable error codes carried in Error.Code.
@@ -59,6 +62,10 @@ const (
 	CodeSwitchUnavailable = 1013
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal = 1014
+	// CodeSynthBudget: the per-request synthesis budget was exceeded
+	// before the "synth" scheduler found a verified plan; Error.Plan
+	// holds the best-so-far plan shape.
+	CodeSynthBudget = 1015
 )
 
 // FlowUpdate is one entry of a batch: migrate one flow from its old
@@ -94,6 +101,13 @@ type FlowUpdate struct {
 	// lets the switches release each other peer-to-peer, reporting
 	// back only on completion.
 	Mode string `json:"mode,omitempty"`
+	// SynthBudget caps the CEGIS refinements when Algorithm is
+	// "synth" (0 = server default, which also arms the heuristic
+	// portfolio fallback). A positive budget runs pure synthesis; if
+	// the oracle still finds violations past it, the request fails
+	// with a 400/CodeSynthBudget error whose Plan field reports the
+	// best-so-far plan shape.
+	SynthBudget int `json:"synth_budget,omitempty"`
 }
 
 // PlanShape summarizes an execution plan's DAG on the wire: how many

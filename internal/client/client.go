@@ -93,6 +93,9 @@ type APIError struct {
 	Status  int // HTTP status code
 	Code    int // machine-readable api.Code* value (0 when absent)
 	Message string
+	// Plan is the best-so-far plan shape attached to synthesis
+	// budget-exceeded errors (api.CodeSynthBudget); nil otherwise.
+	Plan *api.PlanShape
 }
 
 func (e *APIError) Error() string {
@@ -165,6 +168,7 @@ func decodeAPIError(resp *http.Response) error {
 	if json.Unmarshal(body, &envelope) == nil && envelope.Message != "" {
 		apiErr.Message = envelope.Message
 		apiErr.Code = envelope.Code
+		apiErr.Plan = envelope.Plan
 	}
 	return apiErr
 }

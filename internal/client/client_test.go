@@ -353,3 +353,60 @@ func TestClientRetry(t *testing.T) {
 		t.Fatalf("4xx retried %d times", calls.Load())
 	}
 }
+
+// TestClientSynthBudget round-trips the per-request synthesis budget:
+// a one-refinement budget cannot secure the update and must come back
+// as a structured 400/CodeSynthBudget APIError carrying the
+// best-so-far plan shape, while the default budget synthesizes a plan
+// that executes to completion.
+func TestClientSynthBudget(t *testing.T) {
+	_, c := gridBed(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	update := flowA
+	update.Algorithm = "synth"
+
+	tight := update
+	tight.SynthBudget = 1
+	_, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{tight},
+		DryRun:  true,
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("tight budget: got %v, want *client.APIError", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != api.CodeSynthBudget {
+		t.Fatalf("tight budget: status=%d code=%d, want 400 / %d", apiErr.Status, apiErr.Code, api.CodeSynthBudget)
+	}
+	if apiErr.Plan == nil || apiErr.Plan.Nodes == 0 {
+		t.Fatalf("budget error carries no best-so-far plan shape: %+v", apiErr.Plan)
+	}
+
+	// Default budget (0): full synthesis with the portfolio armed.
+	if err := c.InstallPolicy(ctx, api.PolicyRequest{Path: update.OldPath, NWDst: update.NWDst}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.SubmitBatch(ctx, api.BatchUpdateRequest{Updates: []api.FlowUpdate{update}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := resp.Updates[0]
+	if acc.Algorithm != "synth" {
+		t.Fatalf("accepted algorithm = %q, want synth", acc.Algorithm)
+	}
+	if acc.Plan == nil || acc.Plan.Depth == 0 {
+		t.Fatalf("accepted update has no plan shape: %+v", acc.Plan)
+	}
+	if acc.Guarantees == "" {
+		t.Fatal("synth update reports no guarantees")
+	}
+	st, err := c.Wait(ctx, acc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("synth job = %+v", st)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"tsu/internal/core"
 	"tsu/internal/explore"
 	"tsu/internal/openflow"
+	"tsu/internal/synth"
 	"tsu/internal/topo"
 	"tsu/internal/verify"
 )
@@ -38,11 +39,13 @@ import (
 // same planning/submission core.
 
 // handlerError carries the HTTP status and machine-readable code a
-// failed request maps to.
+// failed request maps to; plan optionally attaches a best-so-far plan
+// shape (synthesis budget exceeded).
 type handlerError struct {
 	status int
 	code   int
 	msg    string
+	plan   *api.PlanShape
 }
 
 func (e *handlerError) Error() string { return e.msg }
@@ -55,7 +58,7 @@ func errf(status, code int, format string, args ...any) *handlerError {
 // become 500/CodeInternal.
 func writeErr(w http.ResponseWriter, err error) {
 	if he, ok := err.(*handlerError); ok {
-		writeJSON(w, he.status, api.Error{Message: he.msg, Code: he.code})
+		writeJSON(w, he.status, api.Error{Message: he.msg, Code: he.code, Plan: he.plan})
 		return
 	}
 	writeJSON(w, http.StatusInternalServerError, api.Error{Message: err.Error(), Code: api.CodeInternal})
@@ -128,6 +131,9 @@ func planUpdate(u api.FlowUpdate, forVerify bool) (*plannedUpdate, error) {
 			return nil, errf(http.StatusBadRequest, api.CodeUnknownAlgorithm, "%v", err)
 		}
 	}
+	if u.Algorithm == core.AlgoSynth {
+		return planSynthUpdate(p, in, u, props)
+	}
 	sched, err := core.ScheduleByName(in, u.Algorithm, props)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, api.CodeScheduleFailed, "scheduling failed: %v", err)
@@ -161,6 +167,49 @@ func planUpdate(u api.FlowUpdate, forVerify bool) (*plannedUpdate, error) {
 	return p, nil
 }
 
+// planSynthUpdate plans an update through the CEGIS synthesizer,
+// honoring the per-request refinement budget: a positive SynthBudget
+// runs pure synthesis and surfaces a budget overrun as a structured
+// 400/CodeSynthBudget carrying the best-so-far plan shape; zero runs
+// the heuristic-backed portfolio with server defaults. The synthesized
+// sparse DAG executes directly when the entry asked for plan "sparse";
+// the layered view of its layers otherwise.
+func planSynthUpdate(p *plannedUpdate, in *core.Instance, u api.FlowUpdate, props core.Property) (*plannedUpdate, error) {
+	if u.SynthBudget < 0 {
+		return nil, errf(http.StatusBadRequest, api.CodeBadRequest, "synth_budget %d is negative", u.SynthBudget)
+	}
+	sprops := synth.DefaultProps(in, props)
+	var (
+		plan *core.Plan
+		err  error
+	)
+	if u.SynthBudget > 0 {
+		plan, _, err = synth.Synthesize(in, sprops, synth.Options{Budget: u.SynthBudget})
+	} else {
+		plan, _, err = synth.Plan(in, sprops, synth.Options{})
+	}
+	if err != nil {
+		var be *synth.BudgetError
+		if errors.As(err, &be) {
+			he := errf(http.StatusBadRequest, api.CodeSynthBudget,
+				"synthesis budget of %d refinements exceeded after %d counterexamples", be.Budget, be.Transcript.Iters)
+			he.plan = planShape(be.Best)
+			return nil, he
+		}
+		return nil, errf(http.StatusBadRequest, api.CodeScheduleFailed, "synthesis failed: %v", err)
+	}
+	p.Algo = core.AlgoSynth
+	p.Sched = &core.Schedule{Rounds: plan.Layers(), Algorithm: core.AlgoSynth, Guarantees: plan.Guarantees}
+	// The generic path re-derives a sparse DAG from the schedule; here
+	// the synthesized DAG itself is the artifact, so it executes as-is
+	// on request instead of being reconstructed.
+	p.DAG = core.PlanFromSchedule(p.Sched)
+	if u.Plan == "sparse" {
+		p.DAG = plan
+	}
+	return p, nil
+}
+
 // planShape converts a plan's DAG shape to the wire form.
 func planShape(p *core.Plan) *api.PlanShape {
 	if p == nil {
@@ -190,7 +239,9 @@ func planBatch(req api.BatchUpdateRequest, forVerify bool) ([]*plannedUpdate, er
 		p, err := planUpdate(u, forVerify)
 		if err != nil {
 			if he, ok := err.(*handlerError); ok {
-				return nil, errf(he.status, he.code, "updates[%d]: %s", i, he.msg)
+				wrapped := errf(he.status, he.code, "updates[%d]: %s", i, he.msg)
+				wrapped.plan = he.plan
+				return nil, wrapped
 			}
 			return nil, err
 		}

@@ -18,6 +18,12 @@ const (
 	AlgoSequential = "sequential"
 	AlgoOneShot    = "oneshot"
 	AlgoOptimal    = "optimal"
+
+	// AlgoSynth is the counterexample-guided plan synthesizer
+	// (internal/synth). It registers itself from that package's init so
+	// core stays free of explorer dependencies; binaries that want it
+	// import tsu/internal/synth.
+	AlgoSynth = "synth"
 )
 
 // Scheduler is the uniform interface over every update algorithm.

@@ -28,6 +28,7 @@ import (
 	"tsu/internal/netem"
 	"tsu/internal/openflow"
 	"tsu/internal/switchsim"
+	"tsu/internal/synth"
 	"tsu/internal/topo"
 	"tsu/internal/trace"
 	"tsu/internal/verify"
@@ -631,6 +632,41 @@ func E10VirtualFatTree(k, policies int, seed int64) (*E10Result, error) {
 	return res, nil
 }
 
+// E12SynthGap quantifies every heuristic's optimality gap against the
+// counterexample-guided synthesizer (internal/synth) on the paper's
+// Figure 1 instance, a random fat-tree(8) reroute, and Comb(12,8).
+// Gaps are heuristic − synthesized (positive means the heuristic is
+// worse); the source column records whether the CEGIS loop's own plan
+// won the portfolio or a heuristic still did.
+func E12SynthGap(seed int64) (*metrics.Table, error) {
+	ft, err := topo.RandomFatTreePolicy(rand.New(rand.NewSource(seed)), topo.FatTree(8))
+	if err != nil {
+		return nil, err
+	}
+	comb := topo.Comb(12, 8)
+	cases := []struct {
+		name string
+		in   *core.Instance
+	}{
+		{"fig1", core.MustInstance(topo.Fig1OldPath, topo.Fig1NewPath, topo.Fig1Waypoint)},
+		{"fattree8", core.MustInstance(ft.Old, ft.New, ft.Waypoint)},
+		{"comb12x8", core.MustInstance(comb.Old, comb.New, comb.Waypoint)},
+	}
+	tbl := metrics.NewTable("instance", "algorithm", "depth", "synth_depth",
+		"depth_gap", "edge_gap", "crit_gap", "ctrl_gap", "peer_gap", "synth_source")
+	for _, tc := range cases {
+		rep, err := synth.Compare(tc.in, synth.Options{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		for _, row := range rep.Rows {
+			tbl.AddRow(tc.name, row.Algorithm, row.Heuristic.Depth, row.Synth.Depth,
+				row.DepthGap, row.EdgeGap, row.CriticalGap, row.CtrlGap, row.PeerGap, row.SynthSource)
+		}
+	}
+	return tbl, nil
+}
+
 // All runs every experiment (E8, the codec microbenchmark, lives in
 // the bench harness only) and returns the tables keyed by id.
 func All(seed int64) (map[string]*metrics.Table, error) {
@@ -655,6 +691,7 @@ func All(seed int64) (map[string]*metrics.Table, error) {
 			}
 			return res.Table, nil
 		}},
+		{"E12", func() (*metrics.Table, error) { return E12SynthGap(seed) }},
 	} {
 		tbl, err := e.run()
 		if err != nil {

@@ -35,7 +35,41 @@ func Plan(in *core.Instance, p *core.Plan, props core.Property, opts Options) *R
 	}
 	walk, outcome := in.Walk(full)
 	r.FinalStateOK = outcome == core.Reached && walk.Equal(in.New)
+	r.Rounds = []RoundResult{planIdeals(in, p, props, opts)}
+	return r
+}
 
+// PlanCounterexample is the synthesizer's certificate oracle: it
+// decides the plan's ideal space directly — never delegating layered
+// plans to the round engine, so a violating state always comes back
+// as an ideal over plan-node indices — and returns the violating
+// ideal (ascending node indices), the properties broken there, and
+// whether the verdict is exact (exhaustive enumeration within
+// Options.Budget rather than sampled extensions). nodes == nil means
+// no violation was found; nil with exact false is an undecided
+// verdict, which is also what a structurally invalid plan reports
+// (callers build plans via PlanDraft, which cannot emit one).
+func PlanCounterexample(in *core.Instance, p *core.Plan, props core.Property, opts Options) (nodes []int, violated core.Property, exact bool) {
+	opts = opts.withDefaults()
+	if err := p.Validate(in); err != nil {
+		return nil, 0, false
+	}
+	rr := planIdeals(in, p, props, opts)
+	if rr.Violation == nil {
+		return nil, 0, rr.Exact
+	}
+	for i, nd := range p.Nodes {
+		if in.Updated(rr.Violation.Updated, nd.Switch) {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes, rr.Violation.Violated, rr.Exact
+}
+
+// planIdeals decides one plan's whole ideal space as a single round
+// result: exhaustive single-flip DFS within Options.Budget states,
+// sampled linear extensions past it.
+func planIdeals(in *core.Instance, p *core.Plan, props core.Property, opts Options) RoundResult {
 	rr := RoundResult{Round: 0, Size: p.NumNodes()}
 	w := in.NewWalker()
 	idx := make([]int, p.NumNodes())
@@ -64,8 +98,7 @@ func Plan(in *core.Instance, p *core.Plan, props core.Property, opts Options) *R
 	if !rr.Exact {
 		rr.Violation = samplePlan(in, p, w, idx, props, opts)
 	}
-	r.Rounds = []RoundResult{rr}
-	return r
+	return rr
 }
 
 // samplePlan replays Options.Samples seeded random linear extensions
