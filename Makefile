@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 3x
 
-.PHONY: ci fmt vet test test-determinism bench bench-json bench-diff bench-smoke fuzz-smoke build
+.PHONY: ci fmt vet test test-determinism chaos bench bench-json bench-diff bench-smoke fuzz-smoke build
 
 ci: fmt vet test test-determinism
 
@@ -20,6 +20,15 @@ vet:
 test:
 	$(GO) test ./... -race
 
+# The fault-injection suite under the race detector: seeded fault
+# models (netem), crash/loss switch faults (switchsim), reverse-plan
+# safety (core/verify/explore), and the controller's abort→verified-
+# rollback path in both dispatch modes, including the chaos soak.
+chaos:
+	$(GO) test -race -count=1 -run 'Fault|Chaos|Crash|Rollback|Reverse|Abort|VirtualTime' \
+		./internal/netem ./internal/switchsim ./internal/core \
+		./internal/verify ./internal/explore ./internal/controller
+
 bench:
 	$(GO) test -bench=. -benchtime=10x -run '^$$' .
 
@@ -32,22 +41,22 @@ test-determinism:
 	$(GO) test -run Explore -count=2 -race ./...
 
 # Machine-readable benchmark trajectory: run every benchmark with
-# -benchmem and emit BENCH_7.json (name -> ns/op, allocs/op, domain
+# -benchmem and emit BENCH_8.json (name -> ns/op, allocs/op, domain
 # metrics) for future PRs to diff against. No pipe on the `go test`
 # line: a benchmark failure must fail the target, not vanish into
 # tee's exit status (bench.out is left behind for debugging).
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_7.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_8.json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_7.json"
+	@echo "wrote BENCH_8.json"
 
 # Perf trajectory between the previous PR's snapshot and this one:
 # per-benchmark ns/op and allocs/op movement. Informational (CI runs
 # it non-gating); add -fail-on-regress locally to gate.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_6.json BENCH_7.json
+	$(GO) run ./cmd/benchjson -diff BENCH_7.json BENCH_8.json
 
 # One iteration of every benchmark in the repo: catches benchmark rot
 # without paying for a measurement run.

@@ -388,6 +388,31 @@ func BenchmarkE10VirtualFatTree(b *testing.B) {
 	b.ReportMetric(float64(events), "events")
 }
 
+// BenchmarkE13FaultedRollback runs the 10k-switch fat-tree fault
+// scenario (200 random reroutes under seeded confirmation-loss rates,
+// verified rollback of every aborted prefix) with four workers. The
+// acceptance bar is a reproducible event count, zero verifier
+// refusals, and a nonzero abort/rollback stream — recovery exercised
+// at the scale the virtual clock unlocks.
+func BenchmarkE13FaultedRollback(b *testing.B) {
+	events, rolledBack := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E13FaultedRollback(90, 200, 17, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("verifier refused %d rollbacks", res.Violations)
+		}
+		if events != 0 && events != res.Events {
+			b.Fatalf("event count not reproducible: %d vs %d", events, res.Events)
+		}
+		events, rolledBack = res.Events, res.RolledBack
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(rolledBack), "rolled_back")
+}
+
 // BenchmarkWalkBitset measures the forwarding walk on the dense bitset
 // state core against an equivalent map-based walker (the seed's State
 // representation), with half the pending switches flipped. The bitset

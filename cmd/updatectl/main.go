@@ -178,6 +178,7 @@ func watchJob(ctx context.Context, c *client.Client, id int, installs bool) erro
 		return err
 	}
 	if st.State != "done" {
+		printFailure(id, st.Failure)
 		return fmt.Errorf("failed: %s", st.Error)
 	}
 	fmt.Printf("job %d done in %dµs%s\n", id, st.TotalMicros, messageSummary(st))
@@ -187,6 +188,32 @@ func watchJob(ctx context.Context, c *client.Client, id int, installs bool) erro
 		}
 	}
 	return nil
+}
+
+// printFailure renders a failed job's structured abort outcome: how
+// far recovery got, what was installed and rolled back, and — for
+// stuck jobs — which switches keep their new rules and what blocks
+// each one's uninstall.
+func printFailure(id int, f *api.FailureReport) {
+	if f == nil {
+		return
+	}
+	verified := ""
+	if f.RollbackVerified {
+		verified = " (rollback verified safe)"
+	}
+	fmt.Fprintf(os.Stderr, "job %d %s%s: installed=%v rolled_back=%v\n",
+		id, f.Phase, verified, f.Installed, f.RolledBack)
+	if f.TriggeringFault != "" {
+		fmt.Fprintf(os.Stderr, "job %d fault: %s\n", id, f.TriggeringFault)
+	}
+	for _, s := range f.Stuck {
+		if len(s.WaitingOn) > 0 {
+			fmt.Fprintf(os.Stderr, "job %d stuck sw=%d: uninstall blocked by %v\n", id, s.Switch, s.WaitingOn)
+		} else {
+			fmt.Fprintf(os.Stderr, "job %d stuck sw=%d\n", id, s.Switch)
+		}
+	}
 }
 
 // messageSummary renders the job's message-count breakdown for the

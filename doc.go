@@ -25,6 +25,17 @@
 // and the explorer fingerprints — is unchanged by who relays the
 // acks (core.AssemblePlan, TestDecentralizedBitIdentical).
 //
+// Execution is also recoverable: netem.Faults injects seeded
+// drop/duplicate/reorder faults per message class and switchsim
+// crashes switches mid-plan (optionally wiping their tables). On a
+// barrier timeout or stall the engine aborts, reverses the
+// dispatched prefix (Plan.Reverse — the rollback's transient states
+// are forward sub-ideals, so verified plans roll back safe),
+// re-verifies the reverse plan, and executes it only on a safe
+// verdict; otherwise the job reports itself stuck with the precise
+// unmet dependencies. The structured failure report rides the /v1
+// job status into the SDK and updatectl.
+//
 // The library lives under internal/:
 //
 //   - internal/core      — update model, schedulers (the paper's contribution),
@@ -55,15 +66,19 @@
 //     (partition push, completion report)
 //   - internal/ofconn    — framing, handshake, xid management
 //   - internal/switchsim — simulated switches, data-plane fabric and the
-//     decentralized plan agent (clock-parameterized)
-//   - internal/netem     — control-channel asynchrony models on a pluggable clock
+//     decentralized plan agent (clock-parameterized); fault injection:
+//     crash-after-N-FlowMods with optional table wipe, per-class
+//     drop/duplicate/reorder
+//   - internal/netem     — control-channel asynchrony models and the seeded
+//     probabilistic fault model (netem.Faults) on a pluggable clock
 //   - internal/controller— the controller: ack-driven plan dispatch with
 //     per-node barriers (layered plans reproduce the paper's round loop) or
 //     decentralized partition broadcast (ModeDecentralized),
 //     REST API (/v1/verify and /v1/explore are the dry-run surfaces; jobs
-//     report plan shape, per-install release edges and ctrl/peer message counts)
+//     report plan shape, per-install release edges, ctrl/peer message counts
+//     and the structured failure report of the abort/rollback path)
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
-//   - internal/experiments — the experiment harness (E1..E10, E12)
+//   - internal/experiments — the experiment harness (E1..E10, E12, E13)
 //
 // See README.md for the package tour, quickstart, and the Performance
 // section (incremental-walk design, Gray-code/order-state duality,

@@ -195,6 +195,39 @@ type MessageCount struct {
 	Peer   int    `json:"peer,omitempty"`
 }
 
+// StuckNode is one installed-but-not-rolled-back switch in a failure
+// report, with the switches whose uninstall must come first (the
+// reverse plan's unmet dependencies).
+type StuckNode struct {
+	Switch    uint64   `json:"switch"`
+	WaitingOn []uint64 `json:"waiting_on,omitempty"`
+}
+
+// FailureReport is the structured outcome of a job that aborted
+// mid-plan, attached to JobStatus when State is "failed". Phase tells
+// how far recovery got: "aborted" (nothing to roll back, or a job
+// shape the engine cannot reverse), "rolled-back" (the reverse plan
+// verified safe and every installed node was undone), "rollback-
+// failed" (verified but execution failed partway), or "stuck" (the
+// reverse plan did not verify safe; rules were left in place).
+type FailureReport struct {
+	Phase string `json:"phase"`
+	// TriggeringFault describes the failure that aborted the plan.
+	TriggeringFault string `json:"triggering_fault,omitempty"`
+	// Installed lists the switches whose installs were confirmed
+	// before the abort; RolledBack lists the switches undone (it may
+	// exceed Installed — dispatched-but-unconfirmed nodes are reversed
+	// too, with idempotent undo mods).
+	Installed  []uint64 `json:"installed,omitempty"`
+	RolledBack []uint64 `json:"rolled_back,omitempty"`
+	// RollbackVerified reports whether the reverse plan passed
+	// verification before anything was undone.
+	RollbackVerified bool `json:"rollback_verified,omitempty"`
+	// Stuck lists installed nodes left in place with their blocking
+	// dependencies (phases "stuck" and "rollback-failed").
+	Stuck []StuckNode `json:"stuck,omitempty"`
+}
+
 // JobStatus reports a job's progress (GET /v1/updates/{id}).
 type JobStatus struct {
 	ID          int           `json:"id"`
@@ -215,6 +248,8 @@ type JobStatus struct {
 	// breaks it down by switch in ascending switch order.
 	Messages          *MessageCount  `json:"messages,omitempty"`
 	MessagesPerSwitch []MessageCount `json:"messages_per_switch,omitempty"`
+	// Failure is the structured abort outcome (failed jobs only).
+	Failure *FailureReport `json:"failure,omitempty"`
 }
 
 // TotalDuration returns the job's wall-clock time (zero while

@@ -19,6 +19,7 @@ import (
 type testbed struct {
 	ctrl   *Controller
 	fabric *switchsim.Fabric
+	addr   string
 	cancel context.CancelFunc
 }
 
@@ -62,7 +63,7 @@ func newTestbedWithConfig(t testing.TB, g *topo.Graph, ctrlCfg Config, swCfg fun
 		cancel()
 		t.Fatal(err)
 	}
-	tb := &testbed{ctrl: ctrl, fabric: fabric, cancel: cancel}
+	tb := &testbed{ctrl: ctrl, fabric: fabric, addr: addr, cancel: cancel}
 	t.Cleanup(func() {
 		cancel()
 		for _, n := range g.Nodes() {

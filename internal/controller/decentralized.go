@@ -237,7 +237,13 @@ func (e *Engine) executeDecentralized(ctx context.Context, job *Job) {
 			case <-e.c.clock.After(e.c.cfg.RoundTimeout):
 				// No switch made terminal progress for a full timeout:
 				// a peer ack or a report is lost, or an install stalled.
-				e.fail(job, stallError(job, confirmed, e.c.cfg.RoundTimeout))
+				// Roll back the down-closure of the confirmed set — a
+				// confirmed node's dependencies took effect at their
+				// switches even if their own reports were lost.
+				// Installs at unreported crashed switches are invisible
+				// to the controller and stay in place (see README).
+				e.abort(ctx, job, stallError(job, confirmed, e.c.cfg.RoundTimeout),
+					downClosure(job.plan.dag, confirmed), confirmed)
 				return
 			case <-ctx.Done():
 				e.fail(job, ctx.Err())
@@ -249,7 +255,8 @@ func (e *Engine) executeDecentralized(ctx context.Context, job *Job) {
 			for i := range r.Nodes {
 				nr := &r.Nodes[i]
 				if nr.Index < 0 || nr.Index >= n || confirmed[nr.Index] || nodes[nr.Index].node != r.Switch {
-					e.fail(job, fmt.Errorf("malformed completion report from switch %d (node %d)", r.Switch, nr.Index))
+					e.abort(ctx, job, fmt.Errorf("malformed completion report from switch %d (node %d)", r.Switch, nr.Index),
+						downClosure(job.plan.dag, confirmed), confirmed)
 					return
 				}
 				confirmed[nr.Index] = true

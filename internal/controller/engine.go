@@ -222,9 +222,16 @@ type Job struct {
 	nodes   map[topo.NodeID]struct{}
 	matches map[openflow.Match]struct{}
 
+	// rollback, immutable after construction, carries what the abort
+	// path needs to build and verify a reverse plan. Nil for jobs the
+	// engine cannot roll back (joint updates, two-phase), which fail
+	// plain on mid-plan errors.
+	rollback *rollbackSpec
+
 	mu       sync.Mutex
 	state    JobState
 	err      error
+	failure  *FailureReport
 	timings  []RoundTiming
 	installs []InstallTiming
 	msgs     map[topo.NodeID]MessageStats
@@ -274,6 +281,19 @@ func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Failure returns the structured failure report of a JobFailed job
+// that aborted mid-plan (nil otherwise): the recovery phase reached,
+// the triggering fault, and the installed/rolled-back node sets.
+func (j *Job) Failure() *FailureReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failure == nil {
+		return nil
+	}
+	f := *j.failure
+	return &f
 }
 
 // Timings returns the per-round (per-layer) timings recorded so far.
@@ -472,7 +492,13 @@ func (e *Engine) SubmitOpts(in *core.Instance, s *core.Schedule, match openflow.
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue(jobSpec{algorithm: s.Algorithm, plan: layeredExecPlan(rounds), interval: opts.Interval, mode: opts.Mode})
+	return e.enqueue(jobSpec{
+		algorithm: s.Algorithm,
+		plan:      layeredExecPlan(rounds),
+		interval:  opts.Interval,
+		mode:      opts.Mode,
+		rollback:  &rollbackSpec{in: in, match: match, props: s.Guarantees},
+	})
 }
 
 // SubmitPlan enqueues a single-policy update job executing the given
@@ -485,7 +511,13 @@ func (e *Engine) SubmitPlan(in *core.Instance, p *core.Plan, match openflow.Matc
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue(jobSpec{algorithm: p.Algorithm, plan: ep, interval: opts.Interval, mode: opts.Mode})
+	return e.enqueue(jobSpec{
+		algorithm: p.Algorithm,
+		plan:      ep,
+		interval:  opts.Interval,
+		mode:      opts.Mode,
+		rollback:  &rollbackSpec{in: in, match: match, props: p.Guarantees},
+	})
 }
 
 // buildPlanNodes materializes a dependency plan for one flow: one
@@ -663,6 +695,7 @@ type jobSpec struct {
 	plan      execPlan
 	interval  time.Duration
 	mode      ExecMode
+	rollback  *rollbackSpec
 }
 
 // enqueue admits a single job (see enqueueAll).
@@ -689,6 +722,7 @@ func (e *Engine) enqueueAll(specs []jobSpec) ([]*Job, error) {
 			Interval:  s.interval,
 			Mode:      s.mode,
 			plan:      s.plan,
+			rollback:  s.rollback,
 			done:      make(chan struct{}),
 		}
 		jobs[i].footprint()
@@ -850,12 +884,16 @@ func (e *Engine) fail(job *Job, err error) {
 }
 
 // nodeAck is one install's outcome, delivered to the dispatcher's ack
-// loop by the node's send-and-barrier goroutine.
+// loop by the node's send-and-barrier goroutine. sent reports whether
+// any FlowMod left for the switch before the error — such a node may
+// have taken effect even without a barrier reply, so the rollback
+// prefix must include it.
 type nodeAck struct {
 	idx      int
 	flowMods int
 	started  time.Time
 	finished time.Time
+	sent     bool
 	err      error
 }
 
@@ -879,14 +917,26 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 	nodes := job.plan.nodes
 	n := len(nodes)
 	if n > 0 {
+		// Per-job context: the first failed install cancels every
+		// in-flight sibling, so the abort path stops dispatching work
+		// the rollback would immediately have to undo.
+		jobCtx, cancelJob := context.WithCancel(ctx)
+		defer cancelJob()
+
 		acks := make(chan nodeAck, n) // buffered: stragglers of a failed job never leak
 		releasedBy := make([]topo.NodeID, n)
+		dispatched := make([]bool, n) // FlowMods possibly reached the switch
+		confirmed := make([]bool, n)  // barrier reply received
 
 		prog := newPlanProgress(job)
+		inflight := 0
 		for _, i := range prog.start() {
-			go e.dispatchNode(ctx, job, i, acks)
+			dispatched[i] = true
+			inflight++
+			go e.dispatchNode(jobCtx, job, i, acks)
 		}
-		for completed := 0; completed < n; completed++ {
+		var failure error
+		for inflight > 0 {
 			var a nodeAck
 			select {
 			case a = <-acks:
@@ -894,11 +944,27 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 				e.fail(job, ctx.Err())
 				return
 			}
+			inflight--
 			if a.err != nil {
-				e.fail(job, a.err)
-				return
+				if a.sent {
+					dispatched[a.idx] = true
+				} else {
+					// The node never sent anything (e.g. cancelled during
+					// its interval pause): it cannot have taken effect.
+					dispatched[a.idx] = false
+				}
+				if failure == nil {
+					failure = a.err
+					cancelJob()
+				}
+				continue // drain the remaining in-flight installs
 			}
+			// A successful install is recorded even when it lands after
+			// the first failure: the rollback prefix must be exact, and a
+			// node that confirmed between the error and the cancel did
+			// take effect.
 			nd := &nodes[a.idx]
+			confirmed[a.idx] = true
 			// Control messages per confirmed install: the FlowMods plus
 			// the barrier request and its reply.
 			job.addMessages(nd.node, MessageStats{Ctrl: a.flowMods + 2})
@@ -911,11 +977,22 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 				Started:    a.started,
 				Finished:   a.finished,
 			}
-			// Release: every install the ack unblocks dispatches now.
+			// Release: every install the ack unblocks dispatches now —
+			// unless the job is aborting, in which case confirmations are
+			// only recorded, never acted on.
 			for _, s := range prog.confirm(a.idx, install) {
+				if failure != nil {
+					continue
+				}
 				releasedBy[s] = nd.node
-				go e.dispatchNode(ctx, job, s, acks)
+				dispatched[s] = true
+				inflight++
+				go e.dispatchNode(jobCtx, job, s, acks)
 			}
+		}
+		if failure != nil {
+			e.abort(ctx, job, failure, dispatched, confirmed)
+			return
 		}
 	}
 
@@ -932,7 +1009,11 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 // dispatchNode issues one install: optional inter-layer pause, the
 // node's FlowMods, then a barrier request, reporting the barrier
 // reply (or failure) to the dispatcher's ack loop. The job's
-// RoundTimeout bounds each install's barrier individually.
+// RoundTimeout bounds each install's barrier individually — on the
+// controller's injected clock, like every other engine wait, so
+// virtual-clock runs time out at RoundTimeout *virtual* time instead
+// of hanging for 30 wall-clock seconds (or, under AutoAdvance,
+// expiring spuriously while virtual delays are still being released).
 func (e *Engine) dispatchNode(ctx context.Context, job *Job, i int, acks chan<- nodeAck) {
 	nd := &job.plan.nodes[i]
 	if job.Interval > 0 && nd.layer > 0 {
@@ -946,23 +1027,27 @@ func (e *Engine) dispatchNode(ctx context.Context, job *Job, i int, acks chan<- 
 	started := e.c.clock.Now()
 	flowMods := 0
 	for _, tm := range nd.mods {
+		// A failed send still marks the node dispatched: a write error
+		// does not prove the switch never saw the message, and the undo
+		// FlowMods are idempotent, so over-covering is safe.
 		if err := e.c.SendFlowMod(uint64(tm.node), tm.fm); err != nil {
-			acks <- nodeAck{idx: i, err: fmt.Errorf("install at %d (layer %d): sending flowmod: %w", tm.node, nd.layer, err)}
+			acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): sending flowmod: %w", tm.node, nd.layer, err)}
 			return
 		}
 		flowMods++
 	}
 	done, err := e.c.BarrierAsync(uint64(nd.node))
 	if err != nil {
-		acks <- nodeAck{idx: i, err: fmt.Errorf("install at %d (layer %d): barrier: %w", nd.node, nd.layer, err)}
+		acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): barrier: %w", nd.node, nd.layer, err)}
 		return
 	}
-	nodeCtx, cancel := context.WithTimeout(ctx, e.c.cfg.RoundTimeout)
-	defer cancel()
 	select {
 	case <-done:
-	case <-nodeCtx.Done():
-		acks <- nodeAck{idx: i, err: fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, nodeCtx.Err())}
+	case <-e.c.clock.After(e.c.cfg.RoundTimeout):
+		acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, context.DeadlineExceeded)}
+		return
+	case <-ctx.Done():
+		acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, ctx.Err())}
 		return
 	}
 	acks <- nodeAck{idx: i, flowMods: flowMods, started: started, finished: e.c.clock.Now()}

@@ -293,7 +293,14 @@ func (c *Controller) prepareSpec(p *plannedUpdate, opts SubmitOptions) (jobSpec,
 	if err != nil {
 		return jobSpec{}, errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 	}
-	return jobSpec{algorithm: algo, plan: ep, interval: opts.Interval, mode: p.Mode}, nil
+	spec := jobSpec{algorithm: algo, plan: ep, interval: opts.Interval, mode: p.Mode}
+	// Scheduled updates are reversible mid-plan (see SubmitOpts/
+	// SubmitPlan); two-phase jobs are not — their tagged mods have no
+	// reverse plan, matching SubmitTwoPhase.
+	if p.Sched != nil {
+		spec.rollback = &rollbackSpec{in: p.In, match: p.Match, props: p.Sched.Guarantees}
+	}
+	return spec, nil
 }
 
 // submitPlanned builds and admits a group of planned updates
@@ -373,6 +380,9 @@ func v1JobStatus(job *Job) api.JobStatus {
 	if err := job.Err(); err != nil {
 		st.Error = err.Error()
 	}
+	if f := job.Failure(); f != nil {
+		st.Failure = v1FailureReport(f)
+	}
 	for _, t := range job.Timings() {
 		st.Rounds = append(st.Rounds, v1RoundStatus(t))
 	}
@@ -392,6 +402,24 @@ func v1JobStatus(job *Job) api.JobStatus {
 		}
 	}
 	return st
+}
+
+// v1FailureReport converts a job's abort outcome to the wire shape.
+func v1FailureReport(f *FailureReport) *api.FailureReport {
+	out := &api.FailureReport{
+		Phase:            f.Phase,
+		TriggeringFault:  f.TriggeringFault,
+		Installed:        api.FromPath(topo.Path(f.Installed)),
+		RolledBack:       api.FromPath(topo.Path(f.RolledBack)),
+		RollbackVerified: f.RollbackVerified,
+	}
+	for _, s := range f.Stuck {
+		out.Stuck = append(out.Stuck, api.StuckNode{
+			Switch:    uint64(s.Switch),
+			WaitingOn: api.FromPath(topo.Path(s.WaitingOn)),
+		})
+	}
+	return out
 }
 
 func v1InstallStatus(it InstallTiming) api.InstallStatus {

@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"tsu/internal/api"
+	"tsu/internal/switchsim"
 	"tsu/internal/topo"
 )
 
@@ -407,6 +409,102 @@ func TestV1WatchStreamsRounds(t *testing.T) {
 	for i, r := range rounds {
 		if r != i {
 			t.Fatalf("rounds out of order: %v", rounds)
+		}
+	}
+}
+
+// TestV1FailureReportRoundTrip drives an abort end to end through the
+// REST surface: a switch that drops barrier replies forces the engine
+// to abort and attempt a rollback whose own barrier is equally lost,
+// and GET /v1/updates/{id} must carry the structured failure report —
+// phase, exact installed/rolled-back sets, and the stuck node with
+// its blocking dependency list — in the wire shape the SDK decodes.
+func TestV1FailureReportRoundTrip(t *testing.T) {
+	g := topo.Fig1()
+	tb := newTestbedWithConfig(t, g, Config{Topology: g, RoundTimeout: 400 * time.Millisecond},
+		func(n topo.NodeID) switchsim.Config {
+			cfg := switchsim.Config{Node: n}
+			if n == 7 {
+				cfg.Faults = switchsim.Faults{DropBarriers: true}
+			}
+			return cfg
+		})
+	srv := httptest.NewServer(tb.ctrl.RESTHandler())
+	t.Cleanup(srv.Close)
+
+	if resp, body := postJSON(t, srv.URL+"/v1/policies", api.PolicyRequest{
+		Path: []uint64{1, 2, 3, 4, 5, 6, 12}, NWDst: "10.0.0.2", Host: "h2",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy: %d %s", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/updates", api.BatchUpdateRequest{
+		Updates: []api.FlowUpdate{fig1Update("peacock")},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var br api.BatchUpdateResponse
+	decodeInto(t, body, &br)
+	if len(br.Updates) != 1 {
+		t.Fatalf("accepted %d updates", len(br.Updates))
+	}
+
+	var st api.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/updates/%d", srv.URL, br.Updates[0].ID), &st); code != http.StatusOK {
+			t.Fatalf("status code %d", code)
+		}
+		if st.State == "failed" || st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: state %q", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.State != "failed" {
+		t.Fatalf("state = %q, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "rollback failed") {
+		t.Fatalf("error = %q", st.Error)
+	}
+	f := st.Failure
+	if f == nil {
+		t.Fatal("failed job status carries no failure report")
+	}
+	if f.Phase != PhaseRollbackFailed {
+		t.Fatalf("phase = %q, want %q", f.Phase, PhaseRollbackFailed)
+	}
+	if !f.RollbackVerified {
+		t.Fatal("reverse plan should have verified before execution")
+	}
+	if f.TriggeringFault == "" {
+		t.Fatal("failure report names no triggering fault")
+	}
+	if len(f.Stuck) != 1 || f.Stuck[0].Switch != 7 {
+		t.Fatalf("stuck = %+v, want exactly switch 7", f.Stuck)
+	}
+	asSet := func(ids []uint64) map[uint64]bool {
+		m := make(map[uint64]bool, len(ids))
+		for _, id := range ids {
+			m[id] = true
+		}
+		return m
+	}
+	installed, rolledBack := asSet(f.Installed), asSet(f.RolledBack)
+	if len(installed) == 0 {
+		t.Fatal("failure report lists no installed switches")
+	}
+	if installed[7] || rolledBack[7] {
+		t.Fatalf("switch 7 never confirmed: installed %v rolled back %v", f.Installed, f.RolledBack)
+	}
+	if len(installed) != len(rolledBack) {
+		t.Fatalf("installed %v and rolled back %v differ", f.Installed, f.RolledBack)
+	}
+	for id := range installed {
+		if !rolledBack[id] {
+			t.Fatalf("installed switch %d missing from rolled back %v", id, f.RolledBack)
 		}
 	}
 }

@@ -1,0 +1,368 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"tsu/internal/core"
+	"tsu/internal/metrics"
+	"tsu/internal/openflow"
+	"tsu/internal/topo"
+	"tsu/internal/verify"
+)
+
+// This file is the engine's abort-and-recover path. When a job fails
+// mid-plan — a barrier timeout, a dead switch, a stalled decentralized
+// run — the already-installed nodes form an order ideal of the
+// execution DAG (nodes only dispatch after their dependencies
+// confirm). The engine reverses exactly that prefix with
+// core.Plan.Reverse, re-verifies the reverse plan's order ideals with
+// verify.Plan like any forward plan, and only when that check passes
+// executes the rollback: every transient state on the way back down is
+// then a state the forward plan could already reach on its way up, so
+// a verified-safe update stays safe through its own abort. When the
+// reverse plan does not verify (one-shot plans whose installed prefix
+// admits unsafe sub-ideals), the job instead reports a stuck state
+// with the precise per-node unmet dependencies and leaves the rules in
+// place — a wrong rollback is worse than a frozen, diagnosable one.
+
+// Failure-report phases, in escalation order.
+const (
+	// PhaseAborted: the job failed mid-plan and no rollback was
+	// attempted (nothing installed, or a job shape — joint, two-phase
+	// — the engine cannot reverse).
+	PhaseAborted = "aborted"
+	// PhaseRolledBack: the reverse plan verified safe and every
+	// installed node was undone; the network is back on the old
+	// configuration.
+	PhaseRolledBack = "rolled-back"
+	// PhaseRollbackFailed: the reverse plan verified safe but its
+	// execution failed partway; Installed minus RolledBack is still in
+	// effect.
+	PhaseRollbackFailed = "rollback-failed"
+	// PhaseStuck: the reverse plan did not verify safe; nothing was
+	// undone and Stuck lists each installed node's unmet rollback
+	// dependencies.
+	PhaseStuck = "stuck"
+)
+
+// FailureReport is the structured outcome of an aborted job, surfaced
+// on GET /v1/updates/{id} and through the client SDK.
+type FailureReport struct {
+	// Phase is one of the Phase* constants.
+	Phase string
+	// TriggeringFault describes the failure that aborted the plan.
+	TriggeringFault string
+	// Installed lists the switches whose installs were confirmed
+	// before the abort (the exact barrier-confirmed set).
+	Installed []topo.NodeID
+	// RolledBack lists the switches whose installs were undone. It may
+	// exceed Installed: nodes whose FlowMods were sent but never
+	// confirmed are rolled back too (the undo mods are idempotent).
+	RolledBack []topo.NodeID
+	// RollbackVerified reports whether the reverse plan passed
+	// verification (true even when its execution later failed).
+	RollbackVerified bool
+	// Stuck, for PhaseStuck/PhaseRollbackFailed, lists installed nodes
+	// left in place with the dependencies blocking their uninstall.
+	Stuck []StuckNode
+}
+
+// StuckNode is one installed-but-not-rolled-back switch and the
+// switches whose uninstall must come first (its installed forward-plan
+// successors — the reverse plan's unmet dependencies).
+type StuckNode struct {
+	Switch    topo.NodeID
+	WaitingOn []topo.NodeID
+}
+
+// rollbackSpec carries what the abort path needs to build, verify and
+// execute a reverse plan for a single-flow job. Immutable.
+type rollbackSpec struct {
+	in    *core.Instance
+	match openflow.Match
+	props core.Property // the forward plan's guarantees (0 = none promised)
+}
+
+// rollbackProps resolves the property set a rollback must uphold: the
+// forward guarantees, or — for one-shot plans that promise nothing —
+// the instance's natural property set, so "verified safe" keeps
+// meaning something and unordered prefixes are genuinely refused.
+func (s *rollbackSpec) rollbackProps() core.Property {
+	if s.props != 0 {
+		return s.props
+	}
+	p := core.NoBlackhole | core.RelaxedLoopFreedom
+	if s.in.Waypoint != 0 {
+		p |= core.WaypointEnforcement
+	}
+	return p
+}
+
+// abort handles a mid-plan failure: record the exact installed set,
+// verify the reverse plan of the dispatched prefix, and either execute
+// the rollback or report the job stuck. dispatched marks nodes whose
+// FlowMods may have reached their switch (a down-closed superset of
+// confirmed); confirmed marks barrier-confirmed installs.
+func (e *Engine) abort(ctx context.Context, job *Job, cause error, dispatched, confirmed []bool) {
+	metrics.Aborts.Inc()
+	report := &FailureReport{
+		Phase:           PhaseAborted,
+		TriggeringFault: cause.Error(),
+		Installed:       planSetSwitches(job, confirmed),
+	}
+	spec := job.rollback
+	if spec == nil || !anySet(dispatched) {
+		e.failWithReport(job, cause, report)
+		return
+	}
+	if err := e.verifyRollback(job, spec, dispatched); err != nil {
+		metrics.Stalls.Inc()
+		report.Phase = PhaseStuck
+		report.Stuck = stuckNodes(job, dispatched, nil)
+		e.failWithReport(job, fmt.Errorf("%w; rollback refused: %v", cause, err), report)
+		return
+	}
+	report.RollbackVerified = true
+	rolledBack, undone, rbErr := e.executeRollback(ctx, job, spec, dispatched)
+	report.RolledBack = rolledBack
+	if rbErr != nil {
+		metrics.Stalls.Inc()
+		report.Phase = PhaseRollbackFailed
+		report.Stuck = stuckNodes(job, dispatched, undone)
+		e.failWithReport(job, fmt.Errorf("%w; rollback failed: %v", cause, rbErr), report)
+		return
+	}
+	report.Phase = PhaseRolledBack
+	e.failWithReport(job, cause, report)
+}
+
+// verifyRollback checks the reverse plan of the dispatched prefix of
+// the job's update nodes. Cleanup nodes are excluded from the
+// verified plan: they sit past every update node, so a dispatched
+// cleanup node implies the network is fully on the new path, where
+// re-adding a stale old-path rule at an unreachable switch is
+// unobservable — executeRollback undoes them first, restoring exactly
+// the state space this verification covers.
+func (e *Engine) verifyRollback(job *Job, spec *rollbackSpec, dispatched []bool) error {
+	k := len(job.plan.nodes)
+	for i := range job.plan.nodes {
+		if job.plan.nodes[i].cleanup {
+			k = i
+			break
+		}
+	}
+	props := spec.rollbackProps()
+	fwd := &core.Plan{
+		Algorithm:  job.Algorithm,
+		Guarantees: props,
+		Sparse:     job.plan.sparse,
+		Nodes:      job.plan.dag.Nodes[:k],
+	}
+	rev, _, err := fwd.Reverse(dispatched[:k])
+	if err != nil {
+		return err
+	}
+	rep := verify.Plan(spec.in, rev, props, verify.Options{})
+	if !rep.OK() {
+		if cex := rep.FirstViolation(); cex != nil {
+			return fmt.Errorf("reverse plan admits a transient %v violation", cex.Violated)
+		}
+		if rep.StructureErr != nil {
+			return fmt.Errorf("reverse plan invalid: %w", rep.StructureErr)
+		}
+		return fmt.Errorf("reverse plan does not restore the old configuration")
+	}
+	return nil
+}
+
+// executeRollback undoes the dispatched prefix ack-driven along the
+// full reverse DAG (cleanup undos first — they are the reverse plan's
+// roots). Undo FlowMods are idempotent, so nodes that were dispatched
+// but never took effect are harmless to "undo". Returns the switches
+// undone in confirmation order and the per-node undone set.
+func (e *Engine) executeRollback(ctx context.Context, job *Job, spec *rollbackSpec, dispatched []bool) (rolledBack []topo.NodeID, undone []bool, err error) {
+	rev, fwd, err := job.plan.dag.Reverse(dispatched)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(rev.Nodes)
+	undone = make([]bool, len(dispatched))
+	if n == 0 {
+		return nil, undone, nil
+	}
+	mods := make([]*openflow.FlowMod, n)
+	for j, fi := range fwd {
+		fm, err := e.undoFlowMod(spec.in, job.plan.nodes[fi].node, spec.match)
+		if err != nil {
+			return nil, undone, err
+		}
+		mods[j] = fm
+	}
+
+	rbCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	acks := make(chan nodeAck, n) // buffered: stragglers never leak
+	dispatch := func(j int) {
+		go func() {
+			node := rev.Nodes[j].Switch
+			if err := e.c.SendFlowMod(uint64(node), mods[j]); err != nil {
+				acks <- nodeAck{idx: j, err: fmt.Errorf("rollback at %d: sending flowmod: %w", node, err)}
+				return
+			}
+			done, err := e.c.BarrierAsync(uint64(node))
+			if err != nil {
+				acks <- nodeAck{idx: j, err: fmt.Errorf("rollback at %d: barrier: %w", node, err)}
+				return
+			}
+			select {
+			case <-done:
+			case <-e.c.clock.After(e.c.cfg.RoundTimeout):
+				acks <- nodeAck{idx: j, err: fmt.Errorf("rollback at %d: barrier reply: %w", node, context.DeadlineExceeded)}
+				return
+			case <-rbCtx.Done():
+				acks <- nodeAck{idx: j, err: fmt.Errorf("rollback at %d: barrier reply: %w", node, rbCtx.Err())}
+				return
+			}
+			acks <- nodeAck{idx: j, flowMods: 1}
+		}()
+	}
+
+	run := core.NewPlanRun(rev)
+	ready := run.Reset(make([]int, 0, n))
+	inflight := 0
+	for _, j := range ready {
+		inflight++
+		dispatch(j)
+	}
+	var failure error
+	for inflight > 0 {
+		a := <-acks
+		inflight--
+		if a.err != nil {
+			if failure == nil {
+				failure = a.err
+				cancel()
+			}
+			continue // drain
+		}
+		node := rev.Nodes[a.idx].Switch
+		job.addMessages(node, MessageStats{Ctrl: a.flowMods + 2})
+		metrics.InstallsRolledBack.Inc()
+		rolledBack = append(rolledBack, node)
+		undone[fwd[a.idx]] = true
+		for _, s := range run.Complete(a.idx, ready[:0]) {
+			if failure != nil {
+				continue
+			}
+			inflight++
+			dispatch(s)
+		}
+	}
+	return rolledBack, undone, failure
+}
+
+// undoFlowMod builds the FlowMod that reverses one switch's update:
+// old-path switches MODIFY the flow back toward their old-path
+// successor (OF 1.0 MODIFY also re-inserts a rule a cleanup node
+// deleted); new-path-only switches delete the rule the update
+// inserted. Both are idempotent on a switch the forward plan never
+// reached.
+func (e *Engine) undoFlowMod(in *core.Instance, node topo.NodeID, match openflow.Match) (*openflow.FlowMod, error) {
+	if succ, ok := in.OldSucc(node); ok {
+		return e.c.PathFlowMod(node, succ, match, openflow.FlowModify)
+	}
+	return &openflow.FlowMod{
+		Match:    match,
+		Command:  openflow.FlowDelete,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}, nil
+}
+
+// failWithReport marks the job failed with a structured failure
+// report attached.
+func (e *Engine) failWithReport(job *Job, err error, report *FailureReport) {
+	job.mu.Lock()
+	job.state = JobFailed
+	job.err = err
+	job.failure = report
+	job.finished = e.c.clock.Now()
+	publishLocked(job, JobEvent{State: JobFailed, Err: err})
+	job.mu.Unlock()
+	close(job.done)
+	e.c.logger.Warn("update job aborted", "job", job.ID, "phase", report.Phase,
+		"installed", len(report.Installed), "rolledBack", len(report.RolledBack), "err", err)
+}
+
+// stuckNodes lists the installed nodes left in place (installed minus
+// undone; undone may be nil) with the installed successors whose
+// uninstall must come first. Capped at 8 entries, like stallError.
+func stuckNodes(job *Job, installed, undone []bool) []StuckNode {
+	dag := job.plan.dag
+	left := func(i int) bool { return installed[i] && (undone == nil || !undone[i]) }
+	var out []StuckNode
+	for i := range dag.Nodes {
+		if !left(i) {
+			continue
+		}
+		if len(out) >= 8 {
+			break
+		}
+		var waits []topo.NodeID
+		for s := i + 1; s < len(dag.Nodes); s++ {
+			if !left(s) {
+				continue
+			}
+			for _, d := range dag.Nodes[s].Deps {
+				if d == i {
+					waits = append(waits, dag.Nodes[s].Switch)
+					break
+				}
+			}
+		}
+		out = append(out, StuckNode{Switch: dag.Nodes[i].Switch, WaitingOn: waits})
+	}
+	return out
+}
+
+// planSetSwitches maps a per-node bool set to its sorted switch list.
+func planSetSwitches(job *Job, set []bool) []topo.NodeID {
+	var out []topo.NodeID
+	for i, ok := range set {
+		if ok {
+			out = append(out, job.plan.nodes[i].node)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// anySet reports whether any element is true.
+func anySet(set []bool) bool {
+	for _, ok := range set {
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// downClosure returns the down-closed cover of confirmed: a confirmed
+// node's dependencies must have taken effect at their switches (a
+// switch only installs after its in-edge acks) even when their own
+// completion reports were lost, so the rollback prefix includes them.
+func downClosure(p *core.Plan, confirmed []bool) []bool {
+	closed := make([]bool, len(confirmed))
+	copy(closed, confirmed)
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		if !closed[i] {
+			continue
+		}
+		for _, d := range p.Nodes[i].Deps {
+			closed[d] = true
+		}
+	}
+	return closed
+}

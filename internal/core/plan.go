@@ -53,6 +53,16 @@ type Plan struct {
 	// closure (emitted by a PlanScheduler).
 	Sparse bool
 
+	// Rollback marks reverse plans produced by Reverse: nodes *undo*
+	// their switch's update, so the network starts from the installed
+	// prefix and walks back toward the old configuration. Verification
+	// and exploration interpret an ideal I of a rollback plan as the
+	// network state base∖I where base is the set of switches the plan
+	// covers. Rollback plans cover a subset of the instance's pending
+	// set (Validate relaxes the exact-cover check) and never cross the
+	// wire — rollback always executes controller-driven.
+	Rollback bool
+
 	// Nodes holds one entry per pending switch, in topological order.
 	Nodes []PlanNode
 }
@@ -284,7 +294,9 @@ func (p *Plan) String() string {
 // Validate checks the structural contract between a plan and its
 // instance: nodes are in topological order (deps sorted ascending,
 // unique, strictly below the node), no switch appears twice, and the
-// node set is exactly the instance's pending set.
+// node set is exactly the instance's pending set. Rollback plans
+// relax the last check to a subset — they uninstall only the prefix
+// that had been installed when the forward plan aborted.
 func (p *Plan) Validate(in *Instance) error {
 	seen := make(map[topo.NodeID]bool, len(p.Nodes))
 	for i, n := range p.Nodes {
@@ -306,10 +318,100 @@ func (p *Plan) Validate(in *Instance) error {
 			prev = d
 		}
 	}
-	if len(seen) != in.NumPending() {
+	if !p.Rollback && len(seen) != in.NumPending() {
 		return fmt.Errorf("core: plan covers %d of %d pending switches", len(seen), in.NumPending())
 	}
 	return nil
+}
+
+// Reverse builds the rollback plan for an aborted execution of p:
+// installed[i] reports whether node i's FlowMod took effect before the
+// abort. The installed set must be an order ideal (down-closed — a
+// dependency of an installed node is itself installed); executions
+// that only dispatch after all dependencies confirm produce exactly
+// such prefixes. The result uninstalls the installed nodes in the
+// opposite order: reverse node j undoes forward node installed[last-j],
+// and depends on the (reversed positions of the) installed forward
+// nodes that depended on it — each forward edge u→v with both ends
+// installed becomes the reverse edge v'→u'. The reverse plan's order
+// ideals are the complements (within the installed set) of the forward
+// plan's sub-ideals, so every transient state of a verified rollback
+// is a state the forward plan could already reach on its way up.
+//
+// The second result maps reverse node index to forward node index.
+func (p *Plan) Reverse(installed []bool) (*Plan, []int, error) {
+	if len(installed) != len(p.Nodes) {
+		return nil, nil, fmt.Errorf("core: Reverse: installed covers %d of %d nodes", len(installed), len(p.Nodes))
+	}
+	if p.Rollback {
+		return nil, nil, fmt.Errorf("core: Reverse of a rollback plan")
+	}
+	// Position of forward node i in the reverse plan, -1 if absent.
+	pos := make([]int, len(p.Nodes))
+	n := 0
+	for i, nd := range p.Nodes {
+		pos[i] = -1
+		if !installed[i] {
+			continue
+		}
+		for _, d := range nd.Deps {
+			if !installed[d] {
+				return nil, nil, fmt.Errorf("core: Reverse: installed set not down-closed: node %d (switch %d) installed but dependency %d (switch %d) is not",
+					i, p.Nodes[i].Switch, d, p.Nodes[d].Switch)
+			}
+		}
+		n++
+	}
+	rev := &Plan{
+		Algorithm:              p.Algorithm,
+		Guarantees:             p.Guarantees,
+		LoopFreedomCompromised: p.LoopFreedomCompromised,
+		Sparse:                 p.Sparse,
+		Rollback:               true,
+		Nodes:                  make([]PlanNode, 0, n),
+	}
+	fwd := make([]int, 0, n)
+	// Emit installed nodes in descending forward order: every forward
+	// successor (index > i) lands at a smaller reverse index, keeping
+	// the topological invariant.
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		if !installed[i] {
+			continue
+		}
+		pos[i] = len(rev.Nodes)
+		rev.Nodes = append(rev.Nodes, PlanNode{Switch: p.Nodes[i].Switch})
+		fwd = append(fwd, i)
+	}
+	// Reverse each installed forward edge d→i into i'→d' (reverse node
+	// pos[d] depends on pos[i]). Forward deps are ascending in d, so
+	// walking nodes in forward order appends each reverse node's deps
+	// in descending pos[i] order... collect then sort.
+	for i, nd := range p.Nodes {
+		if !installed[i] {
+			continue
+		}
+		for _, d := range nd.Deps {
+			rn := &rev.Nodes[pos[d]]
+			rn.Deps = append(rn.Deps, pos[i])
+		}
+	}
+	for j := range rev.Nodes {
+		sortedUniqueInts(&rev.Nodes[j].Deps)
+	}
+	return rev, fwd, nil
+}
+
+// BaseState returns the network state a rollback plan starts from: all
+// switches the plan covers marked updated. An ideal I of the rollback
+// plan corresponds to network state BaseState∖I.
+func (p *Plan) BaseState(in *Instance) State {
+	s := in.NewState()
+	for _, nd := range p.Nodes {
+		if i := in.NodeIndex(nd.Switch); i >= 0 {
+			s.Set(i)
+		}
+	}
+	return s
 }
 
 // VisitIdeals enumerates every order ideal (down-closed node set) of

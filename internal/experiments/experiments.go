@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"tsu/internal/api"
@@ -667,6 +668,249 @@ func E12SynthGap(seed int64) (*metrics.Table, error) {
 	return tbl, nil
 }
 
+// E13Result carries the aggregate of one E13 run alongside its table —
+// the reproducible fault/rollback counters the benchmark and tests pin.
+type E13Result struct {
+	Table *metrics.Table
+	// Switches is the fat-tree's switch count.
+	Switches int
+	// Events counts FlowMod delivery events, forward and rollback,
+	// across all fault rates — a pure function of the seed.
+	Events int
+	// Faults counts injected confirmation losses.
+	Faults int
+	// Aborts counts updates that aborted mid-plan.
+	Aborts int
+	// RolledBack counts installs undone by verified rollbacks.
+	RolledBack int
+	// Violations counts rollback plans the verifier refused. The
+	// experiment's invariant is zero: every installed prefix of a
+	// peacock plan reverses through forward sub-ideals only.
+	Violations int
+}
+
+// e13Sample is one update's replay outcome; aggregation over samples
+// in instance-index order makes the result worker-count independent.
+type e13Sample struct {
+	events, faults, rolledBack, stuck, violations int
+	aborted                                       bool
+	makespan                                      time.Duration
+}
+
+// e13Replay executes one reroute on the virtual clock under a seeded
+// loss model: per-node control/install/barrier latencies and a
+// per-node confirmation-loss draw, all taken in node-index order so
+// the replay is a pure function of instSeed. A lost confirmation
+// aborts the update RoundTimeout after the node's dispatch; the
+// dispatched prefix is then reversed, the reverse plan verified, and
+// the rollback replayed on the same clock.
+func e13Replay(in *core.Instance, instSeed int64, faultRate float64) (e13Sample, error) {
+	const roundTimeout = 100 * time.Millisecond
+	var (
+		ctrlDist    = netem.Uniform{Min: 0, Max: 3 * time.Millisecond}
+		installDist = netem.Pareto{Scale: time.Millisecond, Alpha: 1.5, Cap: 20 * time.Millisecond}
+		barrierDist = netem.Fixed(500 * time.Microsecond)
+	)
+	var s e13Sample
+	sched, err := core.Peacock(in)
+	if err != nil {
+		return s, err
+	}
+	plan := core.PlanFromSchedule(sched)
+	rng := rand.New(rand.NewSource(instSeed))
+	n := len(plan.Nodes)
+	latency := make([]time.Duration, n)
+	lost := make([]bool, n)
+	for i := 0; i < n; i++ {
+		latency[i] = ctrlDist.Sample(rng) + installDist.Sample(rng) + barrierDist.Sample(rng)
+		lost[i] = rng.Float64() < faultRate
+	}
+
+	// Ack-driven forward pass: a node dispatches when all its
+	// dependencies have confirmed (plan nodes are topologically
+	// ordered, so one ascending sweep suffices).
+	dispatchT := make([]time.Duration, n)
+	confirmT := make([]time.Duration, n)
+	reachable := make([]bool, n) // all deps confirm eventually
+	abortAt := time.Duration(-1)
+	for i := 0; i < n; i++ {
+		ready, t := true, time.Duration(0)
+		for _, d := range plan.Nodes[i].Deps {
+			if !reachable[d] || lost[d] {
+				ready = false
+				break
+			}
+			if confirmT[d] > t {
+				t = confirmT[d]
+			}
+		}
+		if !ready {
+			continue
+		}
+		reachable[i] = true
+		dispatchT[i] = t
+		if lost[i] {
+			if abortAt < 0 || t+roundTimeout < abortAt {
+				abortAt = t + roundTimeout
+			}
+			continue
+		}
+		confirmT[i] = t + latency[i]
+	}
+
+	if abortAt < 0 { // fault-free run: everything confirms
+		s.events = n
+		for i := 0; i < n; i++ {
+			if confirmT[i] > s.makespan {
+				s.makespan = confirmT[i]
+			}
+		}
+		return s, nil
+	}
+
+	// The engine stops releasing at the first timeout: the installed
+	// prefix is every node dispatched before the abort (down-closed by
+	// construction — its deps confirmed even earlier).
+	s.aborted = true
+	dispatched := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if reachable[i] && dispatchT[i] <= abortAt {
+			dispatched[i] = true
+			s.events++
+			if lost[i] {
+				s.faults++
+			}
+		}
+	}
+	rev, _, err := plan.Reverse(dispatched)
+	if err != nil {
+		return s, fmt.Errorf("reversing dispatched prefix: %w", err)
+	}
+	if rep := verify.Plan(in, rev, sched.Guarantees, verify.Options{}); !rep.OK() {
+		s.violations++
+		for i := range dispatched {
+			if dispatched[i] {
+				s.stuck++
+			}
+		}
+		s.makespan = abortAt
+		return s, nil
+	}
+	// Rollback replay: fresh per-node draws in reverse-plan index
+	// order, no losses (the controller keeps barriering undos).
+	s.rolledBack = len(rev.Nodes)
+	s.events += len(rev.Nodes)
+	rbT := make([]time.Duration, len(rev.Nodes))
+	var rbEnd time.Duration
+	for j := range rev.Nodes {
+		t := time.Duration(0)
+		for _, d := range rev.Nodes[j].Deps {
+			if rbT[d] > t {
+				t = rbT[d]
+			}
+		}
+		rbT[j] = t + ctrlDist.Sample(rng) + installDist.Sample(rng) + barrierDist.Sample(rng)
+		if rbT[j] > rbEnd {
+			rbEnd = rbT[j]
+		}
+	}
+	s.makespan = abortAt + rbEnd
+	return s, nil
+}
+
+// E13FaultedRollback stress-tests recovery at datacenter scale:
+// `policies` random valley-free reroutes on a k-ary fat-tree replayed
+// on the virtual clock under seeded confirmation-loss rates. Every
+// aborted update reverses its dispatched prefix; the reverse plan must
+// verify (peacock rollbacks walk forward sub-ideals only — zero
+// violations), and the total event count is a pure function of the
+// seed regardless of worker count. Columns: fault rate, updates,
+// faulted updates, aborts, delivery events, injected faults, installs
+// rolled back, stuck installs, verifier refusals, mean virtual
+// makespan.
+func E13FaultedRollback(k, policies int, seed int64, workers int) (*E13Result, error) {
+	if k <= 0 {
+		k = 90 // 5k²/4 = 10125 switches
+	}
+	if policies <= 0 {
+		policies = 200
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	g := topo.FatTree(k)
+	tbl := metrics.NewTable("fault_rate", "updates", "faulted", "aborts", "events",
+		"faults", "rolled_back", "stuck", "violations", "mean_makespan")
+	res := &E13Result{Table: tbl, Switches: g.NumNodes()}
+
+	// One policy set, shared across rates: higher rates face the same
+	// reroutes, only the fault draws differ.
+	rng := rand.New(rand.NewSource(seed))
+	instances := make([]*core.Instance, 0, policies)
+	for len(instances) < policies {
+		ti, err := topo.RandomFatTreePolicy(rng, g)
+		if err != nil {
+			return nil, err
+		}
+		in := core.MustInstance(ti.Old, ti.New, 0)
+		if in.NumPending() == 0 {
+			continue
+		}
+		instances = append(instances, in)
+	}
+
+	for ri, rate := range []float64{0, 0.02, 0.10} {
+		samples := make([]e13Sample, len(instances))
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for p := w; p < len(instances); p += workers {
+					instSeed := seed ^ int64(p+1)<<20 ^ int64(ri+1)<<40
+					s, err := e13Replay(instances[p], instSeed, rate)
+					if err != nil {
+						errs[w] = fmt.Errorf("policy %d at rate %.2f: %w", p, rate, err)
+						return
+					}
+					samples[p] = s
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		events, faults, aborts, faulted, rolledBack, stuck, violations := 0, 0, 0, 0, 0, 0, 0
+		var makespan metrics.Histogram
+		for _, s := range samples { // index order: worker-count independent
+			events += s.events
+			faults += s.faults
+			rolledBack += s.rolledBack
+			stuck += s.stuck
+			violations += s.violations
+			if s.aborted {
+				aborts++
+			}
+			if s.faults > 0 {
+				faulted++
+			}
+			makespan.Record(s.makespan)
+		}
+		res.Events += events
+		res.Faults += faults
+		res.Aborts += aborts
+		res.RolledBack += rolledBack
+		res.Violations += violations
+		tbl.AddRow(fmt.Sprintf("%.2f", rate), len(instances), faulted, aborts, events,
+			faults, rolledBack, stuck, violations, makespan.Mean())
+	}
+	return res, nil
+}
+
 // All runs every experiment (E8, the codec microbenchmark, lives in
 // the bench harness only) and returns the tables keyed by id.
 func All(seed int64) (map[string]*metrics.Table, error) {
@@ -692,6 +936,13 @@ func All(seed int64) (map[string]*metrics.Table, error) {
 			return res.Table, nil
 		}},
 		{"E12", func() (*metrics.Table, error) { return E12SynthGap(seed) }},
+		{"E13", func() (*metrics.Table, error) {
+			res, err := E13FaultedRollback(0, 0, seed, 4)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table, nil
+		}},
 	} {
 		tbl, err := e.run()
 		if err != nil {

@@ -256,3 +256,47 @@ func TestBedConfigSeedsDiffer(t *testing.T) {
 		t.Fatal("different seeds produced identical streams")
 	}
 }
+
+// TestE13FaultedRollbackReproducible runs the faulted fat-tree
+// scenario with one worker and with four and requires identical
+// aggregates — the per-instance seeding contract that makes parallel
+// fault experiments order-independent — plus the experiment's safety
+// invariant: faults happen, updates abort, and every rollback the
+// verifier blessed covered the whole dispatched prefix with zero
+// refusals.
+func TestE13FaultedRollbackReproducible(t *testing.T) {
+	const (
+		k        = 90 // 10125 switches
+		policies = 64
+		seed     = 11
+	)
+	r1, err := E13FaultedRollback(k, policies, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := E13FaultedRollback(k, policies, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Switches != 10125 {
+		t.Fatalf("FatTree(90) has %d switches, want 10125", r1.Switches)
+	}
+	if r1.Events != r4.Events || r1.Events == 0 {
+		t.Fatalf("event count depends on worker count: %d vs %d", r1.Events, r4.Events)
+	}
+	if r1.Faults != r4.Faults || r1.Aborts != r4.Aborts || r1.RolledBack != r4.RolledBack {
+		t.Fatalf("aggregates depend on worker count: %+v vs %+v", r1, r4)
+	}
+	if r1.Faults == 0 || r1.Aborts == 0 {
+		t.Fatalf("fault model injected nothing: %+v", r1)
+	}
+	if r1.RolledBack == 0 {
+		t.Fatal("no installs were rolled back")
+	}
+	if r1.Violations != 0 {
+		t.Fatalf("verifier refused %d peacock rollbacks; forward sub-ideal safety is broken", r1.Violations)
+	}
+	if rows := tableRows(t, r1.Table.String()); len(rows) != 3 {
+		t.Fatalf("rows = %v, want 3 fault rates", rows)
+	}
+}

@@ -36,12 +36,18 @@ import (
 // Violation traces use the node's layer as the Event.Round, and
 // minimization removes only maximal elements so every shrunken trace
 // stays a reachable (down-closed) state.
+// Rollback plans (core.Plan.Reverse) are explored over the shifted
+// state space base∖ideal — the walker starts from the installed set
+// and flips clear bits — so the same adversary that attacks a forward
+// plan attacks its rollback; see verify.Plan for the correspondence.
 func Plan(in *core.Instance, p *core.Plan, opts Options) (*Report, error) {
 	if err := p.Validate(in); err != nil {
 		return nil, fmt.Errorf("explore: %w", err)
 	}
-	if s, ok := p.Schedule(); ok {
-		return Schedule(in, s, opts)
+	if !p.Rollback {
+		if s, ok := p.Schedule(); ok {
+			return Schedule(in, s, opts)
+		}
 	}
 	opts = opts.withDefaults()
 	props := defaultPropsFor(in, p.Guarantees, opts.Props)
@@ -103,7 +109,11 @@ func (sc *scratch) explorePlanExhaustive(p *core.Plan, props core.Property, opts
 	for i, nd := range p.Nodes {
 		sc.idx[i] = in.NodeIndex(nd.Switch)
 	}
-	sc.w.Reset(nil)
+	var base core.State // nil for forward plans
+	if p.Rollback {
+		base = p.BaseState(in)
+	}
+	sc.w.Reset(base)
 	budget := 1 << uint(opts.MaxExhaustive)
 	useMemo := n <= memoExhaustiveMax
 	var (
@@ -156,14 +166,15 @@ func (sc *scratch) explorePlanExhaustive(p *core.Plan, props core.Property, opts
 // tagged with the node's layer.
 func planViolation(in *core.Instance, p *core.Plan, mask uint64, violated core.Property) *Violation {
 	layers := planLayers(p)
-	st := in.NewState()
 	trace := make(Trace, 0, bits.OnesCount64(mask))
+	sw := make([]topo.NodeID, 0, bits.OnesCount64(mask))
 	for i, nd := range p.Nodes {
 		if mask&(1<<uint(i)) != 0 {
-			in.Mark(st, nd.Switch)
+			sw = append(sw, nd.Switch)
 			trace = append(trace, Event{Round: layers[i], Switch: nd.Switch})
 		}
 	}
+	st := planTraceState(in, p, sw)
 	walk, _ := in.Walk(st)
 	return &Violation{
 		Round:    0,
@@ -172,6 +183,22 @@ func planViolation(in *core.Instance, p *core.Plan, mask uint64, violated core.P
 		Walk:     walk,
 		Updated:  in.StateNodes(st),
 	}
+}
+
+// planTraceState returns the network state after delivering the given
+// switches: marked for a forward plan, base minus the switches for a
+// rollback plan (whose ideals count *uninstalled* nodes).
+func planTraceState(in *core.Instance, p *core.Plan, sw []topo.NodeID) core.State {
+	if !p.Rollback {
+		return in.StateOf(sw...)
+	}
+	st := p.BaseState(in)
+	for _, v := range sw {
+		if i := in.NodeIndex(v); i >= 0 {
+			st.Clear(i)
+		}
+	}
+	return st
 }
 
 // planLayers returns each node's layer (longest dependency chain).
@@ -216,10 +243,14 @@ func (sc *scratch) explorePlanSampled(p *core.Plan, props core.Property, opts Op
 	ready := make([]int, 0, n)
 	order := make([]int, 0, n)
 	finish := make([]time.Duration, n)
+	var base core.State // nil for forward plans
+	if p.Rollback {
+		base = p.BaseState(in)
+	}
 
 	// The empty ideal is common to every extension; check it once.
 	rr.Events++
-	sc.w.Reset(nil)
+	sc.w.Reset(base)
 	if violated := sc.check(props); violated != 0 {
 		rr.Violation = &Violation{Round: 0, Violated: violated, Trace: Trace{}, Walk: sc.w.Path()}
 		return
@@ -262,7 +293,7 @@ func (sc *scratch) explorePlanSampled(p *core.Plan, props core.Property, opts Op
 			}
 		}
 		rr.Orders++
-		sc.w.Reset(nil)
+		sc.w.Reset(base)
 		sc.trace = sc.trace[:0]
 		for _, i := range order {
 			sc.w.Flip(sc.idx[i])
@@ -270,7 +301,7 @@ func (sc *scratch) explorePlanSampled(p *core.Plan, props core.Property, opts Op
 			rr.Events++
 			if violated := sc.check(props); violated != 0 {
 				min, minViolated := MinimizePlan(in, p, sc.trace, props)
-				st := in.StateOf(min.Switches()...)
+				st := planTraceState(in, p, min.Switches())
 				walk, _ := in.Walk(st)
 				rr.Violation = &Violation{
 					Round:    0,
@@ -297,11 +328,11 @@ func MinimizePlan(in *core.Instance, p *core.Plan, trace Trace, props core.Prope
 		nodeIdx[nd.Switch] = i
 	}
 	replay := func(tr Trace) core.Property {
-		st := in.NewState()
-		for _, e := range tr {
-			in.Mark(st, e.Switch)
+		sw := make([]topo.NodeID, len(tr))
+		for i, e := range tr {
+			sw[i] = e.Switch
 		}
-		return in.CheckState(st, props)
+		return in.CheckState(planTraceState(in, p, sw), props)
 	}
 	cur := append(Trace(nil), trace...)
 	violated := replay(cur)

@@ -166,3 +166,89 @@ func (s *Source) Sleep(dist Latency) time.Duration {
 	}
 	return d
 }
+
+// Float64 draws a uniform float in [0, 1) using the guarded RNG.
+func (s *Source) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
+// Faults is a seeded probabilistic fault model for one message class
+// of the control channel (FlowMods toward switches, acks back, peer
+// releases between switches). Each message independently draws its
+// fate from the owning Source, so a fixed seed pins the exact fault
+// sequence — fault experiments are reproducible like latency ones.
+//
+// The zero value injects nothing.
+type Faults struct {
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+
+	// DupProb is the probability a message is delivered twice (the
+	// duplicate follows after ReorderDelay). Idempotent receivers —
+	// OpenFlow MODIFY, the plan agents' seen-set — must absorb it.
+	DupProb float64
+
+	// ReorderProb is the probability a message is held back by an
+	// extra ReorderDelay, letting later messages overtake it.
+	ReorderProb float64
+
+	// ReorderDelay is the extra delay of reordered (and duplicated)
+	// deliveries; nil means 1ms fixed.
+	ReorderDelay Latency
+}
+
+// Active reports whether the model can inject any fault.
+func (f Faults) Active() bool {
+	return f.DropProb > 0 || f.DupProb > 0 || f.ReorderProb > 0
+}
+
+func (f Faults) String() string {
+	return fmt.Sprintf("faults(drop=%.3f dup=%.3f reorder=%.3f)", f.DropProb, f.DupProb, f.ReorderProb)
+}
+
+// FaultDecision is one message's drawn fate.
+type FaultDecision struct {
+	// Drop: the message never arrives.
+	Drop bool
+	// Dup: deliver the message a second time, Delay after the first.
+	Dup bool
+	// Reordered: hold the first delivery back by Delay, letting later
+	// messages overtake it.
+	Reordered bool
+	// Delay: the extra latency — before first delivery when Reordered,
+	// before the duplicate when Dup. Zero when neither fired.
+	Delay time.Duration
+}
+
+// Fault draws one message's fate from the model. All draws come from
+// the guarded RNG in a fixed order (drop, dup, reorder, delay), so a
+// single-goroutine caller gets a bit-reproducible fault sequence per
+// seed.
+func (s *Source) Fault(f Faults) FaultDecision {
+	if !f.Active() {
+		return FaultDecision{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var d FaultDecision
+	if f.DropProb > 0 && s.rng.Float64() < f.DropProb {
+		d.Drop = true
+		return d
+	}
+	if f.DupProb > 0 && s.rng.Float64() < f.DupProb {
+		d.Dup = true
+	}
+	if f.ReorderProb > 0 && s.rng.Float64() < f.ReorderProb {
+		d.Reordered = true
+	}
+	if d.Reordered || d.Dup {
+		dist := f.ReorderDelay
+		if dist == nil {
+			dist = Fixed(time.Millisecond)
+		}
+		d.Delay = dist.Sample(s.rng)
+	}
+	return d
+}

@@ -177,3 +177,60 @@ func TestQuickAllDistributionsNonNegative(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFaultDeterminism(t *testing.T) {
+	f := Faults{DropProb: 0.2, DupProb: 0.1, ReorderProb: 0.3, ReorderDelay: Fixed(2 * time.Millisecond)}
+	draw := func(seed int64, n int) []FaultDecision {
+		src := NewSource(seed)
+		out := make([]FaultDecision, n)
+		for i := range out {
+			out[i] = src.Fault(f)
+		}
+		return out
+	}
+	a, b := draw(42, 500), draw(42, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across same-seed sources: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The model must actually inject: with these rates, 500 draws
+	// without a single fault would be a broken generator.
+	some := false
+	for _, d := range a {
+		if d.Drop || d.Dup || d.Reordered {
+			some = true
+		}
+		if d.Drop && (d.Dup || d.Reordered || d.Delay != 0) {
+			t.Fatalf("dropped message carries extra fates: %+v", d)
+		}
+		if (d.Dup || d.Reordered) && d.Delay <= 0 {
+			t.Fatalf("dup/reordered decision without delay: %+v", d)
+		}
+	}
+	if !some {
+		t.Fatal("no fault injected in 500 draws")
+	}
+	if c := draw(43, 500); func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestFaultZeroModelInjectsNothing(t *testing.T) {
+	src := NewSource(7)
+	for i := 0; i < 100; i++ {
+		if d := src.Fault(Faults{}); d != (FaultDecision{}) {
+			t.Fatalf("zero model injected %+v", d)
+		}
+	}
+	if (Faults{}).Active() {
+		t.Fatal("zero model reports active")
+	}
+}

@@ -3,6 +3,7 @@ package switchsim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tsu/internal/openflow"
 	"tsu/internal/topo"
@@ -111,13 +112,17 @@ func (f *Fabric) Switch(n topo.NodeID) *Switch {
 
 // deliverPeerAck carries one plan-agent ack from one switch to
 // another: a goroutine pays the sender's PeerLatency on the sender's
-// clock (a data-plane hop, not a controller round trip), then hands
-// the ack to the target's agent. Delivery order across concurrent acks
-// is whatever the latencies produce — the receiving agent is built to
-// absorb reordering and duplication.
-func (f *Fabric) deliverPeerAck(from *Switch, to topo.NodeID, ack PeerAck) {
+// clock (a data-plane hop, not a controller round trip) plus any
+// injected extra delay (fault reordering), then hands the ack to the
+// target's agent. Delivery order across concurrent acks is whatever
+// the latencies produce — the receiving agent is built to absorb
+// reordering and duplication.
+func (f *Fabric) deliverPeerAck(from *Switch, to topo.NodeID, ack PeerAck, extra time.Duration) {
 	go func() {
 		from.src.Sleep(from.cfg.PeerLatency)
+		if extra > 0 {
+			from.clock.Sleep(extra)
+		}
 		if tgt := f.Switch(to); tgt != nil {
 			tgt.agent.deliver(ack)
 		}

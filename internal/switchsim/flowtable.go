@@ -74,6 +74,15 @@ func (t *FlowTable) Len() int {
 	return len(t.entries)
 }
 
+// Wipe removes every entry — the flow table of a switch that lost
+// power. No FLOW_REMOVED messages are generated; a crashed switch
+// cannot report what it forgot.
+func (t *FlowTable) Wipe() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+}
+
 // Apply executes a FlowMod against the table, implementing the OF 1.0
 // command semantics on this subset:
 //

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"tsu/internal/metrics"
+	"tsu/internal/netem"
 	"tsu/internal/planwire"
 	"tsu/internal/topo"
 )
@@ -175,6 +177,17 @@ func (a *planAgent) applyAckLocked(j *agentJob, ack PeerAck) *agentNode {
 	return nil
 }
 
+// reset drops every in-flight job and buffered ack — the agent state
+// of a crashed switch process. Install goroutines still running for a
+// dropped job detect the reset (their job is no longer the registered
+// one) and go silent: no acks, no report.
+func (a *planAgent) reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.jobs = make(map[int]*agentJob)
+	a.early = make(map[int][]PeerAck)
+}
+
 // install executes one released node: optional interval pause, the
 // node's FlowMods against the live table (each paying the configured
 // install latency), then the out-edge acks, and — when it was the
@@ -194,12 +207,38 @@ func (a *planAgent) install(j *agentJob, pos int) {
 			a.s.logger.Warn("plan install rejected", "job", j.push.Job, "node", pn.Index, "err", oferr.Error())
 			return
 		}
-		a.s.flowModsApplied.Add(1)
+		applied := a.s.flowModsApplied.Add(1)
 		flowMods++
+		if a.s.crashIfDue(applied) {
+			// The process died mid-node: no acks, no report. The
+			// controller hears silence and must time the job out.
+			a.s.dropConnection()
+			return
+		}
 	}
 	finished := a.s.clock.Now()
 
+	// Draw each out-edge ack's fate exactly once, up front: the sends
+	// count (taken under the lock for the report) and the delivery loop
+	// (outside it) must agree on what was injected.
+	fates := make([]netem.FaultDecision, len(pn.OutEdges))
+	for i, e := range pn.OutEdges {
+		if e.Switch == a.s.cfg.Node {
+			continue // intra-switch release: not a fabric message
+		}
+		fates[i] = a.s.src.Fault(a.s.cfg.Faults.PeerAckFaults)
+		if fates[i].Drop || fates[i].Dup || fates[i].Reordered {
+			metrics.FaultsInjected.Inc()
+		}
+	}
+
 	a.mu.Lock()
+	if a.jobs[j.push.Job] != j {
+		// The switch crashed (agent reset) while this node installed:
+		// the revived process knows nothing of the job. Stay silent.
+		a.mu.Unlock()
+		return
+	}
 	nd := &j.nodes[pos]
 	j.done++
 	j.reports = append(j.reports, planwire.NodeReport{
@@ -211,15 +250,15 @@ func (a *planAgent) install(j *agentJob, pos int) {
 	})
 	// Count peer sends under the lock so the report is consistent.
 	sends := 0
-	for _, e := range pn.OutEdges {
+	for i, e := range pn.OutEdges {
 		if e.Switch == a.s.cfg.Node {
 			continue // intra-switch release, no message
 		}
-		if a.s.cfg.Faults.DropPeerAcks {
+		if a.s.cfg.Faults.DropPeerAcks || fates[i].Drop {
 			continue // fault injection: install confirmed, ack lost
 		}
 		sends++
-		if a.s.cfg.Faults.DuplicatePeerAcks {
+		if a.s.cfg.Faults.DuplicatePeerAcks || fates[i].Dup {
 			sends++
 		}
 	}
@@ -230,7 +269,7 @@ func (a *planAgent) install(j *agentJob, pos int) {
 	}
 	a.mu.Unlock()
 
-	for _, e := range pn.OutEdges {
+	for i, e := range pn.OutEdges {
 		ack := PeerAck{Job: j.push.Job, From: a.s.cfg.Node, FromNode: pn.Index, ToNode: e.Index}
 		if e.Switch == a.s.cfg.Node {
 			// The successor lives on this very switch (e.g. its cleanup
@@ -238,12 +277,16 @@ func (a *planAgent) install(j *agentJob, pos int) {
 			a.deliver(ack)
 			continue
 		}
-		if a.s.cfg.Faults.DropPeerAcks {
+		if a.s.cfg.Faults.DropPeerAcks || fates[i].Drop {
 			continue
 		}
-		a.s.fabric.deliverPeerAck(a.s, e.Switch, ack)
-		if a.s.cfg.Faults.DuplicatePeerAcks {
-			a.s.fabric.deliverPeerAck(a.s, e.Switch, ack)
+		var extra time.Duration
+		if fates[i].Reordered {
+			extra = fates[i].Delay
+		}
+		a.s.fabric.deliverPeerAck(a.s, e.Switch, ack, extra)
+		if a.s.cfg.Faults.DuplicatePeerAcks || fates[i].Dup {
+			a.s.fabric.deliverPeerAck(a.s, e.Switch, ack, extra+fates[i].Delay)
 		}
 	}
 	if last {

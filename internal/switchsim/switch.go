@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tsu/internal/metrics"
 	"tsu/internal/netem"
 	"tsu/internal/ofconn"
 	"tsu/internal/openflow"
@@ -19,7 +20,10 @@ import (
 	"tsu/internal/topo"
 )
 
-// Faults injects switch misbehaviour for robustness testing.
+// Faults injects switch misbehaviour for robustness testing. The
+// boolean fields are deterministic always-on faults; the netem.Faults
+// fields draw per-message fates from the switch's seeded Source, so a
+// fixed seed pins the exact fault sequence.
 type Faults struct {
 	// DropBarriers makes the switch process barrier requests without
 	// ever replying — the controller's round must time out.
@@ -27,8 +31,14 @@ type Faults struct {
 
 	// DisconnectAfterFlowMods closes the control connection after the
 	// N-th FlowMod has been applied (0 disables) — a mid-update switch
-	// crash.
+	// crash. The count includes FlowMods applied by the plan agent in
+	// decentralized mode; the crash fires at most once per switch.
 	DisconnectAfterFlowMods uint64
+
+	// WipeTableOnCrash makes a DisconnectAfterFlowMods crash also
+	// erase the flow table — the switch reconnects with the state of a
+	// power-cycled box instead of a dropped TCP session.
+	WipeTableOnCrash bool
 
 	// DropPeerAcks makes the plan agent install its nodes but never
 	// notify DAG successors — a decentralized job stalls and must
@@ -38,6 +48,24 @@ type Faults struct {
 	// DuplicatePeerAcks sends every peer ack twice, exercising the
 	// receiving agent's idempotence.
 	DuplicatePeerAcks bool
+
+	// FlowModFaults probabilistically corrupts the control channel's
+	// FlowMod deliveries: Drop loses the message before the switch
+	// processes it (a later barrier still replies — the switch never
+	// knew), Dup applies it twice (OF 1.0 mods are idempotent),
+	// Reordered holds it back by the drawn delay so control messages
+	// behind it take effect first in wall/virtual time.
+	FlowModFaults netem.Faults
+
+	// BarrierFaults corrupts barrier replies: Drop swallows the reply
+	// (the probabilistic cousin of DropBarriers), Dup sends it twice,
+	// Reordered delays it.
+	BarrierFaults netem.Faults
+
+	// PeerAckFaults corrupts the plan agent's switch-to-switch acks:
+	// the probabilistic generalization of DropPeerAcks and
+	// DuplicatePeerAcks, plus reordering.
+	PeerAckFaults netem.Faults
 }
 
 // Config parameterizes a simulated switch.
@@ -100,6 +128,7 @@ type Switch struct {
 	flowModsApplied atomic.Uint64
 	barriersSeen    atomic.Uint64
 	packetOutsSeen  atomic.Uint64
+	crashed         atomic.Bool
 
 	mu     sync.Mutex
 	conn   *ofconn.Conn
@@ -270,6 +299,40 @@ func (s *Switch) expiryLoop(ctx context.Context, conn *ofconn.Conn) {
 	}
 }
 
+// crashIfDue fires the DisconnectAfterFlowMods crash once the applied
+// count crosses the threshold, at most once per switch: the flow table
+// is optionally wiped, the plan agent forgets its in-flight jobs (a
+// dead process has no memory), and the caller must drop the control
+// connection. Reconnecting afterwards works normally — the crash does
+// not re-fire, so tests can model "dies after N installs, comes back
+// with the table intact or wiped".
+func (s *Switch) crashIfDue(applied uint64) bool {
+	n := s.cfg.Faults.DisconnectAfterFlowMods
+	if n == 0 || applied < n || !s.crashed.CompareAndSwap(false, true) {
+		return false
+	}
+	metrics.FaultsInjected.Inc()
+	if s.cfg.Faults.WipeTableOnCrash {
+		s.table.Wipe()
+	}
+	s.agent.reset()
+	s.logger.Warn("fault injection: switch crash",
+		"after_flowmods", applied, "wiped", s.cfg.Faults.WipeTableOnCrash)
+	return true
+}
+
+// dropConnection closes the live control connection — the crash as the
+// controller observes it. The control loop's blocking read returns and
+// the loop exits.
+func (s *Switch) dropConnection() {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close() //nolint:errcheck // crash path
+	}
+}
+
 // Stop terminates the control loop and waits for it to exit. Safe to
 // call multiple times or before Connect.
 func (s *Switch) Stop() {
@@ -314,12 +377,36 @@ func (s *Switch) controlLoop(ctx context.Context, conn *ofconn.Conn) {
 func (s *Switch) handle(conn *ofconn.Conn, m openflow.Message) error {
 	switch msg := m.(type) {
 	case *openflow.FlowMod:
-		s.src.Sleep(s.cfg.InstallLatency)
-		if oferr := s.table.Apply(msg); oferr != nil {
-			return conn.WriteMessage(oferr)
+		fd := s.src.Fault(s.cfg.Faults.FlowModFaults)
+		if fd.Drop {
+			// Lost on the channel before the switch processed it: the
+			// rule never lands, yet a later barrier still replies — the
+			// switch cannot acknowledge a message it never saw.
+			metrics.FaultsInjected.Inc()
+			return nil
 		}
+		if fd.Reordered {
+			// The serial control loop cannot literally overtake itself;
+			// holding the message (and everything behind it) back models
+			// the rule taking effect later relative to other switches.
+			metrics.FaultsInjected.Inc()
+			s.clock.Sleep(fd.Delay)
+		}
+		applications := 1
+		if fd.Dup {
+			metrics.FaultsInjected.Inc()
+			applications = 2
+		}
+		for i := 0; i < applications; i++ {
+			s.src.Sleep(s.cfg.InstallLatency)
+			if oferr := s.table.Apply(msg); oferr != nil {
+				return conn.WriteMessage(oferr)
+			}
+		}
+		// A duplicated delivery is still one logical FlowMod: the
+		// counter (and the crash threshold keyed on it) counts messages.
 		applied := s.flowModsApplied.Add(1)
-		if n := s.cfg.Faults.DisconnectAfterFlowMods; n > 0 && applied >= n {
+		if s.crashIfDue(applied) {
 			return fmt.Errorf("fault injection: disconnecting after %d flowmods", applied)
 		}
 		return nil
@@ -328,9 +415,26 @@ func (s *Switch) handle(conn *ofconn.Conn, m openflow.Message) error {
 		if s.cfg.Faults.DropBarriers {
 			return nil // fault injection: swallow the reply
 		}
+		fd := s.src.Fault(s.cfg.Faults.BarrierFaults)
+		if fd.Drop {
+			metrics.FaultsInjected.Inc()
+			return nil
+		}
+		if fd.Reordered {
+			metrics.FaultsInjected.Inc()
+			s.clock.Sleep(fd.Delay)
+		}
 		reply := &openflow.BarrierReply{}
 		reply.SetXid(msg.Xid())
-		return conn.WriteMessage(reply)
+		if err := conn.WriteMessage(reply); err != nil {
+			return err
+		}
+		if fd.Dup {
+			metrics.FaultsInjected.Inc()
+			s.clock.Sleep(fd.Delay)
+			return conn.WriteMessage(reply)
+		}
+		return nil
 	case *openflow.EchoRequest:
 		reply := &openflow.EchoReply{Data: msg.Data}
 		reply.SetXid(msg.Xid())

@@ -19,9 +19,17 @@ import (
 // fits Options.Budget states; past the budget the verifier falls back
 // to sampled linear extensions — every prefix of a seeded random
 // extension is an ideal — and marks the round inexact.
+// Rollback plans (core.Plan.Reverse) reuse the same machinery over a
+// shifted state space: an ideal I of the rollback DAG is the set of
+// switches already *uninstalled*, so the network state is base∖I where
+// base marks every switch the plan covers. The walker starts from base
+// and the single-flip enumeration clears bits instead of setting them;
+// the final state (everything undone) must recover the old path.
 func Plan(in *core.Instance, p *core.Plan, props core.Property, opts Options) *Report {
-	if s, ok := p.Schedule(); ok {
-		return Schedule(in, s, props, opts)
+	if !p.Rollback {
+		if s, ok := p.Schedule(); ok {
+			return Schedule(in, s, props, opts)
+		}
 	}
 	opts = opts.withDefaults()
 	r := &Report{Algorithm: p.Algorithm, Properties: props}
@@ -29,12 +37,17 @@ func Plan(in *core.Instance, p *core.Plan, props core.Property, opts Options) *R
 		r.StructureErr = err
 		return r
 	}
-	full := in.NewState()
-	for _, nd := range p.Nodes {
-		in.Mark(full, nd.Switch)
+	if p.Rollback {
+		walk, outcome := in.Walk(in.NewState())
+		r.FinalStateOK = outcome == core.Reached && walk.Equal(in.Old)
+	} else {
+		full := in.NewState()
+		for _, nd := range p.Nodes {
+			in.Mark(full, nd.Switch)
+		}
+		walk, outcome := in.Walk(full)
+		r.FinalStateOK = outcome == core.Reached && walk.Equal(in.New)
 	}
-	walk, outcome := in.Walk(full)
-	r.FinalStateOK = outcome == core.Reached && walk.Equal(in.New)
 	r.Rounds = []RoundResult{planIdeals(in, p, props, opts)}
 	return r
 }
@@ -59,7 +72,10 @@ func PlanCounterexample(in *core.Instance, p *core.Plan, props core.Property, op
 		return nil, 0, rr.Exact
 	}
 	for i, nd := range p.Nodes {
-		if in.Updated(rr.Violation.Updated, nd.Switch) {
+		// Forward plans: a node is in the violating ideal when its
+		// switch is updated. Rollback plans invert: the ideal is the
+		// uninstalled set (state = base∖ideal).
+		if in.Updated(rr.Violation.Updated, nd.Switch) != p.Rollback {
 			nodes = append(nodes, i)
 		}
 	}
@@ -72,6 +88,11 @@ func PlanCounterexample(in *core.Instance, p *core.Plan, props core.Property, op
 func planIdeals(in *core.Instance, p *core.Plan, props core.Property, opts Options) RoundResult {
 	rr := RoundResult{Round: 0, Size: p.NumNodes()}
 	w := in.NewWalker()
+	var base core.State // nil for forward plans: the empty ideal is the old state
+	if p.Rollback {
+		base = p.BaseState(in)
+		w.Reset(base)
+	}
 	idx := make([]int, p.NumNodes())
 	for i, nd := range p.Nodes {
 		idx[i] = in.NodeIndex(nd.Switch)
@@ -96,15 +117,17 @@ func planIdeals(in *core.Instance, p *core.Plan, props core.Property, opts Optio
 		})
 	rr.Exact = complete || rr.Violation != nil
 	if !rr.Exact {
-		rr.Violation = samplePlan(in, p, w, idx, props, opts)
+		rr.Violation = samplePlan(in, p, w, base, idx, props, opts)
 	}
 	return rr
 }
 
 // samplePlan replays Options.Samples seeded random linear extensions
 // of the plan on the walker, checking every prefix (each prefix is an
-// order ideal), and returns the first counterexample found.
-func samplePlan(in *core.Instance, p *core.Plan, w *core.Walker, idx []int, props core.Property, opts Options) *core.CounterExample {
+// order ideal), and returns the first counterexample found. base is
+// the state of the empty ideal: nil for forward plans, the plan's
+// BaseState for rollback plans.
+func samplePlan(in *core.Instance, p *core.Plan, w *core.Walker, base core.State, idx []int, props core.Property, opts Options) *core.CounterExample {
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x7F4A7C159E3779B9))
 	run := core.NewPlanRun(p)
 	ready := make([]int, 0, p.NumNodes())
@@ -114,12 +137,12 @@ func samplePlan(in *core.Instance, p *core.Plan, w *core.Walker, idx []int, prop
 		}
 		return nil
 	}
-	w.Reset(nil)
+	w.Reset(base)
 	if cex := check(); cex != nil { // the empty ideal
 		return cex
 	}
 	for s := 0; s < opts.Samples; s++ {
-		w.Reset(nil)
+		w.Reset(base)
 		ready = run.Reset(ready[:0])
 		for len(ready) > 0 {
 			k := rng.Intn(len(ready))
