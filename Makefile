@@ -22,12 +22,15 @@ test:
 
 # The fault-injection suite under the race detector: seeded fault
 # models (netem), crash/loss switch faults (switchsim), reverse-plan
-# safety (core/verify/explore), and the controller's abort→verified-
-# rollback path in both dispatch modes, including the chaos soak.
+# safety (core/verify/explore), the controller's abort→verified-
+# rollback path in both dispatch modes including the chaos soak, and
+# the crash-restart sweeps (journal torn-tail recovery plus the engine
+# killed at every dispatch boundary).
 chaos:
 	$(GO) test -race -count=1 -run 'Fault|Chaos|Crash|Rollback|Reverse|Abort|VirtualTime' \
 		./internal/netem ./internal/switchsim ./internal/core \
-		./internal/verify ./internal/explore ./internal/controller
+		./internal/verify ./internal/explore ./internal/controller \
+		./internal/journal
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run '^$$' .
@@ -41,22 +44,22 @@ test-determinism:
 	$(GO) test -run Explore -count=2 -race ./...
 
 # Machine-readable benchmark trajectory: run every benchmark with
-# -benchmem and emit BENCH_8.json (name -> ns/op, allocs/op, domain
+# -benchmem and emit BENCH_9.json (name -> ns/op, allocs/op, domain
 # metrics) for future PRs to diff against. No pipe on the `go test`
 # line: a benchmark failure must fail the target, not vanish into
 # tee's exit status (bench.out is left behind for debugging).
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_8.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_9.json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_8.json"
+	@echo "wrote BENCH_9.json"
 
 # Perf trajectory between the previous PR's snapshot and this one:
 # per-benchmark ns/op and allocs/op movement. Informational (CI runs
 # it non-gating); add -fail-on-regress locally to gate.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_7.json BENCH_8.json
+	$(GO) run ./cmd/benchjson -diff BENCH_8.json BENCH_9.json
 
 # One iteration of every benchmark in the repo: catches benchmark rot
 # without paying for a measurement run.
@@ -68,10 +71,12 @@ bench-smoke:
 # wire codec's decode→encode identity, the partition codec that
 # ships per-switch plan slices to the decentralized agents, and the
 # CEGIS synthesizer's validate/round-trip invariant on random
-# instances.
+# instances, plus the job journal's replay: arbitrary bytes must
+# replay to the longest valid record prefix and never panic.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/openflow
 	$(GO) test -run '^$$' -fuzz '^FuzzExploreTrace$$' -fuzztime=10s ./internal/explore
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanRoundTrip$$' -fuzztime=10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzPartitionRoundTrip$$' -fuzztime=10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzSynthRefine$$' -fuzztime=10s ./internal/synth
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime=10s ./internal/journal

@@ -413,6 +413,35 @@ func BenchmarkE13FaultedRollback(b *testing.B) {
 	b.ReportMetric(float64(rolledBack), "rolled_back")
 }
 
+// BenchmarkE14CrashRecovery runs the 2000-switch crash-boundary sweep
+// (100 random reroutes, each killed at every dispatch boundary under
+// seeded switch-wipe rates, recovered by journal replay) with four
+// workers. The acceptance bar is a reproducible event count, zero
+// verifier refusals, and both recovery modes exercised: mid-flight
+// frontiers adopted and non-adoptable state rolled back verified.
+func BenchmarkE14CrashRecovery(b *testing.B) {
+	events, adopted, rolledBack := 0, 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E14CrashRecovery(40, 100, 17, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("verifier refused %d recovery rollbacks", res.Violations)
+		}
+		if res.Adopted == 0 || res.RolledBack == 0 {
+			b.Fatalf("sweep missed a recovery mode: %+v", res)
+		}
+		if events != 0 && events != res.Events {
+			b.Fatalf("event count not reproducible: %d vs %d", events, res.Events)
+		}
+		events, adopted, rolledBack = res.Events, res.Adopted, res.RolledBack
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(adopted), "adopted")
+	b.ReportMetric(float64(rolledBack), "rolled_back")
+}
+
 // BenchmarkWalkBitset measures the forwarding walk on the dense bitset
 // state core against an equivalent map-based walker (the seed's State
 // representation), with half the pending switches flipped. The bitset

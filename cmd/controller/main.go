@@ -19,8 +19,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tsu/internal/controller"
+	"tsu/internal/journal"
 	"tsu/internal/topo"
 )
 
@@ -37,6 +39,7 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:6633", "OpenFlow listen address")
 		httpAddr  = flag.String("http", "127.0.0.1:8080", "REST API listen address")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		jpath     = flag.String("journal", "", "journal file for durable job state (crash-restart recovery); empty runs in-memory")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -51,7 +54,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := controller.New(controller.Config{Topology: g, Logger: logger})
+	cfg := controller.Config{Topology: g, Logger: logger}
+	if *jpath != "" {
+		jl, err := journal.Open(*jpath)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer jl.Close() //nolint:errcheck // shutdown path
+		cfg.Journal = jl
+	}
+	ctrl, err := controller.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -64,6 +76,28 @@ func run() error {
 		return err
 	}
 	fmt.Printf("controller: OpenFlow on %s, topology %s (%d switches)\n", ofAddr, *topoSpec, g.NumNodes())
+
+	if cfg.Journal != nil {
+		// Recovery runs once the fleet has (re)connected: mid-flight
+		// jobs are reconciled against live switch state, so give the
+		// switches a moment to dial back in before deciding anything.
+		go func() {
+			wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			if err := ctrl.WaitForSwitches(wctx, g.NumNodes()); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "controller: recovery proceeding without full fleet:", err)
+			}
+			cancel()
+			stats, err := ctrl.Engine().Recover(ctx)
+			if err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "controller: recovery:", err)
+				return
+			}
+			if stats.Replayed > 0 {
+				fmt.Printf("controller: journal replayed %d records: %d jobs terminal, %d requeued, %d adopted, %d rolled back, %d failed\n",
+					stats.Replayed, stats.Terminal, stats.Requeued, stats.Adopted, stats.RolledBack, stats.Failed)
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated (usually loopback-only)

@@ -38,6 +38,7 @@ var descriptions = map[string]string{
 	"E7":  "violation dose-response vs control-channel jitter",
 	"E9":  "multi-policy updates: joint vs sequential rounds",
 	"E12": "optimality gaps: heuristics vs counterexample-guided synthesis",
+	"E14": "crash-restart recovery: adopt vs verified rollback at every dispatch boundary",
 }
 
 func main() {
@@ -96,6 +97,13 @@ func realMain() int {
 		"E7":  func() (*metrics.Table, error) { return experiments.E7JitterDose(*seed) },
 		"E9":  func() (*metrics.Table, error) { return experiments.E9MultiPolicy(*seed) },
 		"E12": func() (*metrics.Table, error) { return experiments.E12SynthGap(*seed) },
+		"E14": func() (*metrics.Table, error) {
+			res, err := experiments.E14CrashRecovery(0, 0, *seed, 4)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table, nil
+		},
 	}
 
 	var ids []string
@@ -108,7 +116,7 @@ func realMain() int {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9, E12; E8 is the codec benchmark: go test -bench=E8)\n", id)
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9, E12, E14; E8 is the codec benchmark: go test -bench=E8)\n", id)
 				return 2
 			}
 			ids = append(ids, id)

@@ -56,9 +56,16 @@ func run() error {
 		host      = flag.String("host", "", "destination host name for -install (e.g. h2)")
 		cleanup   = flag.Bool("cleanup", false, "append a garbage-collection round deleting stale rules")
 		dryRun    = flag.Bool("dry-run", false, "plan only: print schedules, submit nothing")
+		healthz   = flag.Bool("healthz", false, "print the controller's health probe (uptime, journal, recovered jobs) and exit")
 		timeout   = flag.Duration("timeout", 60*time.Second, "completion timeout")
 	)
 	flag.Parse()
+
+	if *healthz {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		return printHealthz(ctx, client.New(*server, client.WithTimeout(*timeout)))
+	}
 
 	updates, err := parseUpdates(*batch, *oldPath, *newPath, *waypoint, *nwDst, *algorithm)
 	if err != nil {
@@ -186,6 +193,28 @@ func watchJob(ctx context.Context, c *client.Client, id int, installs bool) erro
 		for _, mc := range st.MessagesPerSwitch {
 			fmt.Printf("job %d messages sw=%d: ctrl=%d peer=%d\n", id, mc.Switch, mc.Ctrl, mc.Peer)
 		}
+	}
+	return nil
+}
+
+// printHealthz fetches and renders the ops probe: switch count,
+// uptime, journal status, and what the last restart recovered.
+func printHealthz(ctx context.Context, c *client.Client) error {
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status: %s\n", h.Status)
+	fmt.Printf("switches: %d\n", h.Switches)
+	fmt.Printf("uptime: %s\n", h.Uptime().Round(time.Millisecond))
+	switch {
+	case h.Journal == nil || !h.Journal.Enabled:
+		fmt.Println("journal: disabled (in-memory)")
+	default:
+		fmt.Printf("journal: %s (%d bytes)\n", h.Journal.Path, h.Journal.SizeBytes)
+	}
+	if h.RecoveredJobs > 0 || h.AdoptedJobs > 0 {
+		fmt.Printf("recovered jobs: %d (%d adopted mid-flight)\n", h.RecoveredJobs, h.AdoptedJobs)
 	}
 	return nil
 }

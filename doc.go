@@ -63,7 +63,7 @@
 //   - internal/topo      — topologies, update families, the Figure 1 scenario
 //   - internal/openflow  — OpenFlow 1.0-subset wire protocol
 //   - internal/planwire  — vendor-message payloads for decentralized execution
-//     (partition push, completion report)
+//     (partition push, completion report, recovery state query/report)
 //   - internal/ofconn    — framing, handshake, xid management
 //   - internal/switchsim — simulated switches, data-plane fabric and the
 //     decentralized plan agent (clock-parameterized); fault injection:
@@ -76,9 +76,15 @@
 //     decentralized partition broadcast (ModeDecentralized),
 //     REST API (/v1/verify and /v1/explore are the dry-run surfaces; jobs
 //     report plan shape, per-install release edges, ctrl/peer message counts
-//     and the structured failure report of the abort/rollback path)
+//     and the structured failure report of the abort/rollback path);
+//     with a journal configured, Engine.Recover replays job state after a
+//     crash and adopts or rolls back mid-flight frontiers by reconciling
+//     against live switch state
+//   - internal/journal   — write-ahead job journal: CRC-framed record log
+//     (admit/dispatched/confirmed/terminal), torn-tail-tolerant replay,
+//     snapshot compaction — the durability base for crash-restart recovery
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
-//   - internal/experiments — the experiment harness (E1..E10, E12, E13)
+//   - internal/experiments — the experiment harness (E1..E10, E12..E14)
 //
 // See README.md for the package tour, quickstart, and the Performance
 // section (incremental-walk design, Gray-code/order-state duality,

@@ -250,6 +250,12 @@ type JobStatus struct {
 	MessagesPerSwitch []MessageCount `json:"messages_per_switch,omitempty"`
 	// Failure is the structured abort outcome (failed jobs only).
 	Failure *FailureReport `json:"failure,omitempty"`
+	// Recovered marks a job reconstructed from the journal after a
+	// controller restart; Adopted additionally marks a mid-flight job
+	// whose journal and switch state reconciled, so execution resumed
+	// from the recovered frontier instead of rolling back.
+	Recovered bool `json:"recovered,omitempty"`
+	Adopted   bool `json:"adopted,omitempty"`
 }
 
 // TotalDuration returns the job's wall-clock time (zero while
@@ -452,4 +458,27 @@ type Healthz struct {
 	Running int `json:"running"`
 	// Workers is the engine's concurrency limit.
 	Workers int `json:"workers"`
+	// UptimeMicros is how long the controller has been running, on its
+	// own clock (virtual under simulated time).
+	UptimeMicros int64 `json:"uptime_us,omitempty"`
+	// Journal reports the job journal's state; nil when the controller
+	// runs without durability.
+	Journal *JournalStatus `json:"journal,omitempty"`
+	// RecoveredJobs counts non-terminal jobs the last restart brought
+	// back (re-queued, adopted, or rolled back); AdoptedJobs counts the
+	// subset resumed from their recovered frontier.
+	RecoveredJobs int `json:"recovered_jobs,omitempty"`
+	AdoptedJobs   int `json:"adopted_jobs,omitempty"`
+}
+
+// Uptime returns the controller's uptime as a duration.
+func (h Healthz) Uptime() time.Duration {
+	return time.Duration(h.UptimeMicros) * time.Microsecond
+}
+
+// JournalStatus describes the controller's write-ahead job journal.
+type JournalStatus struct {
+	Enabled   bool   `json:"enabled"`
+	Path      string `json:"path,omitempty"`
+	SizeBytes int64  `json:"size_bytes,omitempty"`
 }

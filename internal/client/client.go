@@ -338,29 +338,118 @@ func (c *Client) WaitRounds(ctx context.Context, id int, onRound func(api.RoundS
 // of the ack-driven dispatcher: onInstall fires for every confirmed
 // per-switch install (carrying the dependency edge that released it),
 // onRound for every completed layer. Either callback may be nil.
+//
+// The waiter survives controller restarts: when the watch stream
+// breaks before a terminal event it reconnects (the stream replays
+// the job's history on every connection, so replayed events are
+// deduplicated by count and callbacks fire at most once per round and
+// install). Consecutive fruitless reconnects are bounded by the
+// WithRetry budget (default 3), sleeping the retry backoff between
+// attempts; each delivered event resets the budget. Only after the
+// budget is exhausted does it fall back to status polling.
 func (c *Client) WaitProgress(ctx context.Context, id int, onRound func(api.RoundStatus), onInstall func(api.InstallStatus)) (*api.JobStatus, error) {
-	if events, err := c.Watch(ctx, id); err == nil {
+	retries := c.retries
+	if retries == 0 {
+		retries = 3
+	}
+	var roundsSeen, installsSeen int
+	for failures := 0; failures <= retries; {
+		events, err := c.Watch(ctx, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			failures++
+			if !c.sleepBackoff(ctx) {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		var rounds, installs int
+		progressed := false
 		for ev := range events {
-			switch {
-			case ev.Type == api.EventRound && ev.Round != nil && onRound != nil:
-				onRound(*ev.Round)
-			case ev.Type == api.EventInstall && ev.Install != nil && onInstall != nil:
-				onInstall(*ev.Install)
+			switch ev.Type {
+			case api.EventRound:
+				if ev.Round == nil {
+					continue
+				}
+				if rounds++; rounds <= roundsSeen {
+					continue // replayed prefix of a reconnect
+				}
+				roundsSeen, progressed = rounds, true
+				if onRound != nil {
+					onRound(*ev.Round)
+				}
+			case api.EventInstall:
+				if ev.Install == nil {
+					continue
+				}
+				if installs++; installs <= installsSeen {
+					continue
+				}
+				installsSeen, progressed = installs, true
+				if onInstall != nil {
+					onInstall(*ev.Install)
+				}
+			case api.EventDone, api.EventFailed:
+				// Terminal: the job endpoint is authoritative (it
+				// carries timings and the full failure report).
+				return c.pollTerminal(ctx, id)
 			}
 		}
-	}
-	for {
-		st, err := c.Job(ctx, id)
-		if err != nil {
-			return nil, err
+		// Stream broke before a terminal event (controller restart,
+		// proxy hiccup): reconnect, unless the caller gave up.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
-		if st.Terminal() {
+		if progressed {
+			failures = 0
+		} else {
+			failures++
+		}
+		if failures <= retries && !c.sleepBackoff(ctx) {
+			return nil, ctx.Err()
+		}
+	}
+	return c.pollTerminal(ctx, id)
+}
+
+// pollTerminal polls the job until it reaches a terminal state,
+// tolerating a bounded run of transient errors (a restarting
+// controller answers with connection refused for a moment).
+func (c *Client) pollTerminal(ctx context.Context, id int) (*api.JobStatus, error) {
+	var lastErr error
+	for failures := 0; ; {
+		st, err := c.Job(ctx, id)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			failures++
+			lastErr = err
+			if failures > 10 {
+				return nil, lastErr
+			}
+		case st.Terminal():
 			return st, nil
+		default:
+			failures = 0
 		}
 		select {
 		case <-time.After(50 * time.Millisecond):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+}
+
+// sleepBackoff pauses for the retry backoff; false means ctx ended.
+func (c *Client) sleepBackoff(ctx context.Context) bool {
+	select {
+	case <-time.After(c.backoff):
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }

@@ -2,7 +2,9 @@ package client_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -408,5 +410,103 @@ func TestClientSynthBudget(t *testing.T) {
 	}
 	if st.State != "done" {
 		t.Fatalf("synth job = %+v", st)
+	}
+}
+
+// TestClientWaitSurvivesStreamDrop pins the restart-riding contract of
+// WaitProgress: the first watch connection is dropped mid-job (as a
+// restarting controller would), the waiter reconnects, the stream
+// replays the rounds already delivered, and the per-round callback
+// still fires exactly once per round before the terminal status comes
+// back.
+func TestClientWaitSurvivesStreamDrop(t *testing.T) {
+	var conns atomic.Int32
+	writeEvent := func(w http.ResponseWriter, ev api.WatchEvent) {
+		b, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		w.(http.Flusher).Flush()
+	}
+	round := func(n int) api.WatchEvent {
+		return api.WatchEvent{Type: api.EventRound, Job: 7, Round: &api.RoundStatus{Round: n, Micros: 10}}
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/updates/7/watch":
+			w.Header().Set("Content-Type", "text/event-stream")
+			switch conns.Add(1) {
+			case 1:
+				// Two rounds, then the stream dies without a terminal
+				// event — the client must reconnect, not give up.
+				writeEvent(w, round(0))
+				writeEvent(w, round(1))
+			default:
+				// Reconnect: history replays from the start, then the
+				// job finishes.
+				writeEvent(w, round(0))
+				writeEvent(w, round(1))
+				writeEvent(w, round(2))
+				writeEvent(w, api.WatchEvent{Type: api.EventDone, Job: 7})
+			}
+		case "/v1/updates/7":
+			w.Header().Set("Content-Type", "application/json")
+			state := "running"
+			if conns.Load() >= 2 {
+				state = "done"
+			}
+			fmt.Fprintf(w, `{"id":7,"state":%q}`, state)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, client.WithRetry(3, time.Millisecond))
+	var rounds []int
+	st, err := c.WaitRounds(context.Background(), 7, func(r api.RoundStatus) {
+		rounds = append(rounds, r.Round)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("state = %q, want done", st.State)
+	}
+	if len(rounds) != 3 || rounds[0] != 0 || rounds[1] != 1 || rounds[2] != 2 {
+		t.Fatalf("rounds = %v, want [0 1 2] (replay deduplicated)", rounds)
+	}
+	if conns.Load() < 2 {
+		t.Fatalf("connections = %d, want a reconnect", conns.Load())
+	}
+}
+
+// TestClientWaitPollFallback: when every watch attempt fails outright,
+// the waiter exhausts its bounded retries and still resolves the job
+// by polling.
+func TestClientWaitPollFallback(t *testing.T) {
+	var watches atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/updates/3/watch":
+			watches.Add(1)
+			http.Error(w, `{"error":"no streams today","code":1000}`, http.StatusInternalServerError)
+		case "/v1/updates/3":
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"id":3,"state":"failed","failure":{"phase":"aborted"}}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, client.WithRetry(1, time.Millisecond))
+	st, err := c.Wait(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "failed" {
+		t.Fatalf("state = %q, want failed", st.State)
+	}
+	if n := watches.Load(); n < 2 {
+		t.Fatalf("watch attempts = %d, want the retry budget consumed", n)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tsu/internal/journal"
 	"tsu/internal/ofconn"
 	"tsu/internal/openflow"
 	"tsu/internal/planwire"
@@ -63,6 +64,12 @@ type Config struct {
 	// RoundTiming elapses on the virtual clock.
 	Clock simclock.Clock
 
+	// Journal, when non-nil, makes the engine durable: job admissions,
+	// per-node dispatch/confirm deltas, and terminal phases are
+	// journaled write-ahead, and Engine.Recover replays them after a
+	// restart. Nil runs the engine in-memory only.
+	Journal *journal.Journal
+
 	// Logger receives lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -80,11 +87,16 @@ type Controller struct {
 	dpWaiters []chan struct{}
 
 	// planReports routes decoded decentralized completion reports to
-	// the job waiting on them, keyed by job ID.
-	planMu      sync.Mutex
-	planReports map[int]chan<- *planwire.Report
+	// the job waiting on them, keyed by job ID; stateReports routes
+	// recovery state reports the same way.
+	planMu       sync.Mutex
+	planReports  map[int]chan<- *planwire.Report
+	stateReports map[int]chan<- *planwire.StateReport
 
 	flowRemoved atomic.Uint64
+
+	// started anchors the /v1/healthz uptime report.
+	started time.Time
 
 	engine *Engine
 }
@@ -120,9 +132,14 @@ func New(cfg Config) (*Controller, error) {
 		logger:    cfg.Logger,
 		datapaths: make(map[uint64]*datapath),
 	}
+	c.started = c.clock.Now()
 	c.engine = newEngine(c, cfg.EngineWorkers)
 	return c, nil
 }
+
+// Uptime reports how long the controller has been running, on its own
+// clock (virtual under simclock).
+func (c *Controller) Uptime() time.Duration { return c.clock.Now().Sub(c.started) }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port), runs the
 // accept loop and the update engine until ctx is cancelled, and returns
@@ -245,6 +262,26 @@ func (c *Controller) readLoop(ctx context.Context, dp *datapath) {
 				c.logger.Warn("unknown vendor message", "dpid", dp.dpid, "vendor", msg.Vendor)
 				continue
 			}
+			if planwire.IsStateReport(msg.Data) {
+				sr, err := planwire.DecodeStateReport(msg.Data)
+				if err != nil {
+					c.logger.Warn("malformed state report", "dpid", dp.dpid, "err", err)
+					continue
+				}
+				c.planMu.Lock()
+				ch := c.stateReports[sr.Job]
+				c.planMu.Unlock()
+				if ch == nil {
+					c.logger.Warn("state report for unknown job", "dpid", dp.dpid, "job", sr.Job)
+					continue
+				}
+				select {
+				case ch <- sr: // buffered for one report per queried switch
+				default:
+					c.logger.Warn("dropping surplus state report", "dpid", dp.dpid, "job", sr.Job)
+				}
+				continue
+			}
 			r, err := planwire.DecodeReport(msg.Data)
 			if err != nil {
 				c.logger.Warn("malformed completion report", "dpid", dp.dpid, "err", err)
@@ -356,6 +393,23 @@ func (c *Controller) unregisterPlanReports(job int) {
 	c.planMu.Lock()
 	defer c.planMu.Unlock()
 	delete(c.planReports, job)
+}
+
+// registerStateReports directs recovery state reports for a job to ch.
+func (c *Controller) registerStateReports(job int, ch chan<- *planwire.StateReport) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if c.stateReports == nil {
+		c.stateReports = make(map[int]chan<- *planwire.StateReport)
+	}
+	c.stateReports[job] = ch
+}
+
+// unregisterStateReports stops routing a job's state reports.
+func (c *Controller) unregisterStateReports(job int) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	delete(c.stateReports, job)
 }
 
 // Barrier sends a BARRIER_REQUEST to the switch and blocks until its

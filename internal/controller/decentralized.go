@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tsu/internal/core"
+	"tsu/internal/journal"
 	"tsu/internal/openflow"
 	"tsu/internal/planwire"
 	"tsu/internal/topo"
@@ -202,6 +203,18 @@ func (e *Engine) executeDecentralized(ctx context.Context, job *Job) {
 		e.c.registerPlanReports(job.ID, reports)
 		defer e.c.unregisterPlanReports(job.ID)
 
+		// A partition push hands the whole DAG to the switches at once:
+		// every node is journaled dispatched (write-ahead, before any
+		// push leaves), so a recovering controller knows the entire
+		// plan may have taken effect and reconciles all of it against
+		// switch state.
+		for i := range nodes {
+			if !e.journalDispatch(job.ID, i) {
+				e.fail(job, errJournalWriteAhead)
+				return
+			}
+		}
+
 		// Node completion offsets in reports are relative to partition
 		// receipt; anchor them at the broadcast instant. The skew (one
 		// control-channel delivery) is the same for every switch.
@@ -260,6 +273,7 @@ func (e *Engine) executeDecentralized(ctx context.Context, job *Job) {
 					return
 				}
 				confirmed[nr.Index] = true
+				e.journalDelta(journal.KindConfirmed, job.ID, nr.Index)
 				remaining--
 				nd := &nodes[nr.Index]
 				install := InstallTiming{
@@ -276,6 +290,7 @@ func (e *Engine) executeDecentralized(ctx context.Context, job *Job) {
 		}
 	}
 
+	e.journalTerminal(job, nil)
 	job.mu.Lock()
 	job.state = JobDone
 	job.finished = e.c.clock.Now()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tsu/internal/core"
+	"tsu/internal/journal"
 	"tsu/internal/openflow"
 	"tsu/internal/topo"
 )
@@ -228,6 +229,20 @@ type Job struct {
 	// plain on mid-plan errors.
 	rollback *rollbackSpec
 
+	// Recovered marks a job reconstructed from the journal after a
+	// controller restart; Adopted additionally marks a mid-flight job
+	// whose journal and switch state agreed, so execution resumed from
+	// the recovered frontier instead of rolling back. Both are set
+	// before the job launches and immutable after.
+	Recovered bool
+	Adopted   bool
+
+	// preConfirmed, set only on adopted jobs, marks the plan nodes the
+	// reconciliation proved already applied: execute confirms them
+	// synthetically and resumes dispatch from the frontier they
+	// release.
+	preConfirmed []bool
+
 	mu       sync.Mutex
 	state    JobState
 	err      error
@@ -418,6 +433,9 @@ type Engine struct {
 	pending []*launch
 	queued  int // admitted, not yet executing
 	running int // executing rounds
+
+	// recovery holds the stats of the last Recover run (nil before).
+	recovery *RecoveryStats
 }
 
 // launch pairs an admitted job with the done channels of the earlier
@@ -443,6 +461,113 @@ func newEngine(c *Controller, workers int) *Engine {
 // execution is barrier-bound (network waits), not CPU-bound, so the
 // default does not track GOMAXPROCS.
 const defaultEngineWorkers = 8
+
+// admitSpec builds a job's journal admission record: identity always,
+// plus — for recoverable jobs — everything Recover needs to rebuild
+// the execution DAG and its rollback spec.
+func admitSpec(job *Job) *journal.Admit {
+	a := &journal.Admit{
+		Algorithm: job.Algorithm,
+		Interval:  job.Interval,
+		Mode:      uint8(job.Mode),
+	}
+	spec := job.rollback
+	if spec == nil {
+		return a
+	}
+	a.Recoverable = true
+	a.Old = make([]uint64, len(spec.in.Old))
+	for i, n := range spec.in.Old {
+		a.Old[i] = uint64(n)
+	}
+	a.New = make([]uint64, len(spec.in.New))
+	for i, n := range spec.in.New {
+		a.New[i] = uint64(n)
+	}
+	a.Waypoint = uint64(spec.in.Waypoint)
+	a.NWDst = spec.match.NWDst
+	a.Props = uint64(spec.props)
+	for i := range job.plan.nodes {
+		if job.plan.nodes[i].cleanup {
+			a.Cleanup = append(a.Cleanup, i)
+		}
+	}
+	// The journaled DAG is the job's full execution DAG — update and
+	// cleanup nodes alike — so recovery rebuilds exactly the plan that
+	// was running, not a re-derivation that could differ.
+	dag := *job.plan.dag
+	dag.Algorithm = job.Algorithm
+	dag.Guarantees = spec.props
+	dag.Sparse = job.plan.sparse
+	a.Plan = core.EncodePlan(&dag)
+	return a
+}
+
+// journalAdmit makes an admitted job durable before anything can be
+// dispatched for it. Recovered jobs are already in the journal and are
+// not re-admitted.
+func (e *Engine) journalAdmit(job *Job) {
+	jl := e.c.cfg.Journal
+	if jl == nil || job.Recovered {
+		return
+	}
+	if err := jl.Append(journal.Record{Kind: journal.KindAdmit, Job: job.ID, Admit: admitSpec(job)}); err != nil {
+		e.c.logger.Warn("journal admit failed", "job", job.ID, "err", err)
+	}
+}
+
+// errJournalWriteAhead fails a job whose next dispatch could not be
+// made durable first. The switches never saw the undispatched mods, so
+// the already-dispatched prefix aborts through the normal path.
+var errJournalWriteAhead = errors.New("journal write-ahead append failed; refusing to dispatch")
+
+// journalDelta records one write-behind per-node transition (confirmed
+// deltas): a failed append costs restart efficiency, never safety, so
+// it is logged and tolerated.
+func (e *Engine) journalDelta(kind journal.Kind, job, node int) {
+	jl := e.c.cfg.Journal
+	if jl == nil {
+		return
+	}
+	if err := jl.Append(journal.Record{Kind: kind, Job: job, Node: node}); err != nil {
+		e.c.logger.Warn("journal delta failed", "job", job, "node", node, "err", err)
+	}
+}
+
+// journalDispatch write-aheads one dispatched delta. A false return
+// means the record could not be made durable — the caller MUST NOT
+// dispatch the node: the journal's dispatched set has to stay a
+// superset of what any switch can have seen, or a restarted
+// controller would never reconcile that switch's state.
+func (e *Engine) journalDispatch(job, node int) bool {
+	jl := e.c.cfg.Journal
+	if jl == nil {
+		return true
+	}
+	if err := jl.Append(journal.Record{Kind: journal.KindDispatched, Job: job, Node: node}); err != nil {
+		e.c.logger.Warn("journal write-ahead failed; node not dispatched", "job", job, "node", node, "err", err)
+		return false
+	}
+	return true
+}
+
+// journalTerminal records a job's terminal phase. A shutdown
+// cancellation is deliberately NOT journaled as terminal: a cancelled
+// job is live state the restarted controller must recover; marking it
+// finished would defeat recovery.
+func (e *Engine) journalTerminal(job *Job, jobErr error) {
+	jl := e.c.cfg.Journal
+	if jl == nil || errors.Is(jobErr, context.Canceled) {
+		return
+	}
+	rec := journal.Record{Kind: journal.KindTerminal, Job: job.ID, Done: jobErr == nil}
+	if jobErr != nil {
+		rec.Error = jobErr.Error()
+	}
+	if err := jl.Append(rec); err != nil {
+		e.c.logger.Warn("journal terminal failed", "job", job.ID, "err", err)
+	}
+}
 
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
@@ -752,9 +877,18 @@ func (e *Engine) enqueueAll(specs []jobSpec) ([]*Job, error) {
 	if ctx == nil {
 		e.pending = append(e.pending, launches...)
 		e.mu.Unlock()
+		for _, job := range jobs {
+			e.journalAdmit(job)
+		}
 		return jobs, nil
 	}
 	e.mu.Unlock()
+	// Admission is journaled (and synced) before any dispatcher
+	// goroutine launches: a job either never reached the journal (and
+	// sent nothing), or is durably recoverable.
+	for _, job := range jobs {
+		e.journalAdmit(job)
+	}
 	for _, l := range launches {
 		go e.runJob(ctx, l.job, l.deps)
 	}
@@ -819,7 +953,12 @@ func (e *Engine) runJob(ctx context.Context, job *Job, deps []<-chan struct{}) {
 	e.queued--
 	e.running++
 	e.mu.Unlock()
-	if job.Mode == ModeDecentralized {
+	// An adopted decentralized job resumes controller-driven: the
+	// switches' plan agents lost their peer protocol state with the old
+	// controller process, but the update FlowMods are idempotent
+	// MODIFYs, so ack-driven dispatch from the recovered frontier is
+	// safe and makes progress.
+	if job.Mode == ModeDecentralized && !job.Adopted {
 		e.executeDecentralized(ctx, job)
 	} else {
 		e.execute(ctx, job)
@@ -873,6 +1012,7 @@ func publishLocked(j *Job, ev JobEvent) {
 
 // fail marks the job failed and notifies waiters and subscribers.
 func (e *Engine) fail(job *Job, err error) {
+	e.journalTerminal(job, err)
 	job.mu.Lock()
 	job.state = JobFailed
 	job.err = err
@@ -930,7 +1070,36 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 
 		prog := newPlanProgress(job)
 		inflight := 0
-		for _, i := range prog.start() {
+		// Worklist over the ready frontier. On a fresh job this visits
+		// exactly the roots; on an adopted job the reconciliation's
+		// pre-confirmed ideal (down-closed, so its members release in
+		// dependency order from the roots) is confirmed synthetically
+		// with zero-duration installs, and real dispatch resumes from
+		// the frontier it releases. The released slice is copied into
+		// the queue immediately: confirm reuses its backing array.
+		queue := append([]int(nil), prog.start()...)
+		for len(queue) > 0 {
+			i := queue[0]
+			queue = queue[1:]
+			if i < len(job.preConfirmed) && job.preConfirmed[i] {
+				dispatched[i] = true
+				confirmed[i] = true
+				nd := &nodes[i]
+				now := e.c.clock.Now()
+				queue = append(queue, prog.confirm(i, InstallTiming{
+					Node:     nd.node,
+					Layer:    nd.layer,
+					Cleanup:  nd.cleanup,
+					Started:  now,
+					Finished: now,
+				})...)
+				continue
+			}
+			if !e.journalDispatch(job.ID, i) {
+				cancelJob()
+				e.fail(job, errJournalWriteAhead)
+				return
+			}
 			dispatched[i] = true
 			inflight++
 			go e.dispatchNode(jobCtx, job, i, acks)
@@ -965,6 +1134,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 			// take effect.
 			nd := &nodes[a.idx]
 			confirmed[a.idx] = true
+			e.journalDelta(journal.KindConfirmed, job.ID, a.idx)
 			// Control messages per confirmed install: the FlowMods plus
 			// the barrier request and its reply.
 			job.addMessages(nd.node, MessageStats{Ctrl: a.flowMods + 2})
@@ -984,6 +1154,11 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 				if failure != nil {
 					continue
 				}
+				if !e.journalDispatch(job.ID, s) {
+					failure = errJournalWriteAhead
+					cancelJob()
+					continue
+				}
 				releasedBy[s] = nd.node
 				dispatched[s] = true
 				inflight++
@@ -996,6 +1171,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 		}
 	}
 
+	e.journalTerminal(job, nil)
 	job.mu.Lock()
 	job.state = JobDone
 	job.finished = e.c.clock.Now()

@@ -377,6 +377,8 @@ func v1JobStatus(job *Job) api.JobStatus {
 			Sparse:       sparse,
 		},
 	}
+	st.Recovered = job.Recovered
+	st.Adopted = job.Adopted
 	if err := job.Err(); err != nil {
 		st.Error = err.Error()
 	}
@@ -776,11 +778,20 @@ func (c *Controller) handleV1Policies(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Controller) handleV1Healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, api.Healthz{
-		Status:     "ok",
-		Switches:   len(c.Datapaths()),
-		QueueDepth: c.engine.QueueDepth(),
-		Running:    c.engine.RunningCount(),
-		Workers:    c.engine.Workers(),
-	})
+	h := api.Healthz{
+		Status:       "ok",
+		Switches:     len(c.Datapaths()),
+		QueueDepth:   c.engine.QueueDepth(),
+		Running:      c.engine.RunningCount(),
+		Workers:      c.engine.Workers(),
+		UptimeMicros: c.Uptime().Microseconds(),
+	}
+	if jl := c.cfg.Journal; jl != nil {
+		h.Journal = &api.JournalStatus{Enabled: true, Path: jl.Path(), SizeBytes: jl.Size()}
+	}
+	if stats, ok := c.engine.Recovery(); ok {
+		h.RecoveredJobs = stats.Recovered()
+		h.AdoptedJobs = stats.Adopted
+	}
+	writeJSON(w, http.StatusOK, h)
 }

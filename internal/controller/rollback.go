@@ -284,6 +284,7 @@ func (e *Engine) undoFlowMod(in *core.Instance, node topo.NodeID, match openflow
 // failWithReport marks the job failed with a structured failure
 // report attached.
 func (e *Engine) failWithReport(job *Job, err error, report *FailureReport) {
+	e.journalTerminal(job, err)
 	job.mu.Lock()
 	job.state = JobFailed
 	job.err = err

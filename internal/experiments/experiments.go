@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -911,6 +912,283 @@ func E13FaultedRollback(k, policies int, seed int64, workers int) (*E13Result, e
 	return res, nil
 }
 
+// E14Result carries the aggregate of one E14 run alongside its table —
+// the reproducible crash-recovery counters the benchmark and tests pin.
+type E14Result struct {
+	Table *metrics.Table
+	// Switches is the fat-tree's switch count.
+	Switches int
+	// Boundaries counts crash points replayed (every dispatch boundary
+	// of every update, plus the pre-dispatch boundary).
+	Boundaries int
+	// Requeued counts boundaries recovered by plain re-admission (the
+	// journal held no dispatched record).
+	Requeued int
+	// Adopted counts boundaries where the restarted controller adopted
+	// the mid-flight frontier and resumed forward.
+	Adopted int
+	// RolledBack counts boundaries resolved through a verified reverse
+	// plan (the wipe left switch state non-adoptable).
+	RolledBack int
+	// Events counts FlowMod delivery events: forward, resumed, and undo.
+	Events int
+	// Violations counts reverse plans the verifier refused. The
+	// experiment's invariant is zero: every journaled dispatched set is
+	// an order ideal of the peacock plan, and ideals reverse safely.
+	Violations int
+}
+
+// e14Sample is one update's crash-sweep outcome; aggregation over
+// samples in instance-index order keeps the result worker-count
+// independent.
+type e14Sample struct {
+	boundaries, requeued, adopted, rolledBack int
+	events, undone, violations, stuck         int
+	resumeMakespan                            metrics.Histogram
+}
+
+// e14Replay sweeps one reroute's crash boundaries analytically. The
+// forward pass replays the peacock plan ack-driven on seeded latencies
+// (node-index order, a pure function of instSeed). For every boundary
+// k — the engine dying the instant the k-th dispatched record hits the
+// journal — the journal is the event-order prefix up to that record,
+// and switch state is the journaled dispatched set minus a seeded
+// per-node wipe draw (switches that died with the controller and lost
+// their rules, the WipeTableOnCrash analog). The restarted controller
+// then decides exactly as Engine.Recover does: adopt iff the surviving
+// applied set is an order ideal that covers every journaled confirm,
+// resuming forward from the frontier; otherwise reverse the journaled
+// dispatched set, which must verify.
+func e14Replay(in *core.Instance, instSeed int64, wipeRate float64) (e14Sample, error) {
+	var (
+		ctrlDist    = netem.Uniform{Min: 0, Max: 3 * time.Millisecond}
+		installDist = netem.Pareto{Scale: time.Millisecond, Alpha: 1.5, Cap: 20 * time.Millisecond}
+		barrierDist = netem.Fixed(500 * time.Microsecond)
+	)
+	var s e14Sample
+	sched, err := core.Peacock(in)
+	if err != nil {
+		return s, err
+	}
+	plan := core.PlanFromSchedule(sched)
+	rng := rand.New(rand.NewSource(instSeed))
+	n := len(plan.Nodes)
+	latency := make([]time.Duration, n)
+	for i := range latency {
+		latency[i] = ctrlDist.Sample(rng) + installDist.Sample(rng) + barrierDist.Sample(rng)
+	}
+
+	// Fault-free ack-driven forward pass (plan nodes are topologically
+	// ordered): dispatch when the slowest dependency confirms.
+	dispatchT := make([]time.Duration, n)
+	confirmT := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		t := time.Duration(0)
+		for _, d := range plan.Nodes[i].Deps {
+			if confirmT[d] > t {
+				t = confirmT[d]
+			}
+		}
+		dispatchT[i] = t
+		confirmT[i] = t + latency[i]
+	}
+	// Journal append order: dispatch instants, node index breaking ties.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if dispatchT[order[a]] != dispatchT[order[b]] {
+			return dispatchT[order[a]] < dispatchT[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// Boundary 0: the crash lands before any dispatched record. The
+	// journal holds only the admit — recovery re-admits and the whole
+	// plan re-runs.
+	s.boundaries++
+	s.requeued++
+	s.events += n
+	s.resumeMakespan.Record(confirmT[order[n-1]])
+
+	dispatched := make([]bool, n)
+	applied := make([]bool, n)
+	resumeT := make([]time.Duration, n)
+	for k := 1; k <= n; k++ {
+		s.boundaries++
+		crashAt := dispatchT[order[k-1]]
+		// The journaled dispatched set is the append-order prefix; every
+		// journaled confirm precedes the crash instant, and confirms
+		// always trail their own dispatch, so the confirm set needs no
+		// separate bookkeeping beyond confirmT < crashAt.
+		for i := range dispatched {
+			dispatched[i] = false
+		}
+		for _, i := range order[:k] {
+			dispatched[i] = true
+		}
+		// In-flight mods had left the wire: every journaled dispatch is
+		// applied on its switch unless the wipe draw killed that switch
+		// with the controller. Draws go in node-index order per boundary.
+		wipeRng := rand.New(rand.NewSource(instSeed ^ int64(k)<<32))
+		adoptable := true
+		for i := 0; i < n; i++ {
+			applied[i] = dispatched[i] && !(wipeRng.Float64() < wipeRate)
+			if dispatched[i] && !applied[i] && confirmT[i] < crashAt {
+				// A journaled confirm vanished from the data plane.
+				adoptable = false
+			}
+		}
+		for i := 0; i < n && adoptable; i++ {
+			if !applied[i] {
+				continue
+			}
+			for _, d := range plan.Nodes[i].Deps {
+				if !applied[d] { // a hole under the frontier: not an ideal
+					adoptable = false
+					break
+				}
+			}
+		}
+		s.events += k
+		if adoptable {
+			// Adopt-and-resume: applied nodes are pre-confirmed at the
+			// restart instant, everything else re-dispatches ack-driven.
+			s.adopted++
+			var end time.Duration
+			for i := 0; i < n; i++ {
+				if applied[i] {
+					resumeT[i] = 0
+					continue
+				}
+				t := time.Duration(0)
+				for _, d := range plan.Nodes[i].Deps {
+					if resumeT[d] > t {
+						t = resumeT[d]
+					}
+				}
+				resumeT[i] = t + latency[i]
+				s.events++
+				if resumeT[i] > end {
+					end = resumeT[i]
+				}
+			}
+			s.resumeMakespan.Record(end)
+			continue
+		}
+		// Reconciliation rollback: reverse the journaled dispatched set —
+		// an order ideal by construction (a node dispatches only after
+		// its dependencies confirmed) — and verify the reverse plan.
+		s.rolledBack++
+		rev, _, err := plan.Reverse(dispatched)
+		if err != nil {
+			return s, fmt.Errorf("reversing boundary %d: %w", k, err)
+		}
+		if rep := verify.Plan(in, rev, sched.Guarantees, verify.Options{}); !rep.OK() {
+			s.violations++
+			s.stuck += k
+			continue
+		}
+		s.undone += len(rev.Nodes)
+		s.events += len(rev.Nodes)
+	}
+	return s, nil
+}
+
+// E14CrashRecovery quantifies crash-restart recovery at fat-tree
+// scale: `policies` random valley-free reroutes, each killed at every
+// dispatch boundary under seeded switch-wipe rates and recovered by
+// the journal-replay decision procedure (adopt the mid-flight frontier
+// when the surviving switch state is an order ideal covering all
+// journaled confirms, else verified rollback). Invariants: every
+// boundary resolves terminal, zero verifier refusals, and all counters
+// are a pure function of the seed regardless of worker count. Columns:
+// wipe rate, updates, crash boundaries, requeues, adoptions, verified
+// rollbacks, installs undone, delivery events, verifier refusals,
+// stuck installs, mean resumed makespan.
+func E14CrashRecovery(k, policies int, seed int64, workers int) (*E14Result, error) {
+	if k <= 0 {
+		k = 40 // 5k²/4 = 2000 switches
+	}
+	if policies <= 0 {
+		policies = 100
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	g := topo.FatTree(k)
+	tbl := metrics.NewTable("wipe_rate", "updates", "boundaries", "requeued", "adopted",
+		"rolled_back", "undone", "events", "violations", "stuck", "mean_resume_makespan")
+	res := &E14Result{Table: tbl, Switches: g.NumNodes()}
+
+	// One policy set shared across wipe rates: higher rates crash the
+	// same reroutes at the same boundaries, only the wipe draws differ.
+	rng := rand.New(rand.NewSource(seed))
+	instances := make([]*core.Instance, 0, policies)
+	for len(instances) < policies {
+		ti, err := topo.RandomFatTreePolicy(rng, g)
+		if err != nil {
+			return nil, err
+		}
+		in := core.MustInstance(ti.Old, ti.New, 0)
+		if in.NumPending() == 0 {
+			continue
+		}
+		instances = append(instances, in)
+	}
+
+	for ri, rate := range []float64{0, 0.10, 0.25} {
+		samples := make([]e14Sample, len(instances))
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for p := w; p < len(instances); p += workers {
+					instSeed := seed ^ int64(p+1)<<20 ^ int64(ri+1)<<40
+					s, err := e14Replay(instances[p], instSeed, rate)
+					if err != nil {
+						errs[w] = fmt.Errorf("policy %d at wipe rate %.2f: %w", p, rate, err)
+						return
+					}
+					samples[p] = s
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		boundaries, requeued, adopted, rolledBack := 0, 0, 0, 0
+		events, undone, violations, stuck := 0, 0, 0, 0
+		var makespan metrics.Histogram
+		for _, s := range samples { // index order: worker-count independent
+			boundaries += s.boundaries
+			requeued += s.requeued
+			adopted += s.adopted
+			rolledBack += s.rolledBack
+			events += s.events
+			undone += s.undone
+			violations += s.violations
+			stuck += s.stuck
+			makespan.Merge(&s.resumeMakespan)
+		}
+		res.Boundaries += boundaries
+		res.Requeued += requeued
+		res.Adopted += adopted
+		res.RolledBack += rolledBack
+		res.Events += events
+		res.Violations += violations
+		tbl.AddRow(fmt.Sprintf("%.2f", rate), len(instances), boundaries, requeued, adopted,
+			rolledBack, undone, events, violations, stuck, makespan.Mean())
+	}
+	return res, nil
+}
+
 // All runs every experiment (E8, the codec microbenchmark, lives in
 // the bench harness only) and returns the tables keyed by id.
 func All(seed int64) (map[string]*metrics.Table, error) {
@@ -938,6 +1216,13 @@ func All(seed int64) (map[string]*metrics.Table, error) {
 		{"E12", func() (*metrics.Table, error) { return E12SynthGap(seed) }},
 		{"E13", func() (*metrics.Table, error) {
 			res, err := E13FaultedRollback(0, 0, seed, 4)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table, nil
+		}},
+		{"E14", func() (*metrics.Table, error) {
+			res, err := E14CrashRecovery(0, 0, seed, 4)
 			if err != nil {
 				return nil, err
 			}

@@ -300,3 +300,49 @@ func TestE13FaultedRollbackReproducible(t *testing.T) {
 		t.Fatalf("rows = %v, want 3 fault rates", rows)
 	}
 }
+
+// TestE14CrashRecoveryReproducible runs the crash-boundary sweep with
+// one worker and with four and requires identical aggregates, plus the
+// experiment's safety invariants: every boundary resolves (requeue,
+// adopt, or rollback — nothing dangles), wipes force some boundaries
+// onto the rollback path, and the verifier refuses none of the reverse
+// plans (journaled dispatched sets are order ideals, and ideals
+// reverse safely).
+func TestE14CrashRecoveryReproducible(t *testing.T) {
+	const (
+		k        = 20 // 500 switches
+		policies = 48
+		seed     = 11
+	)
+	r1, err := E14CrashRecovery(k, policies, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := E14CrashRecovery(k, policies, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Switches != 500 {
+		t.Fatalf("FatTree(20) has %d switches, want 500", r1.Switches)
+	}
+	if r1.Events != r4.Events || r1.Events == 0 {
+		t.Fatalf("event count depends on worker count: %d vs %d", r1.Events, r4.Events)
+	}
+	if r1.Boundaries != r4.Boundaries || r1.Adopted != r4.Adopted ||
+		r1.RolledBack != r4.RolledBack || r1.Requeued != r4.Requeued {
+		t.Fatalf("aggregates depend on worker count: %+v vs %+v", r1, r4)
+	}
+	if r1.Boundaries != r1.Requeued+r1.Adopted+r1.RolledBack {
+		t.Fatalf("boundaries dangle: %d replayed, %d resolved",
+			r1.Boundaries, r1.Requeued+r1.Adopted+r1.RolledBack)
+	}
+	if r1.Requeued == 0 || r1.Adopted == 0 || r1.RolledBack == 0 {
+		t.Fatalf("sweep missed a recovery mode: %+v", r1)
+	}
+	if r1.Violations != 0 {
+		t.Fatalf("verifier refused %d recovery rollbacks; ideal-reversal safety is broken", r1.Violations)
+	}
+	if rows := tableRows(t, r1.Table.String()); len(rows) != 3 {
+		t.Fatalf("rows = %v, want 3 wipe rates", rows)
+	}
+}

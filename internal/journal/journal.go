@@ -1,0 +1,588 @@
+// Package journal is the controller's write-ahead job journal: an
+// append-only binary log of job state transitions that survives a
+// controller crash, so a restarted engine can tell exactly which jobs
+// were queued, which were mid-flight (and how far their dispatched and
+// confirmed frontiers had advanced), and which had already retired.
+//
+// The record taxonomy mirrors the engine's lifecycle:
+//
+//   - admit: the job's full recovery spec, written before anything is
+//     dispatched — id, algorithm, interval, mode, and (for recoverable
+//     single-flow jobs) the update instance, the flow match, the
+//     property set, and the execution DAG in the canonical plan codec,
+//     plus which DAG nodes are cleanup nodes.
+//   - dispatched / confirmed: one per-node delta each, appended the
+//     moment the engine marks the node dispatched (write-ahead: the
+//     record hits the file before the FlowMod leaves) or confirmed.
+//   - terminal: the job retired (done, or failed with an error).
+//
+// Framing follows the house codec style (canonical uvarints, strict
+// decoding): each record is `uvarint(len(payload)) || payload ||
+// crc32(payload)`, after a fixed "TSUJ"+version header. Replay accepts
+// the longest valid prefix — a torn tail (truncated frame, bad CRC,
+// malformed payload) ends replay without error, exactly the state a
+// kill -9 mid-append leaves behind — and Open truncates the tail so
+// new appends continue from the last intact record.
+//
+// Appends are fsync-batched: admit and terminal records sync
+// immediately (they gate correctness decisions on restart), per-node
+// deltas sync every syncEvery appends. The delta append path is
+// allocation-free in steady state (see the alloc pin in the tests).
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrJournal marks malformed journal data; match with errors.Is.
+var ErrJournal = errors.New("malformed journal")
+
+// magic and version open every journal file.
+var magic = [5]byte{'T', 'S', 'U', 'J', 1}
+
+// Record kinds.
+type Kind uint8
+
+const (
+	KindAdmit      Kind = 1
+	KindDispatched Kind = 2
+	KindConfirmed  Kind = 3
+	KindTerminal   Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAdmit:
+		return "admit"
+	case KindDispatched:
+		return "dispatched"
+	case KindConfirmed:
+		return "confirmed"
+	case KindTerminal:
+		return "terminal"
+	}
+	return "unknown"
+}
+
+// Admit is the recovery spec journaled at admission. Recoverable jobs
+// (single-flow scheduled or planned updates) carry everything needed
+// to rebuild the execution DAG and its rollback spec; non-recoverable
+// shapes (joint updates, two-phase) journal only their identity and
+// fail on restart when caught non-terminal.
+type Admit struct {
+	Algorithm string
+	Interval  time.Duration
+	Mode      uint8 // controller-driven (0) or decentralized (1)
+
+	// Recoverable gates the fields below.
+	Recoverable bool
+
+	// Old and New are the update instance's paths (datapath ids in
+	// forwarding order); Waypoint is 0 when the policy has none.
+	Old, New []uint64
+	Waypoint uint64
+
+	// NWDst identifies the flow (IPv4 in host byte order); the engine
+	// rebuilds the exact-match from it.
+	NWDst uint32
+
+	// Props is the property set the rollback must uphold
+	// (core.Property bits).
+	Props uint64
+
+	// Cleanup lists the DAG node indices that are garbage-collection
+	// nodes (ascending).
+	Cleanup []int
+
+	// Plan is the execution DAG in the canonical plan codec
+	// (core.EncodePlan), covering update and cleanup nodes alike.
+	Plan []byte
+}
+
+// Record is one journal entry.
+type Record struct {
+	Kind Kind
+	Job  int
+
+	// Node is the plan-node index of dispatched/confirmed deltas.
+	Node int
+
+	// Done and Error describe terminal records.
+	Done  bool
+	Error string
+
+	// Admit is set on admit records.
+	Admit *Admit
+}
+
+// syncEvery batches fsyncs on the delta path: at most this many
+// dispatched/confirmed appends ride between two syncs. Admit and
+// terminal records always sync.
+const syncEvery = 32
+
+// Journal is an open write-ahead journal. Safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	buf      []byte // reused append scratch: frame head + payload + crc
+	size     int64
+	unsynced int
+	crashed  bool
+	replayed []Record
+	onAppend func(Record)
+}
+
+// Open opens (or creates) the journal at path, replays the longest
+// valid record prefix, and truncates any torn tail so appends continue
+// from the last intact record. The replayed records are available via
+// Replayed.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("journal: read: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if len(data) == 0 {
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("journal: writing header: %w", err)
+		}
+		j.size = int64(len(magic))
+		return j, nil
+	}
+	recs, valid, err := Replay(data)
+	if err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	j.size = int64(valid)
+	j.replayed = recs
+	return j, nil
+}
+
+// Replay decodes records from raw journal bytes, returning the decoded
+// records and the byte length of the valid prefix. A short or corrupt
+// header is an error; a torn tail after a valid header is not — replay
+// simply stops there. Replay never panics on adversarial input.
+func Replay(data []byte) (recs []Record, valid int, err error) {
+	if len(data) < len(magic) || [5]byte(data[:len(magic)]) != magic {
+		return nil, 0, fmt.Errorf("journal: bad header: %w", ErrJournal)
+	}
+	off := len(magic)
+	for off < len(data) {
+		n, ln := binary.Uvarint(data[off:])
+		if ln <= 0 || n > uint64(len(data)) {
+			break // torn length
+		}
+		head := off + ln
+		if head+int(n)+4 > len(data) {
+			break // torn payload or CRC
+		}
+		payload := data[head : head+int(n)]
+		want := binary.BigEndian.Uint32(data[head+int(n):])
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt frame
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			break // well-framed garbage: still a torn tail, not a panic
+		}
+		recs = append(recs, rec)
+		off = head + int(n) + 4
+	}
+	return recs, off, nil
+}
+
+// Replayed returns the records Open recovered from the file, in append
+// order. The slice is owned by the journal; do not mutate.
+func (j *Journal) Replayed() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Size returns the journal's current byte size.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// SetOnAppend installs a hook invoked after each record is appended,
+// outside the journal lock — the hook may call Crash to simulate the
+// process dying right after the record hit the file (crash-at-boundary
+// suites count dispatched records here). Call before the journal is in
+// use.
+func (j *Journal) SetOnAppend(fn func(Record)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.onAppend = fn
+}
+
+// ErrCrashed is returned by Append after Crash. Callers with a
+// write-ahead contract must treat it as "the record is NOT durable":
+// in particular the engine refuses to dispatch a node whose
+// dispatched delta failed to journal.
+var ErrCrashed = errors.New("journal: crashed")
+
+// Crash simulates the process dying at this instant: every future
+// Append fails with ErrCrashed, and Sync and Compact become silent
+// no-ops, so whatever bytes reached the file so far are exactly what
+// a restarted controller will replay. Test instrumentation — a real
+// kill needs no cooperation.
+func (j *Journal) Crash() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.crashed = true
+}
+
+// Append journals one record. Admit and terminal records sync to disk
+// before returning; per-node deltas are write-through to the OS but
+// fsync-batched. The delta path reuses the journal's scratch buffer
+// and allocates nothing in steady state.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	if j.crashed {
+		j.mu.Unlock()
+		return ErrCrashed
+	}
+	j.buf = appendRecord(j.buf[:0], rec)
+	if _, err := j.f.Write(j.buf); err != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.size += int64(len(j.buf))
+	j.unsynced++
+	if rec.Kind == KindAdmit || rec.Kind == KindTerminal || j.unsynced >= syncEvery {
+		if err := j.f.Sync(); err != nil {
+			j.mu.Unlock()
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+		j.unsynced = 0
+	}
+	fn := j.onAppend
+	j.mu.Unlock()
+	if fn != nil {
+		fn(rec)
+	}
+	return nil
+}
+
+// Sync flushes batched delta appends to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed || j.unsynced == 0 {
+		return nil
+	}
+	j.unsynced = 0
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Compact atomically replaces the journal's contents with the given
+// records — the snapshot+truncate step a recovered controller runs
+// once the replayed state has been folded, so the file stays
+// proportional to live state instead of total history. The replacement
+// is crash-safe: records are written to a temp file, synced, and
+// renamed over the journal.
+func (j *Journal) Compact(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dirOf(j.path), ".journal-compact-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+	buf := append([]byte(nil), magic[:]...)
+	for _, rec := range recs {
+		buf = appendRecord(buf, rec)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("journal: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	j.f.Close() //nolint:errcheck // superseded by the compacted file
+	j.f = f
+	j.size = int64(len(buf))
+	j.unsynced = 0
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if !j.crashed && j.unsynced > 0 {
+		j.f.Sync() //nolint:errcheck // best effort on close
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// appendRecord frames one record onto buf: uvarint payload length,
+// payload, big-endian CRC32 of the payload.
+func appendRecord(buf []byte, rec Record) []byte {
+	start := len(buf)
+	// Reserve a maximal (10-byte) length prefix, encode the payload in
+	// place, then move it down over the canonical-length prefix — one
+	// pass, no second buffer.
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	payloadStart := len(buf)
+	buf = appendPayload(buf, rec)
+	payload := buf[payloadStart:]
+	var head [10]byte
+	hn := binary.PutUvarint(head[:], uint64(len(payload)))
+	copy(buf[start:], head[:hn])
+	n := copy(buf[start+hn:], payload)
+	buf = buf[:start+hn+n]
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[start+hn:]))
+	return append(buf, crc[:]...)
+}
+
+// appendPayload encodes a record's payload (kind byte first).
+func appendPayload(buf []byte, rec Record) []byte {
+	buf = append(buf, byte(rec.Kind))
+	buf = binary.AppendUvarint(buf, uint64(rec.Job))
+	switch rec.Kind {
+	case KindDispatched, KindConfirmed:
+		buf = binary.AppendUvarint(buf, uint64(rec.Node))
+	case KindTerminal:
+		done := byte(0)
+		if rec.Done {
+			done = 1
+		}
+		buf = append(buf, done)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Error)))
+		buf = append(buf, rec.Error...)
+	case KindAdmit:
+		a := rec.Admit
+		buf = binary.AppendUvarint(buf, uint64(len(a.Algorithm)))
+		buf = append(buf, a.Algorithm...)
+		buf = binary.AppendUvarint(buf, uint64(a.Interval))
+		buf = append(buf, a.Mode)
+		flags := byte(0)
+		if a.Recoverable {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		if a.Recoverable {
+			buf = binary.AppendUvarint(buf, uint64(len(a.Old)))
+			for _, v := range a.Old {
+				buf = binary.AppendUvarint(buf, v)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(a.New)))
+			for _, v := range a.New {
+				buf = binary.AppendUvarint(buf, v)
+			}
+			buf = binary.AppendUvarint(buf, a.Waypoint)
+			buf = binary.BigEndian.AppendUint32(buf, a.NWDst)
+			buf = binary.AppendUvarint(buf, a.Props)
+			// Cleanup indices delta-encoded like the plan codec's deps:
+			// first absolute, then gaps minus one.
+			buf = binary.AppendUvarint(buf, uint64(len(a.Cleanup)))
+			prev := -1
+			for _, idx := range a.Cleanup {
+				if prev < 0 {
+					buf = binary.AppendUvarint(buf, uint64(idx))
+				} else {
+					buf = binary.AppendUvarint(buf, uint64(idx-prev-1))
+				}
+				prev = idx
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(a.Plan)))
+			buf = append(buf, a.Plan...)
+		}
+	}
+	return buf
+}
+
+// maxList bounds decoded list lengths (paths, cleanup sets, plan and
+// error byte lengths) against adversarial payloads.
+const maxList = 1 << 26
+
+// decodeRecord parses one record payload with the house sticky-cursor
+// discipline: canonical uvarints only, trailing bytes rejected.
+func decodeRecord(payload []byte) (Record, error) {
+	d := decoder{buf: payload}
+	rec := Record{Kind: Kind(d.byte())}
+	rec.Job = int(d.uvarint())
+	switch rec.Kind {
+	case KindDispatched, KindConfirmed:
+		rec.Node = int(d.uvarint())
+	case KindTerminal:
+		rec.Done = d.byte() == 1
+		n := d.uvarint()
+		if n > maxList {
+			return rec, fmt.Errorf("journal: %d-byte error string: %w", n, ErrJournal)
+		}
+		rec.Error = string(d.take(int(n)))
+	case KindAdmit:
+		a := &Admit{}
+		n := d.uvarint()
+		if n > maxList {
+			return rec, fmt.Errorf("journal: %d-byte algorithm: %w", n, ErrJournal)
+		}
+		a.Algorithm = string(d.take(int(n)))
+		a.Interval = time.Duration(d.uvarint())
+		a.Mode = d.byte()
+		flags := d.byte()
+		a.Recoverable = flags&1 != 0
+		if a.Recoverable {
+			a.Old = d.idList()
+			a.New = d.idList()
+			a.Waypoint = d.uvarint()
+			if b := d.take(4); b != nil {
+				a.NWDst = binary.BigEndian.Uint32(b)
+			}
+			a.Props = d.uvarint()
+			cn := d.uvarint()
+			if cn > maxList {
+				return rec, fmt.Errorf("journal: %d cleanup nodes: %w", cn, ErrJournal)
+			}
+			prev := -1
+			for i := 0; i < int(cn) && d.err == nil; i++ {
+				v := int(d.uvarint())
+				if prev < 0 {
+					prev = v
+				} else {
+					prev += v + 1
+				}
+				a.Cleanup = append(a.Cleanup, prev)
+			}
+			pn := d.uvarint()
+			if pn > maxList {
+				return rec, fmt.Errorf("journal: %d-byte plan: %w", pn, ErrJournal)
+			}
+			a.Plan = append([]byte(nil), d.take(int(pn))...)
+		}
+		rec.Admit = a
+	default:
+		return rec, fmt.Errorf("journal: record kind %d: %w", rec.Kind, ErrJournal)
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	if d.off != len(d.buf) {
+		return rec, fmt.Errorf("journal: %d trailing bytes: %w", len(d.buf)-d.off, ErrJournal)
+	}
+	return rec, nil
+}
+
+// decoder is the sticky-error cursor of the house codec style. Unlike
+// encoding/binary's Uvarint it rejects non-minimal encodings, so every
+// record has exactly one byte representation (decode→encode identity).
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("journal: truncated record: %w", ErrJournal)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 || (n > 1 && d.buf[d.off+n-1] == 0) {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) idList() []uint64 {
+	n := d.uvarint()
+	if n > maxList {
+		d.fail()
+		return nil
+	}
+	var out []uint64
+	for i := 0; i < int(n) && d.err == nil; i++ {
+		out = append(out, d.uvarint())
+	}
+	return out
+}

@@ -43,4 +43,19 @@ var (
 	// that did not verify safe (or failed mid-rollback), leaving
 	// installed nodes in place.
 	Stalls Counter
+
+	// JobsRecovered counts non-terminal jobs a restarted controller
+	// reconstructed from its journal (queued re-admissions plus
+	// mid-flight reconciliations).
+	JobsRecovered Counter
+
+	// JobsAdopted counts recovered mid-flight jobs whose journal and
+	// switch state agreed, letting the engine resume dispatch from the
+	// recovered frontier instead of rolling back.
+	JobsAdopted Counter
+
+	// RecoveryRollbacks counts recovered mid-flight jobs that fell into
+	// the verified rollback path (journal/switch discrepancy, or
+	// unreachable switches).
+	RecoveryRollbacks Counter
 )

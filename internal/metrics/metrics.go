@@ -28,6 +28,13 @@ func (h *Histogram) Record(d time.Duration) {
 // N returns the sample count.
 func (h *Histogram) N() int { return len(h.samples) }
 
+// Merge folds another histogram's samples into h — the aggregation
+// step when workers accumulate per-shard histograms.
+func (h *Histogram) Merge(o *Histogram) {
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+}
+
 func (h *Histogram) sortSamples() {
 	if !h.sorted {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })

@@ -34,8 +34,10 @@ const VendorID uint32 = 0x00545355
 
 // Payload kind discriminators (first payload byte).
 const (
-	kindPush   = 1
-	kindReport = 2
+	kindPush        = 1
+	kindReport      = 2
+	kindStateQuery  = 3
+	kindStateReport = 4
 )
 
 // ErrWire marks malformed planwire payloads; match with errors.Is.
@@ -244,6 +246,121 @@ func Kind(data []byte) (push, report bool) {
 		return false, false
 	}
 	return data[0] == kindPush, data[0] == kindReport
+}
+
+// IsStateQuery peeks whether a payload is a StateQuery.
+func IsStateQuery(data []byte) bool {
+	return len(data) > 0 && data[0] == kindStateQuery
+}
+
+// IsStateReport peeks whether a payload is a StateReport.
+func IsStateReport(data []byte) bool {
+	return len(data) > 0 && data[0] == kindStateReport
+}
+
+// StateQuery (controller → switch) asks a switch what it knows about a
+// flow after a controller restart: whether a rule for the flow is
+// installed (and where it forwards), and — in decentralized mode —
+// which plan nodes the switch's plan agent has completed. The answer
+// lets the recovered engine reconstruct the global order ideal from
+// purely local switch state.
+type StateQuery struct {
+	// Job is the recovering job's id, echoed in the StateReport.
+	Job int
+
+	// NWDst identifies the flow (exact-match IPv4 destination).
+	NWDst uint32
+}
+
+// Encode serialises a StateQuery payload.
+func (q *StateQuery) Encode() []byte {
+	buf := []byte{kindStateQuery}
+	buf = binary.AppendUvarint(buf, uint64(q.Job))
+	buf = binary.BigEndian.AppendUint32(buf, q.NWDst)
+	return buf
+}
+
+// DecodeStateQuery parses a StateQuery payload.
+func DecodeStateQuery(data []byte) (*StateQuery, error) {
+	d := decoder{buf: data}
+	if k := d.byte(); k != kindStateQuery {
+		return nil, fmt.Errorf("planwire: payload kind %d, want state query: %w", k, ErrWire)
+	}
+	q := &StateQuery{Job: int(d.uvarint())}
+	if b := d.take(4); b != nil {
+		q.NWDst = binary.BigEndian.Uint32(b)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("planwire: %d trailing bytes: %w", len(d.buf)-d.off, ErrWire)
+	}
+	return q, nil
+}
+
+// StateReport (switch → controller) answers a StateQuery with the
+// switch's local view of the flow.
+type StateReport struct {
+	Job    int
+	Switch topo.NodeID
+
+	// RulePresent reports whether an exact-match rule for the queried
+	// flow exists in the flow table; OutPort is its output port when
+	// present.
+	RulePresent bool
+	OutPort     uint16
+
+	// AgentDone lists the global plan-node indices the switch's plan
+	// agent completed for this job (decentralized mode; empty when the
+	// agent has no memory of the job), ascending.
+	AgentDone []int
+}
+
+// Encode serialises a StateReport payload.
+func (r *StateReport) Encode() []byte {
+	buf := []byte{kindStateReport}
+	buf = binary.AppendUvarint(buf, uint64(r.Job))
+	buf = binary.AppendUvarint(buf, uint64(r.Switch))
+	present := byte(0)
+	if r.RulePresent {
+		present = 1
+	}
+	buf = append(buf, present)
+	buf = binary.AppendUvarint(buf, uint64(r.OutPort))
+	buf = binary.AppendUvarint(buf, uint64(len(r.AgentDone)))
+	for _, idx := range r.AgentDone {
+		buf = binary.AppendUvarint(buf, uint64(idx))
+	}
+	return buf
+}
+
+// DecodeStateReport parses a StateReport payload.
+func DecodeStateReport(data []byte) (*StateReport, error) {
+	d := decoder{buf: data}
+	if k := d.byte(); k != kindStateReport {
+		return nil, fmt.Errorf("planwire: payload kind %d, want state report: %w", k, ErrWire)
+	}
+	r := &StateReport{
+		Job:    int(d.uvarint()),
+		Switch: topo.NodeID(d.uvarint()),
+	}
+	r.RulePresent = d.byte() == 1
+	r.OutPort = uint16(d.uvarint())
+	n := d.uvarint()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("planwire: state report covers %d nodes: %w", n, ErrWire)
+	}
+	for i := 0; i < int(n) && d.err == nil; i++ {
+		r.AgentDone = append(r.AgentDone, int(d.uvarint()))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("planwire: %d trailing bytes: %w", len(d.buf)-d.off, ErrWire)
+	}
+	return r, nil
 }
 
 // decoder is a sticky-error cursor over payload bytes, mirroring the

@@ -120,3 +120,53 @@ func TestDecodeRejects(t *testing.T) {
 
 func asPush(b []byte) error   { _, err := DecodePush(b); return err }
 func asReport(b []byte) error { _, err := DecodeReport(b); return err }
+
+func TestStateQueryRoundTrip(t *testing.T) {
+	q := &StateQuery{Job: 17, NWDst: 0x0a000002}
+	data := q.Encode()
+	if !IsStateQuery(data) || IsStateReport(data) {
+		t.Fatalf("kind peek wrong for state query")
+	}
+	if push, report := Kind(data); push || report {
+		t.Fatalf("state query misidentified as push/report")
+	}
+	got, err := DecodeStateQuery(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Fatalf("got %+v want %+v", got, q)
+	}
+	if _, err := DecodeStateQuery(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeStateQuery(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated query accepted")
+	}
+}
+
+func TestStateReportRoundTrip(t *testing.T) {
+	cases := []*StateReport{
+		{Job: 17, Switch: 4, RulePresent: true, OutPort: 3, AgentDone: []int{0, 2, 5}},
+		{Job: 17, Switch: 9, RulePresent: false},
+	}
+	for _, r := range cases {
+		data := r.Encode()
+		if !IsStateReport(data) || IsStateQuery(data) {
+			t.Fatalf("kind peek wrong for state report")
+		}
+		got, err := DecodeStateReport(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("got %+v want %+v", got, r)
+		}
+		if _, err := DecodeStateReport(append(data, 0)); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+		if _, err := DecodeStateReport(data[:len(data)-1]); err == nil {
+			t.Fatal("truncated report accepted")
+		}
+	}
+}

@@ -318,6 +318,25 @@ func (a *planAgent) report(j *agentJob) {
 	}
 }
 
+// doneNodes returns the global plan-node indices the agent has
+// completed for a job, ascending — the agent's contribution to a
+// recovery StateReport. A job the agent has no memory of (never
+// pushed, or wiped by a crash reset) yields nil.
+func (a *planAgent) doneNodes(job int) []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(j.reports))
+	for _, nr := range j.reports {
+		out = append(out, nr.Index)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // PlanAckStats exposes the agent's per-job ack counters for a job —
 // test instrumentation for the idempotence and fault paths.
 func (s *Switch) PlanAckStats(job int) (sent, recv, dups int, ok bool) {

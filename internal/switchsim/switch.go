@@ -333,6 +333,25 @@ func (s *Switch) dropConnection() {
 	}
 }
 
+// Connected reports whether the control loop from the most recent
+// Connect is still running. False before the first Connect, after
+// Stop, and once the controller side drops the connection — switch
+// keepers poll this to know when to redial.
+func (s *Switch) Connected() bool {
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return false
+	default:
+		return true
+	}
+}
+
 // Stop terminates the control loop and waits for it to exit. Safe to
 // call multiple times or before Connect.
 func (s *Switch) Stop() {
@@ -472,6 +491,22 @@ func (s *Switch) handle(conn *ofconn.Conn, m openflow.Message) error {
 			s.logger.Warn("unknown vendor message", "vendor", msg.Vendor)
 			return nil
 		}
+		// Recovery handshake: a restarted controller asks what this
+		// switch knows about a flow; answer from the live flow table
+		// and the plan agent's memory.
+		if planwire.IsStateQuery(msg.Data) {
+			q, err := planwire.DecodeStateQuery(msg.Data)
+			if err != nil {
+				s.logger.Warn("bad state query", "err", err)
+				e := &openflow.Error{ErrType: openflow.ErrTypeBadRequest, Code: openflow.ErrCodeBadType}
+				e.SetXid(msg.Xid())
+				return conn.WriteMessage(e)
+			}
+			rep := s.stateReport(q)
+			v := &openflow.Vendor{Vendor: planwire.VendorID, Data: rep.Encode()}
+			_, err = conn.Send(v)
+			return err
+		}
 		push, err := planwire.DecodePush(msg.Data)
 		if err != nil || push.Part.Switch != s.cfg.Node {
 			s.logger.Warn("bad plan push", "err", err)
@@ -496,4 +531,33 @@ func (s *Switch) handle(conn *ofconn.Conn, m openflow.Message) error {
 		e.SetXid(m.Xid())
 		return conn.WriteMessage(e)
 	}
+}
+
+// stateReport answers a recovery StateQuery from local state only: the
+// flow table (is a rule for the queried flow installed, and out which
+// port does it forward?) and the plan agent's per-job completion
+// memory. This local view is all a restarted controller needs to
+// reconstruct the job's global order ideal.
+func (s *Switch) stateReport(q *planwire.StateQuery) *planwire.StateReport {
+	rep := &planwire.StateReport{
+		Job:       q.Job,
+		Switch:    s.cfg.Node,
+		AgentDone: s.agent.doneNodes(q.Job),
+	}
+	ip := net.IPv4(byte(q.NWDst>>24), byte(q.NWDst>>16), byte(q.NWDst>>8), byte(q.NWDst))
+	want := openflow.ExactNWDst(ip)
+	for _, e := range s.table.Snapshot() {
+		if e.Match != want {
+			continue
+		}
+		rep.RulePresent = true
+		for _, a := range e.Actions {
+			if out, ok := a.(openflow.ActionOutput); ok {
+				rep.OutPort = out.Port
+				break
+			}
+		}
+		break
+	}
+	return rep
 }
