@@ -31,6 +31,7 @@ chaos:
 		./internal/netem ./internal/switchsim ./internal/core \
 		./internal/verify ./internal/explore ./internal/controller \
 		./internal/journal
+	$(GO) test -run '^$$' -bench '^BenchmarkE15Soak$$' -benchtime=1x .
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run '^$$' .
@@ -44,22 +45,22 @@ test-determinism:
 	$(GO) test -run Explore -count=2 -race ./...
 
 # Machine-readable benchmark trajectory: run every benchmark with
-# -benchmem and emit BENCH_9.json (name -> ns/op, allocs/op, domain
+# -benchmem and emit BENCH_10.json (name -> ns/op, allocs/op, domain
 # metrics) for future PRs to diff against. No pipe on the `go test`
 # line: a benchmark failure must fail the target, not vanish into
 # tee's exit status (bench.out is left behind for debugging).
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_9.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_10.json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_9.json"
+	@echo "wrote BENCH_10.json"
 
 # Perf trajectory between the previous PR's snapshot and this one:
 # per-benchmark ns/op and allocs/op movement. Informational (CI runs
 # it non-gating); add -fail-on-regress locally to gate.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchjson -diff BENCH_9.json BENCH_10.json
 
 # One iteration of every benchmark in the repo: catches benchmark rot
 # without paying for a measurement run.

@@ -442,6 +442,49 @@ func BenchmarkE14CrashRecovery(b *testing.B) {
 	b.ReportMetric(float64(rolledBack), "rolled_back")
 }
 
+// BenchmarkE15Soak is the 100k-switch soak tier: 100 random reroutes
+// on FatTree(284) — 100,820 switches — each replayed through the
+// decentralized sharded-dispatch model on virtual time under the E13
+// confirmation-loss model, with surviving runs swept across E14-style
+// crash boundaries placed at the batched write-ahead records (one
+// grouped dispatched-delta per release wave). The acceptance bar is a
+// run that completes with zero verifier refusals, bit-reproducible
+// counters, both crash-recovery modes exercised, and write-ahead
+// batches that group more than one node per append (the journal
+// compaction pressure relief; the per-append cost is
+// BenchmarkJournalCompaction's number).
+func BenchmarkE15Soak(b *testing.B) {
+	events, peerAcks := 0, 0
+	var batchWidth float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E15Soak(0, 0, 17, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Switches < 100000 {
+			b.Fatalf("soak tier ran on %d switches, want >= 100000", res.Switches)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("verifier refused %d rollbacks", res.Violations)
+		}
+		if res.Adopted == 0 || res.CrashRolledBack == 0 || res.Aborts == 0 {
+			b.Fatalf("soak missed a stress mode: %+v", res)
+		}
+		if res.JournalNodes <= res.JournalRecords {
+			b.Fatalf("write-ahead batching not observed: %d records for %d nodes",
+				res.JournalRecords, res.JournalNodes)
+		}
+		if events != 0 && events != res.Events {
+			b.Fatalf("event count not reproducible: %d vs %d", events, res.Events)
+		}
+		events, peerAcks = res.Events, res.PeerAcks
+		batchWidth = float64(res.JournalNodes) / float64(res.JournalRecords)
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(peerAcks), "peer_acks")
+	b.ReportMetric(batchWidth, "journal_batch_width")
+}
+
 // BenchmarkWalkBitset measures the forwarding walk on the dense bitset
 // state core against an equivalent map-based walker (the seed's State
 // representation), with half the pending switches flipped. The bitset

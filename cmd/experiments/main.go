@@ -39,6 +39,7 @@ var descriptions = map[string]string{
 	"E9":  "multi-policy updates: joint vs sequential rounds",
 	"E12": "optimality gaps: heuristics vs counterexample-guided synthesis",
 	"E14": "crash-restart recovery: adopt vs verified rollback at every dispatch boundary",
+	"E15": "100k-switch soak: decentralized dispatch under combined loss + crash stress",
 }
 
 func main() {
@@ -104,6 +105,15 @@ func realMain() int {
 			}
 			return res.Table, nil
 		},
+		"E15": func() (*metrics.Table, error) {
+			// The CLI runs the full 100,820-switch tier (about ten
+			// seconds); `-run E15` with a coffee in hand.
+			res, err := experiments.E15Soak(0, 0, *seed, runtime.GOMAXPROCS(0))
+			if err != nil {
+				return nil, err
+			}
+			return res.Table, nil
+		},
 	}
 
 	var ids []string
@@ -116,7 +126,7 @@ func realMain() int {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9, E12, E14; E8 is the codec benchmark: go test -bench=E8)\n", id)
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have E1-E7, E9, E12, E14, E15; E8 is the codec benchmark: go test -bench=E8)\n", id)
 				return 2
 			}
 			ids = append(ids, id)

@@ -68,10 +68,13 @@
 //   - internal/switchsim — simulated switches, data-plane fabric and the
 //     decentralized plan agent (clock-parameterized); fault injection:
 //     crash-after-N-FlowMods with optional table wipe, per-class
-//     drop/duplicate/reorder
+//     drop/duplicate/reorder; LoopGroup multiplexes fleet timers and
+//     peer acks onto shared event loops for 100k-switch fleets
 //   - internal/netem     — control-channel asynchrony models and the seeded
 //     probabilistic fault model (netem.Faults) on a pluggable clock
-//   - internal/controller— the controller: ack-driven plan dispatch with
+//   - internal/controller— the controller: sharded ack-driven plan dispatch
+//     (a fixed pool of event loops, goroutine- and allocation-free per
+//     install, batched write-ahead journaling) with
 //     per-node barriers (layered plans reproduce the paper's round loop) or
 //     decentralized partition broadcast (ModeDecentralized),
 //     REST API (/v1/verify and /v1/explore are the dry-run surfaces; jobs
@@ -84,7 +87,7 @@
 //     (admit/dispatched/confirmed/terminal), torn-tail-tolerant replay,
 //     snapshot compaction — the durability base for crash-restart recovery
 //   - internal/trace     — live probe/violation measurement (wall or virtual clock)
-//   - internal/experiments — the experiment harness (E1..E10, E12..E14)
+//   - internal/experiments — the experiment harness (E1..E10, E12..E15)
 //
 // See README.md for the package tour, quickstart, and the Performance
 // section (incremental-walk design, Gray-code/order-state duality,

@@ -469,6 +469,35 @@ type Healthz struct {
 	// subset resumed from their recovered frontier.
 	RecoveredJobs int `json:"recovered_jobs,omitempty"`
 	AdoptedJobs   int `json:"adopted_jobs,omitempty"`
+	// Dispatch reports the sharded dispatch path's live state.
+	Dispatch *DispatchHealth `json:"dispatch,omitempty"`
+}
+
+// DispatchHealth describes the sharded ack-driven dispatch path: how
+// deep the ready queue is, how many installs each shard currently has
+// on the wire, and how well writes and journal appends are batching.
+type DispatchHealth struct {
+	// Shards is the number of dispatch event loops (switch connections
+	// map to shards by dpid).
+	Shards int `json:"shards"`
+	// ReadyDepth counts installs journaled and released but not yet
+	// handed to a shard.
+	ReadyDepth int64 `json:"ready_depth"`
+	// InFlight is the per-shard count of installs written to a switch
+	// and awaiting a barrier reply.
+	InFlight []int64 `json:"in_flight"`
+	// BatchedWrites counts coalesced buffered writes; BatchMeanMsgs and
+	// BatchMaxMsgs describe how many OpenFlow messages each carried.
+	BatchedWrites uint64  `json:"batched_writes"`
+	BatchMeanMsgs float64 `json:"batch_mean_msgs"`
+	BatchMaxMsgs  uint64  `json:"batch_max_msgs"`
+	// JournalBatchMean and JournalBatchMax describe the width (nodes per
+	// append) of grouped dispatched-delta journal records.
+	JournalBatchMean float64 `json:"journal_batch_mean"`
+	JournalBatchMax  uint64  `json:"journal_batch_max"`
+	// AcksDropped counts barrier replies that found the job's ack
+	// channel full (the install is then resolved by its round timeout).
+	AcksDropped uint64 `json:"acks_dropped"`
 }
 
 // Uptime returns the controller's uptime as a duration.

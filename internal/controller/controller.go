@@ -56,6 +56,13 @@ type Config struct {
 	// of the paper's demo.
 	EngineWorkers int
 
+	// DispatchShards sets the size of the engine's dispatch-shard pool
+	// (default GOMAXPROCS). Each shard owns a stable subset of switch
+	// connections (dpid mod shards) and coalesces the FlowMods and
+	// barriers of concurrently released installs on the same connection
+	// into single buffered writes.
+	DispatchShards int
+
 	// Clock is the time base for round timings and inter-round pauses.
 	// Nil selects the wall clock; a simclock.Sim (driven by
 	// Sim.AutoAdvance, with the switches on the same clock) runs
@@ -108,6 +115,7 @@ type datapath struct {
 
 	mu        sync.Mutex
 	barriers  map[uint32]chan struct{}
+	sinks     map[uint32]barrierSink // engine installs, resolved by xid
 	statsWait map[uint32]chan []openflow.FlowStats
 }
 
@@ -188,6 +196,7 @@ func (c *Controller) serveSwitch(ctx context.Context, nc net.Conn) {
 		dpid:      features.DatapathID,
 		conn:      conn,
 		barriers:  make(map[uint32]chan struct{}),
+		sinks:     make(map[uint32]barrierSink),
 		statsWait: make(map[uint32]chan []openflow.FlowStats),
 	}
 	c.mu.Lock()
@@ -229,9 +238,20 @@ func (c *Controller) readLoop(ctx context.Context, dp *datapath) {
 		}
 		switch msg := m.(type) {
 		case *openflow.BarrierReply:
+			// Engine installs resolve through barrier sinks: the reply
+			// becomes a plain ack value in the owning job's channel — no
+			// goroutine ever waits per barrier. Everything else (rollback,
+			// recovery, InstallPath) still uses the channel-close barriers.
+			xid := msg.Xid()
 			dp.mu.Lock()
-			ch := dp.barriers[msg.Xid()]
-			delete(dp.barriers, msg.Xid())
+			if s, ok := dp.sinks[xid]; ok {
+				delete(dp.sinks, xid)
+				dp.mu.Unlock()
+				c.engine.disp.deliver(s, c.clock.Now())
+				continue
+			}
+			ch := dp.barriers[xid]
+			delete(dp.barriers, xid)
 			dp.mu.Unlock()
 			if ch != nil {
 				close(ch)

@@ -104,12 +104,22 @@ func crashRestartRun(t *testing.T, boundary int, opts crashRestartOpts) (crashFi
 	var curAddr atomic.Value
 	curAddr.Store(addr1)
 
+	// Boundaries count dispatched *nodes*, whichever record shape
+	// journaled them: a grouped dispatched-batch append advances the
+	// counter by its whole width (the batch is atomic — there is no
+	// boundary inside it to crash at).
 	var dispatched atomic.Int32
 	jl.SetOnAppend(func(r journal.Record) {
-		if r.Kind != journal.KindDispatched {
+		var w int32
+		switch r.Kind {
+		case journal.KindDispatched:
+			w = 1
+		case journal.KindDispatchedBatch:
+			w = int32(len(r.Nodes))
+		default:
 			return
 		}
-		if int(dispatched.Add(1)) == boundary {
+		if now := dispatched.Add(w); int(now) >= boundary && int(now-w) < boundary {
 			jl.Crash()
 			cancel1()
 		}

@@ -109,12 +109,13 @@ type planProgress struct {
 }
 
 func newPlanProgress(job *Job) *planProgress {
+	n := len(job.plan.nodes)
 	p := &planProgress{
 		job:       job,
 		run:       core.NewPlanRun(job.plan.dag),
 		layers:    make([]RoundTiming, job.plan.depth),
 		layerLeft: make([]int, job.plan.depth),
-		ready:     make([]int, 0, len(job.plan.nodes)),
+		ready:     make([]int, 0, n),
 	}
 	for i := range p.layers {
 		p.layers[i] = RoundTiming{Round: i, Cleanup: true}
@@ -122,6 +123,26 @@ func newPlanProgress(job *Job) *planProgress {
 	for _, nd := range job.plan.nodes {
 		p.layerLeft[nd.layer]++
 	}
+	// Per-layer and per-job traces are preallocated to their exact
+	// final sizes, so the per-install hot path (confirm) never grows a
+	// slice or rehashes a map.
+	for i := range p.layers {
+		p.layers[i].Switches = make([]topo.NodeID, 0, p.layerLeft[i])
+	}
+	job.mu.Lock()
+	if job.installs == nil {
+		job.installs = make([]InstallTiming, 0, n)
+	}
+	if job.timings == nil {
+		job.timings = make([]RoundTiming, 0, job.plan.depth)
+	}
+	if job.events == nil {
+		job.events = make([]JobEvent, 0, n+job.plan.depth+2)
+	}
+	if job.msgs == nil {
+		job.msgs = make(map[topo.NodeID]MessageStats, len(job.nodes))
+	}
+	job.mu.Unlock()
 	return p
 }
 
@@ -139,8 +160,11 @@ func (p *planProgress) start() []int {
 func (p *planProgress) confirm(idx int, install InstallTiming) []int {
 	job := p.job
 	job.mu.Lock()
+	// The published event points into the job's install trace rather
+	// than at the (escaping) parameter — with the trace preallocated,
+	// appending a confirm is allocation-free.
 	job.installs = append(job.installs, install)
-	publishLocked(job, JobEvent{Install: &install, State: JobRunning})
+	publishLocked(job, JobEvent{Install: &job.installs[len(job.installs)-1], State: JobRunning})
 	job.mu.Unlock()
 
 	nd := &job.plan.nodes[idx]
@@ -204,15 +228,17 @@ func (e *Engine) executeDecentralized(ctx context.Context, job *Job) {
 		defer e.c.unregisterPlanReports(job.ID)
 
 		// A partition push hands the whole DAG to the switches at once:
-		// every node is journaled dispatched (write-ahead, before any
-		// push leaves), so a recovering controller knows the entire
-		// plan may have taken effect and reconciles all of it against
-		// switch state.
-		for i := range nodes {
-			if !e.journalDispatch(job.ID, i) {
-				e.fail(job, errJournalWriteAhead)
-				return
-			}
+		// every node is journaled dispatched in one grouped write-ahead
+		// append (before any push leaves), so a recovering controller
+		// knows the entire plan may have taken effect and reconciles all
+		// of it against switch state.
+		allNodes := make([]int, n)
+		for i := range allNodes {
+			allNodes[i] = i
+		}
+		if !e.journalDispatchBatch(job.ID, allNodes) {
+			e.fail(job, errJournalWriteAhead)
+			return
 		}
 
 		// Node completion offsets in reports are relative to partition

@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"tsu/internal/core"
 	"tsu/internal/journal"
+	"tsu/internal/metrics"
 	"tsu/internal/openflow"
 	"tsu/internal/topo"
 )
@@ -424,6 +428,7 @@ type Engine struct {
 	c       *Controller
 	workers int
 	sem     chan struct{} // worker-pool slots
+	disp    *dispatcher   // sharded southbound dispatch path
 
 	mu      sync.Mutex
 	ctx     context.Context // set by run; jobs launch once available
@@ -449,12 +454,14 @@ func newEngine(c *Controller, workers int) *Engine {
 	if workers <= 0 {
 		workers = defaultEngineWorkers
 	}
-	return &Engine{
+	e := &Engine{
 		c:       c,
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		jobs:    make(map[int]*Job),
 	}
+	e.disp = newDispatcher(e, c.cfg.DispatchShards)
+	return e
 }
 
 // defaultEngineWorkers is the engine's default concurrency: update
@@ -534,18 +541,29 @@ func (e *Engine) journalDelta(kind journal.Kind, job, node int) {
 	}
 }
 
-// journalDispatch write-aheads one dispatched delta. A false return
-// means the record could not be made durable — the caller MUST NOT
-// dispatch the node: the journal's dispatched set has to stay a
-// superset of what any switch can have seen, or a restarted
-// controller would never reconcile that switch's state.
-func (e *Engine) journalDispatch(job, node int) bool {
+// journalDispatchBatch write-aheads one released wave as a single
+// grouped dispatched-delta record (one append and one fsync window for
+// the whole wave; a lone node journals as a plain dispatched delta). A
+// false return means the wave could not be made durable — the caller
+// MUST NOT dispatch any of it: the journal's dispatched set has to
+// stay a superset of what any switch can have seen, or a restarted
+// controller would never reconcile that switch's state. nodes must be
+// strictly ascending (the batch codec delta-encodes the gaps).
+func (e *Engine) journalDispatchBatch(job int, nodes []int) bool {
 	jl := e.c.cfg.Journal
 	if jl == nil {
 		return true
 	}
-	if err := jl.Append(journal.Record{Kind: journal.KindDispatched, Job: job, Node: node}); err != nil {
-		e.c.logger.Warn("journal write-ahead failed; node not dispatched", "job", job, "node", node, "err", err)
+	metrics.JournalBatchWidth.Observe(int64(len(nodes)))
+	rec := journal.Record{Kind: journal.KindDispatched, Job: job}
+	if len(nodes) == 1 {
+		rec.Node = nodes[0]
+	} else {
+		rec.Kind = journal.KindDispatchedBatch
+		rec.Nodes = nodes
+	}
+	if err := jl.Append(rec); err != nil {
+		e.c.logger.Warn("journal write-ahead failed; wave not dispatched", "job", job, "nodes", len(nodes), "err", err)
 		return false
 	}
 	return true
@@ -920,6 +938,7 @@ func (e *Engine) Jobs() []*Job {
 // started are launched now; later submissions launch directly from
 // enqueue.
 func (e *Engine) run(ctx context.Context) {
+	e.disp.start(ctx)
 	e.mu.Lock()
 	e.ctx = ctx
 	pending := e.pending
@@ -957,12 +976,15 @@ func (e *Engine) runJob(ctx context.Context, job *Job, deps []<-chan struct{}) {
 	// switches' plan agents lost their peer protocol state with the old
 	// controller process, but the update FlowMods are idempotent
 	// MODIFYs, so ack-driven dispatch from the recovered frontier is
-	// safe and makes progress.
-	if job.Mode == ModeDecentralized && !job.Adopted {
-		e.executeDecentralized(ctx, job)
-	} else {
-		e.execute(ctx, job)
-	}
+	// safe and makes progress. The pprof label tags the job's event
+	// loop (and everything it blocks on) in CPU and goroutine profiles.
+	pprof.Do(ctx, pprof.Labels("tsu_job", strconv.Itoa(job.ID)), func(ctx context.Context) {
+		if job.Mode == ModeDecentralized && !job.Adopted {
+			e.executeDecentralized(ctx, job)
+		} else {
+			e.execute(ctx, job)
+		}
+	})
 	<-e.sem
 	e.retire(job, true)
 }
@@ -1023,12 +1045,17 @@ func (e *Engine) fail(job *Job, err error) {
 	e.c.logger.Warn("update job failed", "job", job.ID, "err", err)
 }
 
-// nodeAck is one install's outcome, delivered to the dispatcher's ack
-// loop by the node's send-and-barrier goroutine. sent reports whether
-// any FlowMod left for the switch before the error — such a node may
-// have taken effect even without a barrier reply, so the rollback
-// prefix must include it.
+// nodeAck is one install's outcome, delivered to the job's event loop
+// as a value: by a connection read loop resolving a barrier sink, by a
+// dispatch shard reporting a write failure or a fence bounce, or (in
+// executeRollback, which keeps its own private channel) by a rollback
+// goroutine. sent reports whether any FlowMod may have left for the
+// switch before the error — such a node may have taken effect even
+// without a barrier reply, so the rollback prefix must include it.
+// job filters stale acks on the pooled ack channels; rollback's
+// private channels leave it zero.
 type nodeAck struct {
+	job      int
 	idx      int
 	flowMods int
 	started  time.Time
@@ -1046,129 +1073,23 @@ type nodeAck struct {
 // (round r+1's sends released by round r's last barrier reply),
 // including removing each switch from the waiting set as its reply
 // arrives; for a sparse DAG independent branches overtake each
-// other's stragglers. The release bookkeeping runs on core.PlanRun
-// and is allocation-free per barrier in steady state.
+// other's stragglers.
+//
+// Dispatch runs on the engine's sharded path (see dispatch.go): the
+// job's single event loop releases nodes, journals each release wave
+// as one grouped write-ahead append, and hands sends to the shard
+// owning each switch connection; barrier replies come back as plain
+// values from the connection read loops. Steady state the loop spawns
+// no goroutines and allocates nothing per install.
 func (e *Engine) execute(ctx context.Context, job *Job) {
 	job.mu.Lock()
 	job.state = JobRunning
 	job.started = e.c.clock.Now()
 	job.mu.Unlock()
 
-	nodes := job.plan.nodes
-	n := len(nodes)
-	if n > 0 {
-		// Per-job context: the first failed install cancels every
-		// in-flight sibling, so the abort path stops dispatching work
-		// the rollback would immediately have to undo.
-		jobCtx, cancelJob := context.WithCancel(ctx)
-		defer cancelJob()
-
-		acks := make(chan nodeAck, n) // buffered: stragglers of a failed job never leak
-		releasedBy := make([]topo.NodeID, n)
-		dispatched := make([]bool, n) // FlowMods possibly reached the switch
-		confirmed := make([]bool, n)  // barrier reply received
-
-		prog := newPlanProgress(job)
-		inflight := 0
-		// Worklist over the ready frontier. On a fresh job this visits
-		// exactly the roots; on an adopted job the reconciliation's
-		// pre-confirmed ideal (down-closed, so its members release in
-		// dependency order from the roots) is confirmed synthetically
-		// with zero-duration installs, and real dispatch resumes from
-		// the frontier it releases. The released slice is copied into
-		// the queue immediately: confirm reuses its backing array.
-		queue := append([]int(nil), prog.start()...)
-		for len(queue) > 0 {
-			i := queue[0]
-			queue = queue[1:]
-			if i < len(job.preConfirmed) && job.preConfirmed[i] {
-				dispatched[i] = true
-				confirmed[i] = true
-				nd := &nodes[i]
-				now := e.c.clock.Now()
-				queue = append(queue, prog.confirm(i, InstallTiming{
-					Node:     nd.node,
-					Layer:    nd.layer,
-					Cleanup:  nd.cleanup,
-					Started:  now,
-					Finished: now,
-				})...)
-				continue
-			}
-			if !e.journalDispatch(job.ID, i) {
-				cancelJob()
-				e.fail(job, errJournalWriteAhead)
-				return
-			}
-			dispatched[i] = true
-			inflight++
-			go e.dispatchNode(jobCtx, job, i, acks)
-		}
-		var failure error
-		for inflight > 0 {
-			var a nodeAck
-			select {
-			case a = <-acks:
-			case <-ctx.Done():
-				e.fail(job, ctx.Err())
-				return
-			}
-			inflight--
-			if a.err != nil {
-				if a.sent {
-					dispatched[a.idx] = true
-				} else {
-					// The node never sent anything (e.g. cancelled during
-					// its interval pause): it cannot have taken effect.
-					dispatched[a.idx] = false
-				}
-				if failure == nil {
-					failure = a.err
-					cancelJob()
-				}
-				continue // drain the remaining in-flight installs
-			}
-			// A successful install is recorded even when it lands after
-			// the first failure: the rollback prefix must be exact, and a
-			// node that confirmed between the error and the cancel did
-			// take effect.
-			nd := &nodes[a.idx]
-			confirmed[a.idx] = true
-			e.journalDelta(journal.KindConfirmed, job.ID, a.idx)
-			// Control messages per confirmed install: the FlowMods plus
-			// the barrier request and its reply.
-			job.addMessages(nd.node, MessageStats{Ctrl: a.flowMods + 2})
-			install := InstallTiming{
-				Node:       nd.node,
-				Layer:      nd.layer,
-				ReleasedBy: releasedBy[a.idx],
-				FlowMods:   a.flowMods,
-				Cleanup:    nd.cleanup,
-				Started:    a.started,
-				Finished:   a.finished,
-			}
-			// Release: every install the ack unblocks dispatches now —
-			// unless the job is aborting, in which case confirmations are
-			// only recorded, never acted on.
-			for _, s := range prog.confirm(a.idx, install) {
-				if failure != nil {
-					continue
-				}
-				if !e.journalDispatch(job.ID, s) {
-					failure = errJournalWriteAhead
-					cancelJob()
-					continue
-				}
-				releasedBy[s] = nd.node
-				dispatched[s] = true
-				inflight++
-				go e.dispatchNode(jobCtx, job, s, acks)
-			}
-		}
-		if failure != nil {
-			e.abort(ctx, job, failure, dispatched, confirmed)
-			return
-		}
+	n := len(job.plan.nodes)
+	if n > 0 && !e.runDAG(ctx, job) {
+		return // terminal state already published by runDAG
 	}
 
 	e.journalTerminal(job, nil)
@@ -1182,49 +1103,364 @@ func (e *Engine) execute(ctx context.Context, job *Job) {
 		"installs", n, "depth", job.plan.depth, "sparse", job.plan.sparse)
 }
 
-// dispatchNode issues one install: optional inter-layer pause, the
-// node's FlowMods, then a barrier request, reporting the barrier
-// reply (or failure) to the dispatcher's ack loop. The job's
-// RoundTimeout bounds each install's barrier individually — on the
-// controller's injected clock, like every other engine wait, so
-// virtual-clock runs time out at RoundTimeout *virtual* time instead
-// of hanging for 30 wall-clock seconds (or, under AutoAdvance,
-// expiring spuriously while virtual delays are still being released).
-func (e *Engine) dispatchNode(ctx context.Context, job *Job, i int, acks chan<- nodeAck) {
-	nd := &job.plan.nodes[i]
-	if job.Interval > 0 && nd.layer > 0 {
+// runDAG is the job's dispatch event loop. It returns true when every
+// install confirmed; false when the job reached a terminal failure
+// (already published). Single-threaded by construction: all release
+// bookkeeping, journaling decisions and timeout synthesis happen here,
+// with shards doing only coalesced I/O.
+func (e *Engine) runDAG(ctx context.Context, job *Job) bool {
+	n := len(job.plan.nodes)
+	st := e.disp.acquire(n)
+	prog := newPlanProgress(job)
+
+	// Release the roots. On a fresh job this is exactly the roots; on
+	// an adopted job the reconciliation's pre-confirmed ideal (down-
+	// closed, so its members release in dependency order from the
+	// roots) is confirmed synthetically inside collectWave, and real
+	// dispatch resumes from the frontier it releases.
+	e.collectWave(job, st, prog, prog.start(), 0)
+	if !e.dispatchWave(job, st) {
+		// The initial wave never became durable and nothing was handed
+		// to a shard: the switches saw none of this job, so fail plain
+		// instead of aborting.
+		e.disp.release(st)
+		e.fail(job, errJournalWriteAhead)
+		return false
+	}
+	e.pump(ctx, job, st)
+
+	// Timers are single re-armed channels over FIFO queues, not one
+	// timer per install: deadlines (sendq dues) are pushed in
+	// nondecreasing order, so the head is always the earliest live
+	// target. A timer armed for an already-resolved entry fires
+	// spuriously and re-arms — never early, never missed.
+	var timerC, dueC <-chan time.Time
+	var timerAt, dueAt time.Time
+
+	for st.nDone < n {
+		for st.deads.len() > 0 {
+			if i, _ := st.deads.peek(); st.status[int(i)] != nsInflight {
+				st.deads.pop()
+				continue
+			}
+			break
+		}
+		if st.deads.len() > 0 {
+			if _, dl := st.deads.peek(); timerC == nil || timerAt.After(dl) {
+				timerC = e.c.clock.After(dl.Sub(e.c.clock.Now()))
+				timerAt = dl
+			}
+		}
+		if st.sendq.len() > 0 && st.failing == nil {
+			if _, due := st.sendq.peek(); dueC == nil || dueAt.After(due) {
+				dueC = e.c.clock.After(due.Sub(e.c.clock.Now()))
+				dueAt = due
+			}
+		}
+
 		select {
-		case <-e.c.clock.After(job.Interval):
+		case a := <-st.acks:
+			e.handleAck(ctx, job, st, prog, a)
+		case <-timerC:
+			timerC = nil
+			e.expireDeadlines(ctx, job, st, e.c.clock.Now())
+		case <-dueC:
+			dueC = nil // pump below releases the due installs
 		case <-ctx.Done():
-			acks <- nodeAck{idx: i, err: ctx.Err()}
-			return
+			// Engine shutdown: abandon the dispatch state (stragglers
+			// may still write to its ack channel) and fail the job, the
+			// exact semantics of the old per-goroutine path.
+			e.abandon(job, st)
+			e.fail(job, ctx.Err())
+			return false
+		}
+		// Coalesce: fold every ack already queued into the same release
+		// wave, so one journal append and one shard hand-off cycle cover
+		// all of them.
+	drained:
+		for {
+			select {
+			case a := <-st.acks:
+				e.handleAck(ctx, job, st, prog, a)
+			default:
+				break drained
+			}
+		}
+		if st.failing == nil {
+			if !e.dispatchWave(job, st) {
+				e.noteFailure(ctx, job, st, errJournalWriteAhead)
+			}
+			e.pump(ctx, job, st)
+		}
+		if st.failing != nil && st.fences == 0 {
+			break // every shard bounced its fence: the dispatched set is final
 		}
 	}
-	started := e.c.clock.Now()
-	flowMods := 0
-	for _, tm := range nd.mods {
-		// A failed send still marks the node dispatched: a write error
-		// does not prove the switch never saw the message, and the undo
-		// FlowMods are idempotent, so over-covering is safe.
-		if err := e.c.SendFlowMod(uint64(tm.node), tm.fm); err != nil {
-			acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): sending flowmod: %w", tm.node, nd.layer, err)}
-			return
-		}
-		flowMods++
+
+	if st.failing != nil {
+		e.abort(ctx, job, st.failing, st.dispatched, st.confirmed)
+		e.disp.release(st)
+		return false
 	}
-	done, err := e.c.BarrierAsync(uint64(nd.node))
-	if err != nil {
-		acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): barrier: %w", nd.node, nd.layer, err)}
+	e.disp.release(st)
+	return true
+}
+
+// collectWave folds a just-released node set into the pending wave.
+// Pre-confirmed nodes (adopted jobs) are confirmed synthetically with
+// zero-duration installs and their releases folded recursively; the
+// scratch ring owns the traversal because prog.confirm reuses the
+// released slice's backing array across calls.
+func (e *Engine) collectWave(job *Job, st *jobDispatch, prog *planProgress, released []int, by topo.NodeID) {
+	for _, s := range released {
+		st.releasedBy[s] = by
+		st.ready.push(int32(s))
+	}
+	for st.ready.len() > 0 {
+		i := int(st.ready.pop())
+		if i < len(job.preConfirmed) && job.preConfirmed[i] {
+			st.dispatched[i] = true
+			st.confirmed[i] = true
+			st.status[i] = nsDone
+			st.nDone++
+			nd := &job.plan.nodes[i]
+			now := e.c.clock.Now()
+			for _, s := range prog.confirm(i, InstallTiming{
+				Node:     nd.node,
+				Layer:    nd.layer,
+				Cleanup:  nd.cleanup,
+				Started:  now,
+				Finished: now,
+			}) {
+				st.releasedBy[s] = 0
+				st.ready.push(int32(s))
+			}
+			continue
+		}
+		st.wave = append(st.wave, i)
+	}
+}
+
+// dispatchWave makes the pending wave durable as one grouped
+// dispatched-delta append, then queues every node for its send slot:
+// immediately, or after the job's interval pause for non-root layers
+// (the same pause the old per-goroutine path slept before sending). A
+// false return means the journal refused the write-ahead — nothing of
+// the wave may be dispatched.
+func (e *Engine) dispatchWave(job *Job, st *jobDispatch) bool {
+	if len(st.wave) == 0 {
+		return true
+	}
+	slices.Sort(st.wave) // the batch codec wants ascending node order
+	if !e.journalDispatchBatch(job.ID, st.wave) {
+		st.wave = st.wave[:0]
+		return false
+	}
+	var due time.Time
+	if job.Interval > 0 {
+		due = e.c.clock.Now().Add(job.Interval)
+	}
+	for _, i := range st.wave {
+		st.dispatched[i] = true
+		st.status[i] = nsQueued
+		if job.Interval > 0 && job.plan.nodes[i].layer > 0 {
+			st.sendq.push(int32(i), due)
+		} else {
+			st.sendNow.push(int32(i))
+		}
+	}
+	metrics.DispatchReadyDepth.Add(int64(len(st.wave)))
+	st.wave = st.wave[:0]
+	return true
+}
+
+// pump hands queued installs to their shards: everything released
+// without a pause immediately, plus any paused install whose due time
+// arrived.
+func (e *Engine) pump(ctx context.Context, job *Job, st *jobDispatch) {
+	for st.sendNow.len() > 0 {
+		if i := int(st.sendNow.pop()); st.status[i] == nsQueued {
+			e.sendToShard(ctx, job, st, i)
+		}
+	}
+	if st.sendq.len() == 0 {
 		return
 	}
+	now := e.c.clock.Now()
+	for st.sendq.len() > 0 {
+		i32, due := st.sendq.peek()
+		i := int(i32)
+		if st.status[i] != nsQueued {
+			st.sendq.pop()
+			continue
+		}
+		if due.After(now) {
+			return
+		}
+		st.sendq.pop()
+		e.sendToShard(ctx, job, st, i)
+	}
+}
+
+// sendToShard marks one install in flight, arms its barrier deadline,
+// and hands it to the shard owning its switch connection. The
+// RoundTimeout deadline runs on the controller's injected clock, like
+// every other engine wait, so virtual-clock runs time out at
+// RoundTimeout *virtual* time instead of hanging for 30 wall-clock
+// seconds.
+func (e *Engine) sendToShard(ctx context.Context, job *Job, st *jobDispatch, i int) {
+	nd := &job.plan.nodes[i]
+	st.status[i] = nsInflight
+	metrics.DispatchReadyDepth.Dec()
+	sh := e.disp.shardFor(uint64(nd.node))
+	e.disp.inflight[sh].Inc()
+	st.deads.push(int32(i), e.c.clock.Now().Add(e.c.cfg.RoundTimeout))
 	select {
-	case <-done:
-	case <-e.c.clock.After(e.c.cfg.RoundTimeout):
-		acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, context.DeadlineExceeded)}
-		return
+	case e.disp.shards[sh].reqs <- shardReq{job: job, st: st, idx: i}:
 	case <-ctx.Done():
-		acks <- nodeAck{idx: i, sent: true, err: fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, ctx.Err())}
+		// Shutdown: the shard loops may be gone; the event loop's ctx
+		// branch abandons the job on its next turn.
+	}
+}
+
+// handleAck processes one install outcome (or fence bounce) from the
+// job's ack channel.
+func (e *Engine) handleAck(ctx context.Context, job *Job, st *jobDispatch, prog *planProgress, a nodeAck) {
+	if a.job != job.ID {
+		return // stale ack from the pooled channel's previous owner
+	}
+	if a.idx == fenceIdx {
+		st.fences--
+		if st.fences == 0 {
+			e.finalizeCancel(job, st)
+		}
 		return
 	}
-	acks <- nodeAck{idx: i, flowMods: flowMods, started: started, finished: e.c.clock.Now()}
+	i := a.idx
+	if st.status[i] != nsInflight {
+		return // duplicate: a reply racing a synthesized timeout or a write error
+	}
+	nd := &job.plan.nodes[i]
+	st.status[i] = nsDone
+	st.nDone++
+	e.disp.inflight[e.disp.shardFor(uint64(nd.node))].Dec()
+	if a.err != nil {
+		if !a.sent {
+			// Provably nothing left for the switch (skipped after the
+			// cancel, or its encoding failed): it cannot have taken
+			// effect. Everything else stays dispatched — a write error
+			// does not prove the switch never saw the message, and the
+			// undo FlowMods are idempotent, so over-covering is safe.
+			st.dispatched[i] = false
+		}
+		e.noteFailure(ctx, job, st, a.err)
+		return
+	}
+	// A successful install is recorded even when it lands after the
+	// first failure: the rollback prefix must be exact, and a node that
+	// confirmed between the error and the fence did take effect.
+	st.confirmed[i] = true
+	e.journalDelta(journal.KindConfirmed, job.ID, i)
+	// Control messages per confirmed install: the FlowMods plus the
+	// barrier request and its reply.
+	job.addMessages(nd.node, MessageStats{Ctrl: a.flowMods + 2})
+	rel := prog.confirm(i, InstallTiming{
+		Node:       nd.node,
+		Layer:      nd.layer,
+		ReleasedBy: st.releasedBy[i],
+		FlowMods:   a.flowMods,
+		Cleanup:    nd.cleanup,
+		Started:    a.started,
+		Finished:   a.finished,
+	})
+	// Release: every install the ack unblocks joins the next wave —
+	// unless the job is aborting, in which case confirmations are only
+	// recorded, never acted on.
+	if st.failing == nil {
+		e.collectWave(job, st, prog, rel, nd.node)
+	}
+}
+
+// expireDeadlines synthesizes barrier-timeout failures for every
+// in-flight install whose deadline passed — the event-loop equivalent
+// of the old per-goroutine clock.After race against the barrier reply.
+// The dead entry's sink stays registered; a late reply finds the node
+// already done and is dropped.
+func (e *Engine) expireDeadlines(ctx context.Context, job *Job, st *jobDispatch, now time.Time) {
+	for st.deads.len() > 0 {
+		i32, dl := st.deads.peek()
+		i := int(i32)
+		if st.status[i] != nsInflight {
+			st.deads.pop()
+			continue
+		}
+		if dl.After(now) {
+			return
+		}
+		st.deads.pop()
+		nd := &job.plan.nodes[i]
+		st.status[i] = nsDone
+		st.nDone++
+		e.disp.inflight[e.disp.shardFor(uint64(nd.node))].Dec()
+		e.noteFailure(ctx, job, st, fmt.Errorf("install at %d (layer %d): barrier reply: %w", nd.node, nd.layer, context.DeadlineExceeded))
+	}
+}
+
+// noteFailure records the job's first failure and fences every shard:
+// shards process their queues in order, so once each fence bounces
+// back, no FlowMod of this job can reach a wire anymore — only then is
+// the dispatched set final and the abort safe to start.
+func (e *Engine) noteFailure(ctx context.Context, job *Job, st *jobDispatch, err error) {
+	if st.failing != nil {
+		return
+	}
+	st.failing = err
+	st.cancelled.Store(true)
+	st.fences = len(e.disp.shards)
+	for _, sh := range e.disp.shards {
+		select {
+		case sh.reqs <- shardReq{job: job, st: st, idx: fenceIdx}:
+		case <-ctx.Done():
+			st.fences-- // the shard loop exited; it cannot write anything anyway
+		}
+	}
+	if st.fences == 0 {
+		e.finalizeCancel(job, st)
+	}
+}
+
+// finalizeCancel runs once the last fence bounced: every still-queued
+// node provably never reached a wire (dispatched reverts to false —
+// matching the old path's cancelled-during-pause semantics), and every
+// in-flight node may have (dispatched stays true) but gets no further
+// barrier wait — the prompt equivalent of the old cancel-drain.
+func (e *Engine) finalizeCancel(job *Job, st *jobDispatch) {
+	for i := range st.status {
+		switch st.status[i] {
+		case nsQueued:
+			st.status[i] = nsDone
+			st.nDone++
+			st.dispatched[i] = false
+			metrics.DispatchReadyDepth.Dec()
+		case nsInflight:
+			st.status[i] = nsDone
+			st.nDone++
+			e.disp.inflight[e.disp.shardFor(uint64(job.plan.nodes[i].node))].Dec()
+		}
+	}
+}
+
+// abandon corrects the dispatch gauges for a job cut off by engine
+// shutdown and marks its state unrecyclable (late acks may still
+// arrive on its channel).
+func (e *Engine) abandon(job *Job, st *jobDispatch) {
+	st.abandoned = true
+	for i := range st.status {
+		switch st.status[i] {
+		case nsQueued:
+			metrics.DispatchReadyDepth.Dec()
+		case nsInflight:
+			e.disp.inflight[e.disp.shardFor(uint64(job.plan.nodes[i].node))].Dec()
+		}
+	}
 }

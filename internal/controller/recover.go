@@ -131,6 +131,10 @@ func (e *Engine) Recover(ctx context.Context) (RecoveryStats, error) {
 			rj.admit = rec.Admit
 		case journal.KindDispatched:
 			rj.dispatched[rec.Node] = true
+		case journal.KindDispatchedBatch:
+			for _, n := range rec.Nodes {
+				rj.dispatched[n] = true
+			}
 		case journal.KindConfirmed:
 			rj.confirmed[rec.Node] = true
 		case journal.KindTerminal:
@@ -524,6 +528,7 @@ func countSet(set []bool) int {
 func liveRecords(rj *recoveredJob, l *relaunch) []journal.Record {
 	recs := []journal.Record{{Kind: journal.KindAdmit, Job: rj.id, Admit: rj.admit}}
 	n := len(l.job.plan.nodes)
+	var batch []int // dispatched frontier, ascending: one grouped record
 	for i := 0; i < n; i++ {
 		confirmed := i < len(l.job.preConfirmed) && l.job.preConfirmed[i]
 		if l.rollback {
@@ -532,11 +537,14 @@ func liveRecords(rj *recoveredJob, l *relaunch) []journal.Record {
 		dispatched := rj.dispatched[i] || confirmed ||
 			(l.rollback && i < len(l.dispatched) && l.dispatched[i])
 		if dispatched {
-			recs = append(recs, journal.Record{Kind: journal.KindDispatched, Job: rj.id, Node: i})
+			batch = append(batch, i)
 		}
 		if confirmed {
 			recs = append(recs, journal.Record{Kind: journal.KindConfirmed, Job: rj.id, Node: i})
 		}
+	}
+	if len(batch) > 0 {
+		recs = append(recs, journal.Record{Kind: journal.KindDispatchedBatch, Job: rj.id, Nodes: batch})
 	}
 	return recs
 }

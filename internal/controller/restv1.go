@@ -16,6 +16,7 @@ import (
 	"tsu/internal/api"
 	"tsu/internal/core"
 	"tsu/internal/explore"
+	"tsu/internal/metrics"
 	"tsu/internal/openflow"
 	"tsu/internal/synth"
 	"tsu/internal/topo"
@@ -792,6 +793,18 @@ func (c *Controller) handleV1Healthz(w http.ResponseWriter, _ *http.Request) {
 	if stats, ok := c.engine.Recovery(); ok {
 		h.RecoveredJobs = stats.Recovered()
 		h.AdoptedJobs = stats.Adopted
+	}
+	ds := c.engine.disp.stats()
+	h.Dispatch = &api.DispatchHealth{
+		Shards:           ds.Shards,
+		ReadyDepth:       ds.ReadyDepth,
+		InFlight:         ds.InFlight,
+		BatchedWrites:    uint64(metrics.DispatchBatchMsgs.Count()),
+		BatchMeanMsgs:    metrics.DispatchBatchMsgs.Mean(),
+		BatchMaxMsgs:     uint64(metrics.DispatchBatchMsgs.Max()),
+		JournalBatchMean: metrics.JournalBatchWidth.Mean(),
+		JournalBatchMax:  uint64(metrics.JournalBatchWidth.Max()),
+		AcksDropped:      uint64(metrics.DispatchAcksDropped.Value()),
 	}
 	writeJSON(w, http.StatusOK, h)
 }

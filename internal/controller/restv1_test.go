@@ -124,6 +124,18 @@ func TestV1BatchSubmitListAndHealthz(t *testing.T) {
 	if h.Status != "ok" || h.Switches != 12 || h.QueueDepth != 0 || h.Workers != defaultEngineWorkers {
 		t.Fatalf("healthz = %+v", h)
 	}
+	if h.Dispatch == nil {
+		t.Fatal("healthz missing dispatch section")
+	}
+	if d := h.Dispatch; d.Shards < 1 || len(d.InFlight) != d.Shards || d.ReadyDepth != 0 {
+		t.Fatalf("dispatch health = %+v", d)
+	}
+	// Two updates already executed through the sharded path, so the
+	// batch histogram cannot be empty. (Metrics are process-global, so
+	// assert floors, not exact counts.)
+	if d := h.Dispatch; d.BatchedWrites == 0 || d.BatchMaxMsgs < 2 {
+		t.Fatalf("dispatch batching not observed: %+v", d)
+	}
 }
 
 func TestV1DryRunSubmitsNothing(t *testing.T) {

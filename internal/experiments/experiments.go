@@ -1189,6 +1189,386 @@ func E14CrashRecovery(k, policies int, seed int64, workers int) (*E14Result, err
 	return res, nil
 }
 
+// E15Result carries the aggregate of one E15 soak alongside its table —
+// the reproducible counters the benchmark and tests pin.
+type E15Result struct {
+	Table *metrics.Table
+	// Switches is the fat-tree's switch count (~100k at the soak tier).
+	Switches int
+	// Updates is the number of reroutes replayed per rate combination.
+	Updates int
+	// Events counts FlowMod delivery events across every phase:
+	// forward, loss-triggered rollback, crash-resume and crash-undo.
+	Events int
+	// PeerAcks counts cross-switch releases of decentralized dispatch.
+	PeerAcks int
+	// Aborts counts updates aborted by a lost confirmation.
+	Aborts int
+	// LossRolledBack counts installs undone by loss-triggered verified
+	// rollbacks; CrashRolledBack counts crash boundaries resolved by a
+	// verified reverse plan.
+	LossRolledBack  int
+	CrashRolledBack int
+	// Boundaries counts crash points swept — one per batched journal
+	// record (a release wave journals as one grouped dispatched-delta),
+	// plus the pre-dispatch boundary.
+	Boundaries int
+	// Requeued and Adopted split the non-rollback crash recoveries.
+	Requeued int
+	Adopted  int
+	// JournalRecords counts batched dispatched-delta appends the replays
+	// modelled; JournalNodes counts the plan nodes those records carried.
+	// Their ratio is the write-ahead batching factor — the compaction
+	// pressure relief the sharded dispatcher buys (nodes-per-append; the
+	// per-append cost itself is BenchmarkJournalCompaction's number).
+	JournalRecords int
+	JournalNodes   int
+	// Violations counts reverse plans the verifier refused. The soak's
+	// invariant is zero across both rollback flavors.
+	Violations int
+}
+
+// e15Sample is one update's soak outcome; aggregation over samples in
+// instance-index order keeps the result worker-count independent.
+type e15Sample struct {
+	events, peerAcks, lossRolledBack          int
+	boundaries, requeued, adopted, crashRB    int
+	crashEvents, journalRecords, journalNodes int
+	violations                                int
+	aborted                                   bool
+	makespan                                  time.Duration
+}
+
+// e15Replay soaks one reroute through the full PR-10 dispatch model on
+// virtual time: a decentralized forward pass (peer acks release DAG
+// successors switch-to-switch, paying data-plane latency instead of a
+// controller round trip) under the E13 confirmation-loss model, then —
+// when the forward pass survives — an E14 crash-boundary sweep whose
+// boundaries are the *batched* write-ahead records of the sharded
+// dispatcher: each release wave journals as one grouped
+// dispatched-delta, so the controller can only die between waves, and
+// the journaled dispatched set at every boundary is a union of whole
+// waves (an order ideal by construction). All randomness is drawn in
+// node-index order from instSeed, so the sample is a pure function of
+// its seed.
+func e15Replay(in *core.Instance, instSeed int64, lossRate, wipeRate float64) (e15Sample, error) {
+	const progressTimeout = 100 * time.Millisecond
+	var (
+		pushDist    = netem.Uniform{Min: 0, Max: 3 * time.Millisecond}
+		installDist = netem.Pareto{Scale: time.Millisecond, Alpha: 1.5, Cap: 20 * time.Millisecond}
+		peerDist    = netem.Uniform{Min: 100 * time.Microsecond, Max: 500 * time.Microsecond}
+	)
+	var s e15Sample
+	sched, err := core.Peacock(in)
+	if err != nil {
+		return s, err
+	}
+	plan := core.PlanFromSchedule(sched)
+	rng := rand.New(rand.NewSource(instSeed))
+	n := len(plan.Nodes)
+	push := make([]time.Duration, n)   // partition-push arrival per node
+	inst := make([]time.Duration, n)   // install latency
+	ackLat := make([]time.Duration, n) // latency of the acks this node sends
+	lost := make([]bool, n)            // confirmation/acks lost (agent stall)
+	for i := 0; i < n; i++ {
+		push[i] = pushDist.Sample(rng)
+		inst[i] = installDist.Sample(rng)
+		ackLat[i] = peerDist.Sample(rng)
+		lost[i] = rng.Float64() < lossRate
+	}
+
+	// Decentralized forward pass (plan nodes are topologically ordered):
+	// a node installs when every in-edge ack has arrived; cross-switch
+	// acks pay the sender's data-plane hop latency, intra-switch
+	// releases are free.
+	dispatchT := make([]time.Duration, n)
+	confirmT := make([]time.Duration, n)
+	reachable := make([]bool, n)
+	abortAt := time.Duration(-1)
+	for i := 0; i < n; i++ {
+		ready, t := true, push[i]
+		for _, d := range plan.Nodes[i].Deps {
+			if !reachable[d] || lost[d] {
+				ready = false
+				break
+			}
+			at := confirmT[d]
+			if plan.Nodes[d].Switch != plan.Nodes[i].Switch {
+				at += ackLat[d]
+			}
+			if at > t {
+				t = at
+			}
+		}
+		if !ready {
+			continue
+		}
+		reachable[i] = true
+		dispatchT[i] = t
+		if lost[i] {
+			// Installed but never confirmed: the controller's progress
+			// timeout fires relative to the node's release.
+			if abortAt < 0 || t+progressTimeout < abortAt {
+				abortAt = t + progressTimeout
+			}
+			continue
+		}
+		confirmT[i] = t + inst[i]
+	}
+
+	dispatched := make([]bool, n)
+	for i := 0; i < n; i++ {
+		dispatched[i] = reachable[i] && (abortAt < 0 || dispatchT[i] <= abortAt)
+		if dispatched[i] {
+			s.events++
+		}
+	}
+	// Peer acks: one per cross-switch edge whose producer confirmed and
+	// whose consumer was released before any abort.
+	for i := 0; i < n; i++ {
+		if !dispatched[i] {
+			continue
+		}
+		for _, d := range plan.Nodes[i].Deps {
+			if !lost[d] && plan.Nodes[d].Switch != plan.Nodes[i].Switch {
+				s.peerAcks++
+			}
+		}
+	}
+	// Batched write-ahead accounting: every release wave (plan layer)
+	// with at least one dispatched node is one grouped journal record.
+	layers := plan.NodeLayers()
+	waveSize := make([]int, plan.Depth())
+	for i := 0; i < n; i++ {
+		if dispatched[i] {
+			waveSize[layers[i]]++
+		}
+	}
+	for _, w := range waveSize {
+		if w > 0 {
+			s.journalRecords++
+			s.journalNodes += w
+		}
+	}
+
+	if abortAt >= 0 {
+		// Loss-triggered abort: reverse the dispatched prefix (an order
+		// ideal — a node releases only after its deps confirm) and verify.
+		s.aborted = true
+		rev, _, err := plan.Reverse(dispatched)
+		if err != nil {
+			return s, fmt.Errorf("reversing dispatched prefix: %w", err)
+		}
+		if rep := verify.Plan(in, rev, sched.Guarantees, verify.Options{}); !rep.OK() {
+			s.violations++
+			s.makespan = abortAt
+			return s, nil
+		}
+		s.lossRolledBack = len(rev.Nodes)
+		s.events += len(rev.Nodes)
+		s.makespan = abortAt
+		return s, nil
+	}
+	for i := 0; i < n; i++ {
+		if confirmT[i] > s.makespan {
+			s.makespan = confirmT[i]
+		}
+	}
+
+	// Crash-boundary sweep on the clean run. Boundary 0: the crash lands
+	// before the first batch record — recovery re-admits, the plan
+	// re-runs in full.
+	s.boundaries++
+	s.requeued++
+	s.crashEvents += n
+	waves := plan.Depth()
+	crashDispatched := make([]bool, n)
+	applied := make([]bool, n)
+	resumeT := make([]time.Duration, n)
+	for b := 1; b <= waves; b++ {
+		s.boundaries++
+		// The journal holds whole waves 0..b-1 (each one batched append,
+		// written ahead of the wire); the crash instant is the moment
+		// wave b-1's record landed.
+		var crashAt time.Duration
+		for i := 0; i < n; i++ {
+			crashDispatched[i] = layers[i] < b
+			if crashDispatched[i] && dispatchT[i] > crashAt {
+				crashAt = dispatchT[i]
+			}
+		}
+		// Wipe draws per boundary in node-index order: switches that died
+		// with the controller lost their rules.
+		wipeRng := rand.New(rand.NewSource(instSeed ^ int64(b)<<32))
+		adoptable := true
+		for i := 0; i < n; i++ {
+			applied[i] = crashDispatched[i] && !(wipeRng.Float64() < wipeRate)
+			if crashDispatched[i] && !applied[i] && confirmT[i] < crashAt {
+				adoptable = false // a journaled confirm vanished
+			}
+		}
+		for i := 0; i < n && adoptable; i++ {
+			if !applied[i] {
+				continue
+			}
+			for _, d := range plan.Nodes[i].Deps {
+				if !applied[d] { // a hole under the frontier: not an ideal
+					adoptable = false
+					break
+				}
+			}
+		}
+		s.crashEvents += countTrue(crashDispatched)
+		if adoptable {
+			s.adopted++
+			for i := 0; i < n; i++ {
+				if applied[i] {
+					resumeT[i] = 0
+					continue
+				}
+				t := time.Duration(0)
+				for _, d := range plan.Nodes[i].Deps {
+					if resumeT[d] > t {
+						t = resumeT[d]
+					}
+				}
+				resumeT[i] = t + inst[i]
+				s.crashEvents++
+			}
+			continue
+		}
+		s.crashRB++
+		rev, _, err := plan.Reverse(crashDispatched)
+		if err != nil {
+			return s, fmt.Errorf("reversing boundary %d: %w", b, err)
+		}
+		if rep := verify.Plan(in, rev, sched.Guarantees, verify.Options{}); !rep.OK() {
+			s.violations++
+			continue
+		}
+		s.crashEvents += len(rev.Nodes)
+	}
+	return s, nil
+}
+
+func countTrue(bs []bool) int {
+	c := 0
+	for _, b := range bs {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// E15Soak is the 100k-switch soak tier: `policies` random valley-free
+// reroutes on a k-ary fat-tree, each replayed through the decentralized
+// sharded-dispatch model on virtual time under combined stress — the
+// E13 confirmation-loss model on the forward pass and the E14
+// crash-boundary sweep on surviving runs, with crash points at the
+// *batched* write-ahead records the PR-10 dispatcher appends (one per
+// release wave). Invariants: zero verifier refusals across both
+// rollback flavors, and every counter a pure function of the seed
+// regardless of worker count. Columns: loss rate, wipe rate, updates,
+// aborts, peer acks, journaled batches, journaled nodes, crash
+// boundaries, requeues, adoptions, crash rollbacks, delivery events,
+// verifier refusals, mean virtual makespan.
+func E15Soak(k, policies int, seed int64, workers int) (*E15Result, error) {
+	if k <= 0 {
+		k = 284 // 5k²/4 = 100,820 switches: the 100k soak tier
+	}
+	if policies <= 0 {
+		policies = 100
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	g := topo.FatTree(k)
+	tbl := metrics.NewTable("loss_rate", "wipe_rate", "updates", "aborts", "peer_acks",
+		"journal_batches", "journal_nodes", "boundaries", "requeued", "adopted",
+		"crash_rolled_back", "events", "violations", "mean_makespan")
+	res := &E15Result{Table: tbl, Switches: g.NumNodes(), Updates: policies}
+
+	// One policy set shared across rate combinations: every tier soaks
+	// the same reroutes, only the fault draws differ.
+	rng := rand.New(rand.NewSource(seed))
+	instances := make([]*core.Instance, 0, policies)
+	for len(instances) < policies {
+		ti, err := topo.RandomFatTreePolicy(rng, g)
+		if err != nil {
+			return nil, err
+		}
+		in := core.MustInstance(ti.Old, ti.New, 0)
+		if in.NumPending() == 0 {
+			continue
+		}
+		instances = append(instances, in)
+	}
+
+	combos := []struct{ loss, wipe float64 }{{0, 0}, {0.02, 0.10}, {0.05, 0.25}}
+	for ri, cb := range combos {
+		samples := make([]e15Sample, len(instances))
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for p := w; p < len(instances); p += workers {
+					instSeed := seed ^ int64(p+1)<<20 ^ int64(ri+1)<<40
+					s, err := e15Replay(instances[p], instSeed, cb.loss, cb.wipe)
+					if err != nil {
+						errs[w] = fmt.Errorf("policy %d at combo %d: %w", p, ri, err)
+						return
+					}
+					samples[p] = s
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		events, peerAcks, aborts, lossRB := 0, 0, 0, 0
+		boundaries, requeued, adopted, crashRB := 0, 0, 0, 0
+		jRecords, jNodes, violations := 0, 0, 0
+		var makespan metrics.Histogram
+		for _, s := range samples { // index order: worker-count independent
+			events += s.events + s.crashEvents
+			peerAcks += s.peerAcks
+			lossRB += s.lossRolledBack
+			boundaries += s.boundaries
+			requeued += s.requeued
+			adopted += s.adopted
+			crashRB += s.crashRB
+			jRecords += s.journalRecords
+			jNodes += s.journalNodes
+			violations += s.violations
+			if s.aborted {
+				aborts++
+			}
+			makespan.Record(s.makespan)
+		}
+		res.Events += events
+		res.PeerAcks += peerAcks
+		res.Aborts += aborts
+		res.LossRolledBack += lossRB
+		res.Boundaries += boundaries
+		res.Requeued += requeued
+		res.Adopted += adopted
+		res.CrashRolledBack += crashRB
+		res.JournalRecords += jRecords
+		res.JournalNodes += jNodes
+		res.Violations += violations
+		tbl.AddRow(fmt.Sprintf("%.2f", cb.loss), fmt.Sprintf("%.2f", cb.wipe),
+			len(instances), aborts, peerAcks, jRecords, jNodes, boundaries, requeued,
+			adopted, crashRB, events, violations, makespan.Mean())
+	}
+	return res, nil
+}
+
 // All runs every experiment (E8, the codec microbenchmark, lives in
 // the bench harness only) and returns the tables keyed by id.
 func All(seed int64) (map[string]*metrics.Table, error) {
@@ -1223,6 +1603,15 @@ func All(seed int64) (map[string]*metrics.Table, error) {
 		}},
 		{"E14", func() (*metrics.Table, error) {
 			res, err := E14CrashRecovery(0, 0, seed, 4)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table, nil
+		}},
+		{"E15", func() (*metrics.Table, error) {
+			// The quick table runs the 2000-switch tier; the full
+			// 100,820-switch soak is BenchmarkE15Soak's job.
+			res, err := E15Soak(40, 50, seed, 4)
 			if err != nil {
 				return nil, err
 			}

@@ -346,3 +346,61 @@ func TestE14CrashRecoveryReproducible(t *testing.T) {
 		t.Fatalf("rows = %v, want 3 wipe rates", rows)
 	}
 }
+
+// TestE15SoakReproducible runs the combined loss + crash soak (the
+// small tier of the 100k-switch experiment) with one worker and with
+// eight and requires bit-identical aggregates, plus the soak's safety
+// invariants: losses abort some updates, crash wipes force some
+// boundaries onto the rollback path, every boundary resolves, the
+// write-ahead batches group more than one node per append, and the
+// verifier refuses no reverse plan of either flavor.
+func TestE15SoakReproducible(t *testing.T) {
+	const (
+		k        = 24 // 720 switches
+		policies = 50
+		seed     = 11
+	)
+	r1, err := E15Soak(k, policies, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := E15Soak(k, policies, seed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Switches != 720 {
+		t.Fatalf("FatTree(24) has %d switches, want 720", r1.Switches)
+	}
+	if r1.Events != r8.Events || r1.Events == 0 {
+		t.Fatalf("event count depends on worker count: %d vs %d", r1.Events, r8.Events)
+	}
+	if r1.PeerAcks != r8.PeerAcks || r1.Aborts != r8.Aborts ||
+		r1.Boundaries != r8.Boundaries || r1.Adopted != r8.Adopted ||
+		r1.CrashRolledBack != r8.CrashRolledBack || r1.Requeued != r8.Requeued ||
+		r1.JournalRecords != r8.JournalRecords || r1.JournalNodes != r8.JournalNodes {
+		t.Fatalf("aggregates depend on worker count: %+v vs %+v", r1, r8)
+	}
+	if r1.Boundaries != r1.Requeued+r1.Adopted+r1.CrashRolledBack {
+		t.Fatalf("boundaries dangle: %d swept, %d resolved",
+			r1.Boundaries, r1.Requeued+r1.Adopted+r1.CrashRolledBack)
+	}
+	if r1.Aborts == 0 || r1.LossRolledBack == 0 {
+		t.Fatalf("loss model injected nothing: %+v", r1)
+	}
+	if r1.Adopted == 0 || r1.CrashRolledBack == 0 {
+		t.Fatalf("crash sweep missed a recovery mode: %+v", r1)
+	}
+	if r1.PeerAcks == 0 {
+		t.Fatal("decentralized model sent no peer acks")
+	}
+	if r1.JournalRecords == 0 || r1.JournalNodes <= r1.JournalRecords {
+		t.Fatalf("write-ahead batching not observed: %d records for %d nodes",
+			r1.JournalRecords, r1.JournalNodes)
+	}
+	if r1.Violations != 0 {
+		t.Fatalf("verifier refused %d rollbacks; the soak's safety invariant is broken", r1.Violations)
+	}
+	if rows := tableRows(t, r1.Table.String()); len(rows) != 3 {
+		t.Fatalf("rows = %v, want 3 rate combos", rows)
+	}
+}

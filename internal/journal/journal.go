@@ -14,6 +14,10 @@
 //   - dispatched / confirmed: one per-node delta each, appended the
 //     moment the engine marks the node dispatched (write-ahead: the
 //     record hits the file before the FlowMod leaves) or confirmed.
+//     When one barrier reply releases a whole frontier, the engine
+//     groups the newly-ready nodes into a single dispatched-batch
+//     record — one append and one fsync window instead of k — that
+//     replays exactly like k per-node dispatched deltas.
 //   - terminal: the job retired (done, or failed with an error).
 //
 // Framing follows the house codec style (canonical uvarints, strict
@@ -55,6 +59,11 @@ const (
 	KindDispatched Kind = 2
 	KindConfirmed  Kind = 3
 	KindTerminal   Kind = 4
+	// KindDispatchedBatch is a grouped dispatched delta: one record (and
+	// one fsync window) covering every node a single barrier reply
+	// released, semantically identical to that many KindDispatched
+	// records in ascending node order.
+	KindDispatchedBatch Kind = 5
 )
 
 func (k Kind) String() string {
@@ -67,6 +76,8 @@ func (k Kind) String() string {
 		return "confirmed"
 	case KindTerminal:
 		return "terminal"
+	case KindDispatchedBatch:
+		return "dispatched-batch"
 	}
 	return "unknown"
 }
@@ -113,6 +124,11 @@ type Record struct {
 
 	// Node is the plan-node index of dispatched/confirmed deltas.
 	Node int
+
+	// Nodes are the plan-node indices of a grouped dispatched delta,
+	// strictly ascending (the codec delta-encodes gaps, like
+	// Admit.Cleanup).
+	Nodes []int
 
 	// Done and Error describe terminal records.
 	Done  bool
@@ -406,6 +422,17 @@ func appendPayload(buf []byte, rec Record) []byte {
 	switch rec.Kind {
 	case KindDispatched, KindConfirmed:
 		buf = binary.AppendUvarint(buf, uint64(rec.Node))
+	case KindDispatchedBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Nodes)))
+		prev := -1
+		for _, idx := range rec.Nodes {
+			if prev < 0 {
+				buf = binary.AppendUvarint(buf, uint64(idx))
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(idx-prev-1))
+			}
+			prev = idx
+		}
 	case KindTerminal:
 		done := byte(0)
 		if rec.Done {
@@ -469,6 +496,18 @@ func decodeRecord(payload []byte) (Record, error) {
 	switch rec.Kind {
 	case KindDispatched, KindConfirmed:
 		rec.Node = int(d.uvarint())
+	case KindDispatchedBatch:
+		n := d.uvarint()
+		if n > maxList {
+			return rec, fmt.Errorf("journal: %d-node dispatch batch: %w", n, ErrJournal)
+		}
+		prev := -1
+		for i := 0; i < int(n) && d.err == nil; i++ {
+			// Wrapping int arithmetic on both sides keeps decode→encode
+			// identity even for adversarial out-of-range gaps.
+			prev += int(d.uvarint()) + 1
+			rec.Nodes = append(rec.Nodes, prev)
+		}
 	case KindTerminal:
 		rec.Done = d.byte() == 1
 		n := d.uvarint()

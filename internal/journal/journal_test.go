@@ -186,6 +186,124 @@ func TestJournalTornTail(t *testing.T) {
 	}
 }
 
+// A grouped dispatched delta must round-trip its node list and fold to
+// exactly the same dispatched set as the equivalent per-node appends.
+func TestJournalDispatchedBatchReplayEquivalence(t *testing.T) {
+	nodes := []int{0, 1, 5, 6, 42}
+
+	jb, pathB := openTemp(t)
+	if err := jb.Append(sampleAdmit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Append(Record{Kind: KindDispatchedBatch, Job: 1, Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jp, pathP := openTemp2(t)
+	if err := jp.Append(sampleAdmit(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := jp.Append(Record{Kind: KindDispatched, Job: 1, Node: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fold := func(path string) map[int]bool {
+		j, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		set := make(map[int]bool)
+		for _, r := range j.Replayed() {
+			switch r.Kind {
+			case KindDispatched:
+				set[r.Node] = true
+			case KindDispatchedBatch:
+				for _, n := range r.Nodes {
+					set[n] = true
+				}
+			}
+		}
+		return set
+	}
+	batched, perNode := fold(pathB), fold(pathP)
+	if len(batched) != len(nodes) || len(perNode) != len(nodes) {
+		t.Fatalf("fold sizes: batch=%d per-node=%d want %d", len(batched), len(perNode), len(nodes))
+	}
+	for _, n := range nodes {
+		if !batched[n] || !perNode[n] {
+			t.Fatalf("node %d missing (batch=%v per-node=%v)", n, batched[n], perNode[n])
+		}
+	}
+
+	// The batch record itself round-trips its exact node list.
+	j2, err := Open(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Replayed()
+	if len(recs) != 2 || recs[1].Kind != KindDispatchedBatch || !equalInt(recs[1].Nodes, nodes) {
+		t.Fatalf("batch replay: %+v, want nodes %v", recs, nodes)
+	}
+}
+
+func openTemp2(t *testing.T) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs2.journal")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, path
+}
+
+// A batch record is atomic under a torn tail: any truncation inside the
+// frame drops the whole group — never a partial node list — and the
+// preceding records replay intact.
+func TestJournalTornTailMidBatch(t *testing.T) {
+	j, path := openTemp(t)
+	if err := j.Append(sampleAdmit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindDispatched, Job: 1, Node: 0}); err != nil {
+		t.Fatal(err)
+	}
+	batchStart := j.Size()
+	if err := j.Append(Record{Kind: KindDispatchedBatch, Job: 1, Nodes: []int{1, 2, 3, 7, 19}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int(batchStart); cut < len(whole); cut++ {
+		recs, valid, err := Replay(whole[:cut])
+		if err != nil {
+			t.Fatalf("cut=%d: Replay error: %v", cut, err)
+		}
+		if valid != int(batchStart) || len(recs) != 2 {
+			t.Fatalf("cut=%d: valid=%d recs=%d, want prefix %d with 2 records", cut, valid, len(recs), batchStart)
+		}
+		for _, r := range recs {
+			if r.Kind == KindDispatchedBatch {
+				t.Fatalf("cut=%d: partial batch surfaced: %+v", cut, r)
+			}
+		}
+	}
+}
+
 // Flipping any single byte inside a record frame must not produce a
 // bogus record: replay stops at or before the corrupted frame.
 func TestJournalCRCCorruption(t *testing.T) {
@@ -348,6 +466,7 @@ func FuzzJournalReplay(f *testing.F) {
 	seed := append([]byte(nil), magic[:]...)
 	seed = appendRecord(seed, sampleAdmit(1))
 	seed = appendRecord(seed, Record{Kind: KindDispatched, Job: 1, Node: 0})
+	seed = appendRecord(seed, Record{Kind: KindDispatchedBatch, Job: 1, Nodes: []int{1, 2, 4, 9}})
 	seed = appendRecord(seed, Record{Kind: KindConfirmed, Job: 1, Node: 0})
 	seed = appendRecord(seed, Record{Kind: KindTerminal, Job: 1, Error: "rollback"})
 	f.Add(seed)
@@ -380,6 +499,52 @@ func FuzzJournalReplay(f *testing.F) {
 			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", buf, data[:valid])
 		}
 	})
+}
+
+// BenchmarkJournalCompaction measures the snapshot+truncate path under
+// large job state — the journal a 100k-switch soak tier accumulates:
+// many live jobs, each with its admit spec, a wide grouped dispatched
+// frontier, and a long confirmed tail. Reported metrics: ns/op for one
+// full Compact (encode + write + fsync + rename) plus the snapshot
+// size it writes.
+func BenchmarkJournalCompaction(b *testing.B) {
+	const (
+		jobs      = 96
+		batchW    = 512 // grouped dispatched frontier per job
+		confirmed = 256 // confirmed deltas per job
+	)
+	live := make([]Record, 0, jobs*(confirmed+2))
+	batch := make([]int, batchW)
+	for i := range batch {
+		batch[i] = i
+	}
+	for job := 1; job <= jobs; job++ {
+		live = append(live, sampleAdmit(job))
+		live = append(live, Record{Kind: KindDispatchedBatch, Job: job, Nodes: batch})
+		for n := 0; n < confirmed; n++ {
+			live = append(live, Record{Kind: KindConfirmed, Job: job, Node: n})
+		}
+	}
+	path := filepath.Join(b.TempDir(), "jobs.journal")
+	j, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Compact(live); err != nil {
+		b.Fatal(err)
+	}
+	snapshot := j.Size()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Compact(live); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(snapshot), "snapshot_bytes")
+	b.ReportMetric(float64(len(live)), "records")
 }
 
 func BenchmarkJournalAppend(b *testing.B) {

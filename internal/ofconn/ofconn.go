@@ -97,6 +97,67 @@ func (c *Conn) WriteMessage(m openflow.Message) error {
 	return err
 }
 
+// Batch accumulates the wire encodings of several messages for one
+// coalesced write. The zero value is ready to use; a Batch retained
+// across flushes keeps its grown buffer, so steady-state batched
+// writes do not allocate. A Batch is not safe for concurrent use —
+// the dispatcher owns one per connection per shard.
+type Batch struct {
+	buf []byte
+	n   int
+}
+
+// Reset empties the batch, keeping the buffer.
+func (b *Batch) Reset() { b.buf, b.n = b.buf[:0], 0 }
+
+// Len returns the number of messages accumulated.
+func (b *Batch) Len() int { return b.n }
+
+// Bytes returns the accumulated wire size.
+func (b *Batch) Bytes() int { return len(b.buf) }
+
+// BatchMark is a snapshot of a Batch's fill state, taken with Mark
+// and restored with Truncate.
+type BatchMark struct{ off, n int }
+
+// Mark snapshots the batch state; Truncate(m) discards everything
+// added after the snapshot — the idiom for dropping one logical group
+// (a node's FlowMods plus barrier) whose encoding failed partway.
+func (b *Batch) Mark() BatchMark { return BatchMark{len(b.buf), b.n} }
+
+// Truncate rewinds the batch to a Mark snapshot.
+func (b *Batch) Truncate(m BatchMark) { b.buf, b.n = b.buf[:m.off], m.n }
+
+// Add appends one message's encoding to the batch. The message is
+// encoded immediately, so the caller may reuse it (e.g. re-stamping a
+// shared BarrierRequest's xid between Adds). On error the batch is
+// unchanged.
+func (b *Batch) Add(m openflow.Message) error {
+	wire, err := openflow.AppendTo(b.buf, m)
+	if err != nil {
+		return err
+	}
+	b.buf = wire
+	b.n++
+	return nil
+}
+
+// WriteBatch writes every message accumulated in b as a single
+// buffered write — one syscall (and one TCP segment train) for the
+// whole group instead of one per message — then resets b. Writing an
+// empty batch is a no-op. Safe for concurrent use with WriteMessage;
+// the batch is written atomically with respect to other writers.
+func (c *Conn) WriteBatch(b *Batch) error {
+	if b.n == 0 {
+		return nil
+	}
+	c.writeMu.Lock()
+	_, err := c.nc.Write(b.buf)
+	c.writeMu.Unlock()
+	b.Reset()
+	return err
+}
+
 // Send allocates a transaction id for m, writes it, and returns the id.
 func (c *Conn) Send(m openflow.Message) (uint32, error) {
 	m.SetXid(c.NextXid())

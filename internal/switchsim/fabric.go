@@ -118,6 +118,13 @@ func (f *Fabric) Switch(n topo.NodeID) *Switch {
 // the latencies produce — the receiving agent is built to absorb
 // reordering and duplication.
 func (f *Fabric) deliverPeerAck(from *Switch, to topo.NodeID, ack PeerAck, extra time.Duration) {
+	if g := from.cfg.Loops; g != nil {
+		// Shared event loops: draw the hop latency now and queue a timed
+		// delivery instead of parking a goroutine on a sleep.
+		delay := from.src.Sample(from.cfg.PeerLatency) + extra
+		g.schedule(from.clock.Now().Add(delay), from, to, ack)
+		return
+	}
 	go func() {
 		from.src.Sleep(from.cfg.PeerLatency)
 		if extra > 0 {

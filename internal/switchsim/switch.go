@@ -111,6 +111,14 @@ type Config struct {
 	// source's own clock wins for latency sleeps.
 	Clock simclock.Clock
 
+	// Loops optionally multiplexes this switch's timed background
+	// duties (expiry sweeps, delayed peer acks, close-on-cancel) onto a
+	// shared event-loop pool, capping the per-switch goroutine cost at
+	// the one blocking connection reader. Large fleets should share a
+	// single group built on the same clock and context. Nil keeps the
+	// classic goroutine-per-duty layout.
+	Loops *LoopGroup
+
 	// Logger receives connection lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -237,6 +245,18 @@ func (s *Switch) Connect(ctx context.Context, controllerAddr string) error {
 	s.done = done
 	s.mu.Unlock()
 
+	if g := s.cfg.Loops; g != nil {
+		// Shared event loops own the expiry sweeps and close-on-cancel;
+		// the blocking reader is the switch's only goroutine.
+		g.register(s, conn)
+		go func() {
+			defer close(done)
+			defer g.unregister(s)
+			defer conn.Close() //nolint:errcheck // loop exit path
+			s.controlLoop(loopCtx, conn)
+		}()
+		return nil
+	}
 	go func() {
 		defer close(done)
 		defer conn.Close() //nolint:errcheck // loop exit path
@@ -252,20 +272,59 @@ func (s *Switch) Connect(ctx context.Context, controllerAddr string) error {
 	return nil
 }
 
-// expiryLoop sweeps the flow table for idle/hard-timeout expiry and
-// emits FLOW_REMOVED for entries that asked for it.
-func (s *Switch) expiryLoop(ctx context.Context, conn *ofconn.Conn) {
-	unit := s.cfg.TimeoutUnit
-	if unit <= 0 {
-		unit = time.Second
+// timeoutUnit returns the configured flow-timeout unit (one second by
+// default).
+func (s *Switch) timeoutUnit() time.Duration {
+	if s.cfg.TimeoutUnit > 0 {
+		return s.cfg.TimeoutUnit
 	}
-	period := unit / 4
+	return time.Second
+}
+
+// expiryPeriod is the sweep cadence derived from the timeout unit.
+func (s *Switch) expiryPeriod() time.Duration {
+	period := s.timeoutUnit() / 4
 	if period < 5*time.Millisecond {
 		period = 5 * time.Millisecond
 	}
 	if period > time.Second {
 		period = time.Second
 	}
+	return period
+}
+
+// sweepExpiry runs one idle/hard-timeout sweep at the given instant
+// and emits FLOW_REMOVED for expired entries that asked for it.
+func (s *Switch) sweepExpiry(conn *ofconn.Conn, now time.Time) error {
+	expired, reasons := s.table.ExpireEntries(now, s.timeoutUnit())
+	for i, e := range expired {
+		if e.Flags&openflow.FlagSendFlowRem == 0 {
+			continue
+		}
+		age := e.Age(now)
+		fr := &openflow.FlowRemoved{
+			Match:        e.Match,
+			Cookie:       e.Cookie,
+			Priority:     e.Priority,
+			Reason:       reasons[i],
+			DurationSec:  uint32(age / time.Second),
+			DurationNsec: uint32(age % time.Second),
+			IdleTimeout:  e.IdleTimeout,
+			PacketCount:  e.PacketCount,
+			ByteCount:    e.ByteCount,
+		}
+		if _, err := conn.Send(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expiryLoop sweeps the flow table for idle/hard-timeout expiry and
+// emits FLOW_REMOVED for entries that asked for it (per-switch layout;
+// a LoopGroup runs the same sweep from its shared timing loop).
+func (s *Switch) expiryLoop(ctx context.Context, conn *ofconn.Conn) {
+	period := s.expiryPeriod()
 	// The sweep paces itself on the switch's clock: on the wall clock
 	// this behaves like the former ticker; on a simclock.Sim the sweep
 	// fires as virtual time crosses each period boundary.
@@ -274,26 +333,8 @@ func (s *Switch) expiryLoop(ctx context.Context, conn *ofconn.Conn) {
 		case <-ctx.Done():
 			return
 		case now := <-s.clock.After(period):
-			expired, reasons := s.table.ExpireEntries(now, unit)
-			for i, e := range expired {
-				if e.Flags&openflow.FlagSendFlowRem == 0 {
-					continue
-				}
-				age := e.Age(now)
-				fr := &openflow.FlowRemoved{
-					Match:        e.Match,
-					Cookie:       e.Cookie,
-					Priority:     e.Priority,
-					Reason:       reasons[i],
-					DurationSec:  uint32(age / time.Second),
-					DurationNsec: uint32(age % time.Second),
-					IdleTimeout:  e.IdleTimeout,
-					PacketCount:  e.PacketCount,
-					ByteCount:    e.ByteCount,
-				}
-				if _, err := conn.Send(fr); err != nil {
-					return
-				}
+			if s.sweepExpiry(conn, now) != nil {
+				return
 			}
 		}
 	}
@@ -356,10 +397,15 @@ func (s *Switch) Connected() bool {
 // call multiple times or before Connect.
 func (s *Switch) Stop() {
 	s.mu.Lock()
-	cancel, done := s.cancel, s.done
+	cancel, done, conn := s.cancel, s.done, s.conn
 	s.mu.Unlock()
 	if cancel != nil {
 		cancel()
+	}
+	if s.cfg.Loops != nil && conn != nil {
+		// No per-switch context watcher in group mode: unblock the
+		// reader directly.
+		conn.Close() //nolint:errcheck // stop path
 	}
 	if done != nil {
 		<-done
